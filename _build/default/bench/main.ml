@@ -1,0 +1,135 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every table and figure of the thesis's evaluation
+   (experiments e01..e24; see DESIGN.md for the mapping and EXPERIMENTS.md
+   for recorded results).
+
+   Part 2 measures the OCaml profiler itself with Bechamel: the wall-clock
+   cost of the virtual machine bare vs. fully instrumented vs. under the
+   convergent sampler (the thesis's overhead story), plus the hot data
+   structures (TNV add, oracle add, predictor update). *)
+
+open Bechamel
+open Toolkit
+
+(* A mid-sized fixed workload so each Bechamel sample is a few ms. *)
+let bench_workload = Workloads.find "go"
+
+let bench_program = bench_workload.Workload.wbuild Workload.Test
+
+let run_uninstrumented () =
+  let m = Machine.create bench_program in
+  ignore (Machine.run m)
+
+let run_full_profiling () = ignore (Profile.run ~selection:`All bench_program)
+
+let run_loads_profiling () = ignore (Profile.run ~selection:`Loads bench_program)
+
+let run_sampled_profiling () = ignore (Sampler.run bench_program)
+
+let run_memory_profiling () = ignore (Memprof.run bench_program)
+
+let tnv_values =
+  let rng = Rng.create 99L in
+  Array.init 4096 (fun _ -> Int64.of_int (Rng.skewed rng ~n:64 ~s:2.0))
+
+let tnv_add_batch () =
+  let t = Tnv.create ~capacity:8 () in
+  Array.iter (Tnv.add t) tnv_values
+
+let oracle_add_batch () =
+  let o = Oracle.create () in
+  Array.iter (Oracle.observe o) tnv_values
+
+let vstate_observe_batch () =
+  let vs = Vstate.create () in
+  Array.iter (Vstate.observe vs) tnv_values
+
+let predictor_update_batch () =
+  let p = Predictor.lvp () in
+  Array.iter (fun v -> Predictor.update p ~pc:(Int64.to_int v land 255) v)
+    tnv_values
+
+(* Design-choice ablations DESIGN.md calls out: TNV replacement policy
+   costs and sampler criterion costs, and the textual pipeline. *)
+
+let tnv_policy_batch policy () =
+  let t = Tnv.create ~policy ~capacity:8 () in
+  Array.iter (Tnv.add t) tnv_values
+
+let sampler_with criterion () =
+  ignore
+    (Sampler.run ~config:{ Sampler.default_config with criterion } bench_program)
+
+let emitted_source = Parser.emit bench_program
+
+let parse_batch () = ignore (Parser.parse emitted_source)
+
+let tests =
+  Test.make_grouped ~name:"vprof" ~fmt:"%s %s"
+    [ Test.make ~name:"machine uninstrumented (go/test)"
+        (Staged.stage run_uninstrumented);
+      Test.make ~name:"machine full profiling (go/test)"
+        (Staged.stage run_full_profiling);
+      Test.make ~name:"machine load profiling (go/test)"
+        (Staged.stage run_loads_profiling);
+      Test.make ~name:"machine sampled profiling (go/test)"
+        (Staged.stage run_sampled_profiling);
+      Test.make ~name:"machine memory profiling (go/test)"
+        (Staged.stage run_memory_profiling);
+      Test.make ~name:"tnv add x4096" (Staged.stage tnv_add_batch);
+      Test.make ~name:"tnv lfu-clear x4096" (Staged.stage (tnv_policy_batch Tnv.Lfu_clear));
+      Test.make ~name:"tnv pure-lfu x4096" (Staged.stage (tnv_policy_batch Tnv.Lfu));
+      Test.make ~name:"tnv lru x4096" (Staged.stage (tnv_policy_batch Tnv.Lru));
+      Test.make ~name:"sampler inv-delta (go/test)"
+        (Staged.stage (sampler_with Sampler.Inv_delta));
+      Test.make ~name:"sampler top-stability (go/test)"
+        (Staged.stage (sampler_with Sampler.Top_stability));
+      Test.make ~name:"parse emitted source (go)" (Staged.stage parse_batch);
+      Test.make ~name:"oracle add x4096" (Staged.stage oracle_add_batch);
+      Test.make ~name:"vstate observe x4096" (Staged.stage vstate_observe_batch);
+      Test.make ~name:"lvp predictor update x4096"
+        (Staged.stage predictor_update_batch) ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw_results = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  let results = Analyze.merge ols instances results in
+  (results, raw_results)
+
+let () =
+  Bechamel_notty.Unit.add Instance.monotonic_clock
+    (Measure.unit Instance.monotonic_clock)
+
+let img (window, results) =
+  Bechamel_notty.Multiple.image_of_ols_results ~rect:window
+    ~predictor:Measure.run results
+
+let print_bechamel () =
+  let open Notty_unix in
+  let window =
+    match winsize Unix.stdout with
+    | Some (w, h) -> { Bechamel_notty.w; h }
+    | None -> { Bechamel_notty.w = 120; h = 1 }
+  in
+  let results, _ = benchmark () in
+  img (window, results) |> eol |> output_image
+
+let () =
+  print_endline "================================================================";
+  print_endline " Part 1: paper tables and figures (experiments e01..e24)";
+  print_endline "================================================================";
+  Experiments.print_all ();
+  print_endline "================================================================";
+  print_endline " Part 2: profiler wall-clock micro-benchmarks (Bechamel)";
+  print_endline "================================================================";
+  print_bechamel ()

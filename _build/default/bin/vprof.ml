@@ -1,0 +1,665 @@
+(* vprof: command-line front end for the value profiler.
+
+   Subcommands: list, run, disasm, profile, memory, procs, sample,
+   specialize, experiment. *)
+
+open Cmdliner
+
+let workload_conv =
+  let parse s =
+    match Workloads.find s with
+    | w -> Ok w
+    | exception Not_found ->
+      if Sys.file_exists s then
+        (* assembly source files act as pseudo-workloads: same program on
+           both inputs, no declared arities *)
+        match Parser.parse_file s with
+        | prog ->
+          Ok
+            { Workload.wname = Filename.basename s;
+              wmimics = "(file)";
+              wdescr = s;
+              wbuild = (fun _ -> prog);
+              warities = [] }
+        | exception Parser.Parse_error (line, msg) ->
+          Error (`Msg (Printf.sprintf "%s:%d: %s" s line msg))
+      else
+        Error
+          (`Msg
+             (Printf.sprintf "unknown workload %S and no such file (try: %s)" s
+                (String.concat ", " Workloads.names)))
+  in
+  let print ppf (w : Workload.t) = Format.pp_print_string ppf w.wname in
+  Arg.conv (parse, print)
+
+let input_conv =
+  let parse s =
+    match Workload.input_of_string s with
+    | i -> Ok i
+    | exception Invalid_argument _ -> Error (`Msg "input must be test or train")
+  in
+  let print ppf i = Format.pp_print_string ppf (Workload.string_of_input i) in
+  Arg.conv (parse, print)
+
+let workload_arg =
+  Arg.(
+    required
+    & opt (some workload_conv) None
+    & info [ "w"; "workload" ] ~docv:"NAME"
+        ~doc:
+          "Workload to operate on: a built-in name (see $(b,list)) or a \
+           path to a .vasm assembly source file.")
+
+let input_arg =
+  Arg.(
+    value
+    & opt input_conv Workload.Test
+    & info [ "i"; "input" ] ~docv:"INPUT" ~doc:"Data set: test or train.")
+
+(* list *)
+
+let list_cmd =
+  let run () =
+    let table =
+      Table.create ~title:"Workloads" [ "name"; "mimics"; "description" ]
+    in
+    List.iter
+      (fun (w : Workload.t) ->
+        Table.add_row table [ w.wname; w.wmimics; w.wdescr ])
+      Workloads.all;
+    Table.print table
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the available workloads.")
+    Term.(const run $ const ())
+
+(* run *)
+
+let run_cmd =
+  let run (w : Workload.t) input =
+    let prog = w.wbuild input in
+    let m = Machine.execute prog in
+    Printf.printf "%s (%s): %s dynamic instructions, v0 = %Ld\n" w.wname
+      (Workload.string_of_input input)
+      (Table.count (Machine.icount m))
+      (Machine.reg m Isa.v0)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a workload without instrumentation.")
+    Term.(const run $ workload_arg $ input_arg)
+
+(* disasm *)
+
+let disasm_cmd =
+  let run (w : Workload.t) input =
+    print_string (Asm.disassemble (w.wbuild input))
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Disassemble a workload's program.")
+    Term.(const run $ workload_arg $ input_arg)
+
+(* emit *)
+
+let emit_cmd =
+  let run (w : Workload.t) input =
+    print_string (Parser.emit (w.wbuild input))
+  in
+  Cmd.v
+    (Cmd.info "emit"
+       ~doc:
+         "Emit a workload as .vasm assembly source (parseable back with \
+          any command's -w FILE).")
+    Term.(const run $ workload_arg $ input_arg)
+
+(* profile *)
+
+let selection_arg =
+  let sel =
+    Arg.enum [ ("all", `All); ("loads", `Loads); ("alu", `Alu) ]
+  in
+  Arg.(
+    value & opt sel `All
+    & info [ "s"; "select" ] ~docv:"CLASS"
+        ~doc:"Instruction class to profile: all, loads, or alu.")
+
+let top_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "t"; "top" ] ~docv:"N" ~doc:"Show the N most-executed points.")
+
+let tnv_size_arg =
+  Arg.(
+    value & opt int Vstate.default_config.tnv_capacity
+    & info [ "tnv-size" ] ~docv:"N" ~doc:"TNV table capacity.")
+
+let clear_interval_arg =
+  Arg.(
+    value & opt int Vstate.default_config.clear_interval
+    & info [ "clear-interval" ] ~docv:"N"
+        ~doc:"TNV clearing period (profiled occurrences).")
+
+let save_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "save" ] ~docv:"FILE"
+        ~doc:"Also write the profile to FILE (see Profile_io's format).")
+
+let profile_cmd =
+  let run (w : Workload.t) input selection top tnv_size clear_interval save =
+    let config =
+      { Vstate.default_config with
+        tnv_capacity = tnv_size; clear_interval }
+    in
+    let profile = Profile.run ~config ~selection (w.wbuild input) in
+    (match save with
+     | Some path ->
+       Profile_io.write_file profile path;
+       Printf.printf "profile written to %s\n" path
+     | None -> ());
+    let points =
+      Array.to_list profile.Profile.points
+      |> List.filter (fun (p : Profile.point) -> p.p_metrics.Metrics.total > 0)
+      |> List.sort (fun (a : Profile.point) b ->
+             compare b.p_metrics.Metrics.total a.p_metrics.Metrics.total)
+    in
+    let table =
+      Table.create
+        ~title:
+          (Printf.sprintf "%s (%s): %d points, %s profiled events" w.wname
+             (Workload.string_of_input input)
+             profile.Profile.instrumented
+             (Table.count profile.Profile.profiled_events))
+        [ "pc"; "proc"; "instr"; "execs"; "LVP"; "Inv-Top"; "Inv-All";
+          "%zero"; "Diff"; "class"; "predictor"; "top value" ]
+    in
+    List.iteri
+      (fun i (p : Profile.point) ->
+        if i < top then begin
+          let m = p.p_metrics in
+          Table.add_row table
+            [ string_of_int p.p_pc; p.p_proc;
+              Isa.to_string p.p_instr;
+              Table.count m.Metrics.total;
+              Table.pct m.Metrics.lvp;
+              Table.pct m.Metrics.inv_top;
+              Table.pct m.Metrics.inv_all;
+              Table.pct m.Metrics.zero;
+              string_of_int m.Metrics.distinct
+              ^ (if m.Metrics.distinct_saturated then "+" else "");
+              Metrics.string_of_classification (Metrics.classify m);
+              Metrics.string_of_predictor_class (Metrics.predictor_class m);
+              (match m.Metrics.top_values with
+               | [||] -> "-"
+               | tv -> Int64.to_string (fst tv.(0))) ]
+        end)
+      points;
+    Table.print table
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Value-profile a workload (full profiling).")
+    Term.(
+      const run $ workload_arg $ input_arg $ selection_arg $ top_arg
+      $ tnv_size_arg $ clear_interval_arg $ save_arg)
+
+(* memory *)
+
+let memory_cmd =
+  let run (w : Workload.t) input top =
+    let r = Memprof.run (w.wbuild input) in
+    Printf.printf
+      "%s (%s): %s locations, %s events, %.1f%% of accesses >=90%% invariant\n"
+      w.wname
+      (Workload.string_of_input input)
+      (Table.count (Array.length r.Memprof.locations))
+      (Table.count r.Memprof.tracked_events)
+      (100. *. Memprof.fraction_invariant r ~threshold:0.9);
+    let table =
+      Table.create ~title:"Hottest locations"
+        [ "address"; "accesses"; "LVP"; "Inv-Top"; "Inv-All"; "top value" ]
+    in
+    Array.iteri
+      (fun i (l : Memprof.location) ->
+        if i < top then
+          Table.add_row table
+            [ Printf.sprintf "0x%Lx" l.l_addr;
+              Table.count l.l_metrics.Metrics.total;
+              Table.pct l.l_metrics.Metrics.lvp;
+              Table.pct l.l_metrics.Metrics.inv_top;
+              Table.pct l.l_metrics.Metrics.inv_all;
+              (match l.l_metrics.Metrics.top_values with
+               | [||] -> "-"
+               | tv -> Int64.to_string (fst tv.(0))) ])
+      r.Memprof.locations;
+    Table.print table
+  in
+  Cmd.v
+    (Cmd.info "memory" ~doc:"Profile memory locations (Chapter VII).")
+    Term.(const run $ workload_arg $ input_arg $ top_arg)
+
+(* procs *)
+
+let procs_cmd =
+  let run (w : Workload.t) input =
+    let config = { Procprof.default_config with arities = w.warities } in
+    let pp = Procprof.run ~config (w.wbuild input) in
+    let table =
+      Table.create
+        ~title:(Printf.sprintf "%s (%s): procedure profile" w.wname
+                  (Workload.string_of_input input))
+        [ "procedure"; "calls"; "params Inv-Top"; "ret Inv-Top"; "memo hits" ]
+    in
+    Array.iter
+      (fun (r : Procprof.proc_report) ->
+        if r.r_calls > 0 then
+          Table.add_row table
+            [ r.r_name;
+              Table.count r.r_calls;
+              (if Array.length r.r_params = 0 then "-"
+               else
+                 String.concat " / "
+                   (Array.to_list
+                      (Array.map
+                         (fun (m : Metrics.t) -> Table.pct m.inv_top)
+                         r.r_params)));
+              Table.pct r.r_return.Metrics.inv_top;
+              string_of_int r.r_memo_hits ])
+      pp.Procprof.procs;
+    Table.print table
+  in
+  Cmd.v
+    (Cmd.info "procs" ~doc:"Profile procedure parameters and returns.")
+    Term.(const run $ workload_arg $ input_arg)
+
+(* registers *)
+
+let registers_cmd =
+  let run (w : Workload.t) input =
+    let r = Regprof.run (w.wbuild input) in
+    let table =
+      Table.create
+        ~title:
+          (Printf.sprintf "%s (%s): register value profile" w.wname
+             (Workload.string_of_input input))
+        [ "register"; "writes"; "LVP"; "Inv-Top"; "Inv-All"; "%zero";
+          "top value" ]
+    in
+    Array.iter
+      (fun (g : Regprof.reg_report) ->
+        Table.add_row table
+          [ Isa.string_of_reg g.g_reg;
+            Table.count g.g_writes;
+            Table.pct g.g_metrics.Metrics.lvp;
+            Table.pct g.g_metrics.Metrics.inv_top;
+            Table.pct g.g_metrics.Metrics.inv_all;
+            Table.pct g.g_metrics.Metrics.zero;
+            (match g.g_metrics.Metrics.top_values with
+             | [||] -> "-"
+             | tv -> Int64.to_string (fst tv.(0))) ])
+      r.Regprof.regs;
+    Table.print table
+  in
+  Cmd.v
+    (Cmd.info "registers"
+       ~doc:"Profile values written per architectural register.")
+    Term.(const run $ workload_arg $ input_arg)
+
+(* sample *)
+
+let sample_cmd =
+  let burst =
+    Arg.(value & opt int Sampler.default_config.burst
+         & info [ "burst" ] ~docv:"N" ~doc:"Executions profiled per burst.")
+  in
+  let skip =
+    Arg.(value & opt int Sampler.default_config.initial_skip
+         & info [ "skip" ] ~docv:"N" ~doc:"Executions skipped between bursts.")
+  in
+  let epsilon =
+    Arg.(value & opt float Sampler.default_config.epsilon
+         & info [ "epsilon" ] ~docv:"E" ~doc:"Convergence threshold.")
+  in
+  let run (w : Workload.t) input burst skip epsilon =
+    let config =
+      { Sampler.default_config with burst; initial_skip = skip; epsilon }
+    in
+    let prog = w.wbuild input in
+    let sampled = Sampler.run ~config prog in
+    let full = Profile.run prog in
+    Printf.printf
+      "%s (%s): overhead %.2f%% (%s of %s events), invariance error %.2f%%\n"
+      w.wname
+      (Workload.string_of_input input)
+      (100. *. sampled.Sampler.overhead)
+      (Table.count sampled.Sampler.profiled_events)
+      (Table.count sampled.Sampler.total_events)
+      (100. *. Sampler.invariance_error sampled full)
+  in
+  Cmd.v
+    (Cmd.info "sample" ~doc:"Convergent (sampled) value profiling.")
+    Term.(const run $ workload_arg $ input_arg $ burst $ skip $ epsilon)
+
+(* specialize *)
+
+let specialize_cmd =
+  let run (w : Workload.t) input =
+    let config = { Procprof.default_config with arities = w.warities } in
+    let prog = w.wbuild input in
+    let pp = Procprof.run ~config prog in
+    match Specialize.candidates pp ~min_calls:100 ~min_inv:0.5 with
+    | [] -> print_endline "no semi-invariant parameter candidates found"
+    | (proc, param, value, inv) :: _ ->
+      Printf.printf "candidate: %s(%s = %Ld), Inv-Top %.1f%%\n" proc
+        (Isa.string_of_reg param) value (100. *. inv);
+      (match Specialize.specialize prog ~proc ~param ~value with
+       | report ->
+         let equal, before, after =
+           Specialize.differential prog report.Specialize.sp_program
+         in
+         Printf.printf
+           "specialized body: %d -> %d instructions (%d folded, %d branches resolved, %d dead)\n"
+           report.Specialize.sp_static_before report.Specialize.sp_static_after
+           report.Specialize.sp_folded report.Specialize.sp_branches_resolved
+           report.Specialize.sp_dead_removed;
+         Printf.printf "dynamic instructions: %s -> %s (%+.1f%%), results %s\n"
+           (Table.count before) (Table.count after)
+           (100. *. float_of_int (after - before) /. float_of_int before)
+           (if equal then "identical" else "DIFFER")
+       | exception Body.Unsupported msg ->
+         Printf.printf "cannot specialize: %s\n" msg)
+  in
+  Cmd.v
+    (Cmd.info "specialize"
+       ~doc:"Specialize the best semi-invariant procedure parameter.")
+    Term.(const run $ workload_arg $ input_arg)
+
+(* trivial *)
+
+let trivial_cmd =
+  let run (w : Workload.t) input =
+    let r = Trivprof.run (w.wbuild input) in
+    Printf.printf
+      "%s (%s): %s ALU events, %s measured, %.1f%% trivial (%s via immediates, %s via run-time values)\n"
+      w.wname
+      (Workload.string_of_input input)
+      (Table.count r.Trivprof.alu_events)
+      (Table.count r.Trivprof.measured)
+      (100. *. Trivprof.trivial_fraction r)
+      (Table.count r.Trivprof.trivial_imm)
+      (Table.count r.Trivprof.trivial_dyn);
+    List.iter
+      (fun (kind, n) -> Printf.printf "  %-14s %s\n" kind (Table.count n))
+      r.Trivprof.by_kind
+  in
+  Cmd.v
+    (Cmd.info "trivial"
+       ~doc:"Profile trivial arithmetic operands (Richardson [32]).")
+    Term.(const run $ workload_arg $ input_arg)
+
+(* speculate *)
+
+let speculate_cmd =
+  let run (w : Workload.t) input top =
+    let prog = w.wbuild input in
+    let t = Specul.run prog in
+    Printf.printf
+      "%s (%s): %s load executions, %.1f%% would fail a hoisted value check\n"
+      w.wname
+      (Workload.string_of_input input)
+      (Table.count t.Specul.total_executions)
+      (100. *. Specul.conflict_rate t ~select:(fun _ -> true));
+    let table =
+      Table.create ~title:"Per-load conflict rates"
+        [ "pc"; "instr"; "execs"; "conflicts"; "rate" ]
+    in
+    Array.iteri
+      (fun i (l : Specul.load_report) ->
+        if i < top then
+          Table.add_row table
+            [ string_of_int l.sl_pc;
+              Isa.to_string prog.Asm.code.(l.sl_pc);
+              Table.count l.sl_executions;
+              Table.count l.sl_conflicts;
+              Table.pct l.sl_conflict_rate ])
+      t.Specul.loads;
+    Table.print table
+  in
+  Cmd.v
+    (Cmd.info "speculate"
+       ~doc:
+         "Profile speculative-load value-check conflicts (Moudgill & \
+          Moreno [29]).")
+    Term.(const run $ workload_arg $ input_arg $ top_arg)
+
+(* phases *)
+
+let phases_cmd =
+  let window_arg =
+    Arg.(
+      value & opt int Phaseprof.default_config.window
+      & info [ "window" ] ~docv:"N" ~doc:"Executions per window.")
+  in
+  let run (w : Workload.t) input top window =
+    let config = { Phaseprof.default_config with window } in
+    let t = Phaseprof.run ~config ~selection:`Loads (w.wbuild input) in
+    Printf.printf "%s (%s): mean load-invariance drift %.1f%% (window %d)\n"
+      w.wname
+      (Workload.string_of_input input)
+      (100. *. Phaseprof.mean_drift t)
+      window;
+    let table =
+      Table.create ~title:"Most phased points"
+        [ "pc"; "instr"; "execs"; "overall InvTop"; "drift"; "windows" ]
+    in
+    let sorted = Array.copy t.Phaseprof.points in
+    Array.sort
+      (fun (a : Phaseprof.point) b -> compare b.ph_drift a.ph_drift)
+      sorted;
+    Array.iteri
+      (fun i (p : Phaseprof.point) ->
+        if i < top && p.ph_total > 0 then
+          Table.add_row table
+            [ string_of_int p.ph_pc;
+              Isa.to_string p.ph_instr;
+              Table.count p.ph_total;
+              Table.pct p.ph_overall;
+              Table.pct p.ph_drift;
+              String.concat " "
+                (Array.to_list
+                   (Array.map
+                      (fun wv -> Printf.sprintf "%.0f" (100. *. wv))
+                      p.ph_windows)) ])
+      sorted;
+    Table.print table
+  in
+  Cmd.v
+    (Cmd.info "phases"
+       ~doc:"Windowed (phase) profiling of load invariance over time.")
+    Term.(const run $ workload_arg $ input_arg $ top_arg $ window_arg)
+
+(* contexts *)
+
+let contexts_cmd =
+  let run (w : Workload.t) input =
+    let prog = w.wbuild input in
+    let config = { Ctxprof.default_config with arities = w.warities } in
+    let ctx = Ctxprof.run ~config prog in
+    let flat_config = { Procprof.default_config with arities = w.warities } in
+    let flat = Procprof.run ~config:flat_config prog in
+    let table =
+      Table.create
+        ~title:
+          (Printf.sprintf "%s (%s): parameter invariance by call site" w.wname
+             (Workload.string_of_input input))
+        [ "procedure"; "flat Inv-Top"; "per-site Inv-Top"; "gain" ]
+    in
+    List.iter
+      (fun (name, flat_inv, ctx_inv) ->
+        Table.add_row table
+          [ name; Table.pct flat_inv; Table.pct ctx_inv;
+            Printf.sprintf "%+.1fpp" (100. *. (ctx_inv -. flat_inv)) ])
+      (Ctxprof.context_gain ctx flat);
+    Table.print table
+  in
+  Cmd.v
+    (Cmd.info "contexts"
+       ~doc:"Call-site-sensitive parameter profiling (Young & Smith [40]).")
+    Term.(const run $ workload_arg $ input_arg)
+
+(* memoize *)
+
+let memoize_cmd =
+  let proc_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "p"; "proc" ] ~docv:"NAME"
+          ~doc:
+            "Procedure to memoize. Must be pure modulo read-only memory — \
+             the transform cannot check this; the differential run will \
+             expose violations.")
+  in
+  let arity_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "a"; "arity" ] ~docv:"N" ~doc:"Number of arguments (1-6).")
+  in
+  let run (w : Workload.t) input proc arity =
+    let prog = w.wbuild input in
+    match Memoize.memoize prog ~proc ~arity with
+    | report ->
+      let equal, before, after = Memoize.differential prog report in
+      Printf.printf
+        "memoized %s/%d with a %d-line cache at 0x%Lx\n"
+        proc arity report.Memoize.m_entries report.Memoize.m_table_base;
+      Printf.printf "dynamic instructions: %s -> %s (%+.1f%%), results %s\n"
+        (Table.count before) (Table.count after)
+        (100. *. float_of_int (after - before) /. float_of_int before)
+        (if equal then "identical" else "DIFFER (procedure is not pure!)")
+    | exception Body.Unsupported msg -> Printf.printf "cannot memoize: %s\n" msg
+    | exception Not_found -> Printf.printf "no procedure named %S\n" proc
+  in
+  Cmd.v
+    (Cmd.info "memoize"
+       ~doc:"Install a memoization cache on a pure procedure (Richardson [32]).")
+    Term.(const run $ workload_arg $ input_arg $ proc_arg $ arity_arg)
+
+(* diff *)
+
+let diff_cmd =
+  let run (w : Workload.t) top =
+    let pt = Profile.run (w.wbuild Workload.Test) in
+    let ptr = Profile.run (w.wbuild Workload.Train) in
+    let pairs =
+      Array.to_list pt.Profile.points
+      |> List.filter_map (fun (a : Profile.point) ->
+             if a.p_metrics.Metrics.total = 0 then None
+             else
+               match Profile.point_at ptr a.p_pc with
+               | Some b when b.Profile.p_metrics.Metrics.total > 0 -> Some (a, b)
+               | Some _ | None -> None)
+    in
+    (if List.length pairs >= 2 then begin
+       let xs =
+         Array.of_list
+           (List.map (fun ((a : Profile.point), _) -> a.p_metrics.Metrics.inv_top) pairs)
+       in
+       let ys =
+         Array.of_list
+           (List.map (fun (_, (b : Profile.point)) -> b.Profile.p_metrics.Metrics.inv_top) pairs)
+       in
+       Printf.printf "%s: %d shared points, Inv-Top correlation %.3f (test vs train)\n"
+         w.wname (List.length pairs) (Stats.pearson xs ys)
+     end);
+    let table =
+      Table.create ~title:"Largest invariance movements between inputs"
+        [ "pc"; "proc"; "instr"; "InvTop test"; "InvTop train"; "delta" ]
+    in
+    pairs
+    |> List.sort (fun ((a1 : Profile.point), (b1 : Profile.point)) (a2, b2) ->
+           compare
+             (abs_float
+                (a2.Profile.p_metrics.Metrics.inv_top
+                 -. b2.Profile.p_metrics.Metrics.inv_top))
+             (abs_float
+                (a1.p_metrics.Metrics.inv_top -. b1.p_metrics.Metrics.inv_top)))
+    |> List.iteri (fun i ((a : Profile.point), (b : Profile.point)) ->
+           if i < top then
+             Table.add_row table
+               [ string_of_int a.p_pc; a.p_proc;
+                 Isa.to_string a.p_instr;
+                 Table.pct a.p_metrics.Metrics.inv_top;
+                 Table.pct b.p_metrics.Metrics.inv_top;
+                 Printf.sprintf "%+.1fpp"
+                   (100.
+                    *. (b.p_metrics.Metrics.inv_top
+                        -. a.p_metrics.Metrics.inv_top)) ]);
+    Table.print table
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Compare a workload's test and train profiles (Table V.5 style).")
+    Term.(const run $ workload_arg $ top_arg)
+
+(* experiment *)
+
+let experiment_cmd =
+  let id_arg =
+    Arg.(
+      value & pos 0 string "all"
+      & info [] ~docv:"ID" ~doc:"Experiment id (e01..e21) or 'all'.")
+  in
+  let csv_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR"
+          ~doc:"Also write each produced table to DIR as a CSV file.")
+  in
+  let write_csv dir (spec : Experiments.spec) tables =
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    List.iteri
+      (fun i table ->
+        let path = Filename.concat dir (Printf.sprintf "%s_%d.csv" spec.id i) in
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (Table.to_csv table));
+        Printf.printf "wrote %s\n" path)
+      tables
+  in
+  let run_spec csv (spec : Experiments.spec) =
+    let tables = spec.Experiments.run () in
+    Printf.printf "== %s: %s  [%s] ==\n" spec.id spec.title spec.paper_ref;
+    List.iter
+      (fun t ->
+        Table.print t;
+        print_newline ())
+      tables;
+    match csv with Some dir -> write_csv dir spec tables | None -> ()
+  in
+  let run id csv =
+    if id = "all" then List.iter (run_spec csv) Experiments.all
+    else
+      match Experiments.find id with
+      | spec -> run_spec csv spec
+      | exception Not_found ->
+        Printf.eprintf "unknown experiment %S; known: %s\n" id
+          (String.concat ", "
+             (List.map (fun (s : Experiments.spec) -> s.id) Experiments.all));
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Regenerate the paper's tables and figures (see DESIGN.md).")
+    Term.(const run $ id_arg $ csv_arg)
+
+let () =
+  let info =
+    Cmd.info "vprof" ~version:"1.0.0"
+      ~doc:"Value profiling for instructions and memory locations"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; disasm_cmd; emit_cmd; profile_cmd; memory_cmd;
+            procs_cmd; registers_cmd; contexts_cmd; phases_cmd; trivial_cmd;
+            speculate_cmd; sample_cmd; specialize_cmd; memoize_cmd; diff_cmd;
+            experiment_cmd ]))

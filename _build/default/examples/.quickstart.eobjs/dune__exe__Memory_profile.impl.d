@@ -1,0 +1,1 @@
+examples/memory_profile.ml: Array Memprof Metrics Printf Table Workload Workloads

@@ -1,0 +1,1 @@
+examples/prediction.ml: Array Filename Hashtbl List Metrics Option Predictor Printf Profile Profile_io Sys Workload Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Asm Int64 Isa Metrics Printf Profile Table

@@ -1,0 +1,1 @@
+examples/sampling.ml: List Printf Profile Sampler Table Workload Workloads

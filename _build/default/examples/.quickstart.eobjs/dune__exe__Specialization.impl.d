@@ -1,0 +1,1 @@
+examples/specialization.ml: Array Int64 Isa Metrics Printf Procprof Specialize Table Workload Workloads

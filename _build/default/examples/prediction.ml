@@ -1,0 +1,64 @@
+(* Value prediction guided by the value profile (the thesis's §II story
+   plus the Gabbay [18] classification):
+
+   1. profile a workload,
+   2. classify each instruction — last-value-predictable, strided, or
+      unpredictable — from its TNV and delta tables,
+   3. simulate predictors: unguided LVP/stride/hybrid against a routed
+      predictor that consults the profile,
+   4. persist the profile to disk and reload it, as a compiler would.
+
+   Run with: dune exec examples/prediction.exe *)
+
+let () =
+  let w = Workloads.find "m88ksim" in
+  let prog = w.Workload.wbuild Workload.Test in
+
+  (* Step 1+2: profile and classify. *)
+  let profile = Profile.run prog in
+  let census = Hashtbl.create 4 in
+  Array.iter
+    (fun (p : Profile.point) ->
+      let m = p.Profile.p_metrics in
+      if m.Metrics.total > 0 then begin
+        let cls = Metrics.predictor_class m in
+        Hashtbl.replace census cls
+          (m.Metrics.total
+           + Option.value ~default:0 (Hashtbl.find_opt census cls))
+      end)
+    profile.Profile.points;
+  print_endline "--- predictability census (by dynamic execution) ---";
+  List.iter
+    (fun cls ->
+      Printf.printf "%-15s %d events\n"
+        (Metrics.string_of_predictor_class cls)
+        (Option.value ~default:0 (Hashtbl.find_opt census cls)))
+    [ Metrics.Last_value; Metrics.Strided; Metrics.Unpredictable ];
+
+  (* Step 3: simulate. *)
+  let predictors =
+    [ Predictor.lvp ~bits:8 ();
+      Predictor.stride ~bits:8 ();
+      Predictor.hybrid (Predictor.lvp ~bits:8 ()) (Predictor.stride ~bits:8 ());
+      Predictor.routed ~profile
+        ~last_value:(Predictor.lvp ~bits:8 ())
+        ~strided:(Predictor.stride ~bits:8 ())
+        () ]
+  in
+  print_endline "\n--- predictor simulation ---";
+  Printf.printf "%-28s %10s %10s %13s\n" "predictor" "coverage" "accuracy"
+    "correct rate";
+  List.iter
+    (fun (r : Predictor.result) ->
+      Printf.printf "%-28s %9.1f%% %9.1f%% %12.1f%%\n" r.pr_name
+        (100. *. r.pr_coverage) (100. *. r.pr_accuracy)
+        (100. *. r.pr_correct_rate))
+    (Predictor.simulate prog predictors);
+
+  (* Step 4: the profile survives a disk round trip. *)
+  let path = Filename.temp_file "vprof_example" ".profile" in
+  Profile_io.write_file profile path;
+  let reloaded = Profile_io.read_file ~program:prog path in
+  Printf.printf "\nprofile saved to %s and reloaded (%d points)\n" path
+    (Array.length reloaded.Profile.points);
+  Sys.remove path

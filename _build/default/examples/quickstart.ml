@@ -1,0 +1,65 @@
+(* Quickstart: build a small program with the assembler eDSL, run it under
+   the value profiler, and inspect a TNV table.
+
+   The program sums a mostly-constant array — the load that reads the
+   array is semi-invariant, which is exactly what the profiler detects.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Isa
+
+let program () =
+  let b = Asm.create () in
+  (* an array where 9 out of 10 entries are 42 *)
+  let values =
+    Array.init 200 (fun i -> if i mod 10 = 0 then Int64.of_int i else 42L)
+  in
+  let table = Asm.data b values in
+  Asm.proc b "sum" (fun b ->
+      (* sum(base=a0, n=a1) -> v0 *)
+      Asm.ldi b t0 0L; (* index *)
+      Asm.ldi b t1 0L; (* accumulator *)
+      Asm.label b "loop";
+      Asm.sub b ~dst:t2 t0 a1;
+      Asm.br b Ge t2 "done";
+      Asm.add b ~dst:t3 a0 t0;
+      Asm.ld b ~dst:t4 ~base:t3 ~off:0; (* <- the interesting load *)
+      Asm.add b ~dst:t1 t1 t4;
+      Asm.addi b ~dst:t0 t0 1L;
+      Asm.jmp b "loop";
+      Asm.label b "done";
+      Asm.mov b ~dst:v0 t1;
+      Asm.ret b);
+  Asm.proc b "main" (fun b ->
+      Asm.ldi b a0 table;
+      Asm.ldi b a1 200L;
+      Asm.call b "sum";
+      Asm.halt b);
+  Asm.assemble b ~entry:"main"
+
+let () =
+  let prog = program () in
+  print_endline "--- program ---";
+  print_string (Asm.disassemble prog);
+
+  (* Full value profile of every load. *)
+  let profile = Profile.run ~selection:`Loads prog in
+  print_endline "--- load profile ---";
+  Array.iter
+    (fun (p : Profile.point) ->
+      let m = p.p_metrics in
+      if m.Metrics.total > 0 then begin
+        Printf.printf "pc %d (%s): %s\n" p.p_pc (Isa.to_string p.p_instr)
+          (Metrics.to_string m);
+        Printf.printf "  classification: %s\n"
+          (Metrics.string_of_classification (Metrics.classify m));
+        print_endline "  TNV table:";
+        Array.iter
+          (fun (value, count) -> Printf.printf "    %6Ld x %d\n" value count)
+          m.Metrics.top_values
+      end)
+    profile.Profile.points;
+
+  Printf.printf "profiled %s events over %s dynamic instructions\n"
+    (Table.count profile.Profile.profiled_events)
+    (Table.count profile.Profile.dynamic_instructions)

@@ -1,0 +1,33 @@
+(* Convergent sampling: sweep the sampler's aggressiveness on one
+   workload and print the overhead/accuracy frontier (Chapter VI).
+
+   Run with: dune exec examples/sampling.exe *)
+
+let configs =
+  [ ("continuous (burst only)",
+     { Sampler.default_config with initial_skip = 0; backoff = 1. });
+    ("periodic 1:4",
+     { Sampler.default_config with burst = 50; initial_skip = 200; backoff = 1. });
+    ("convergent x4", Sampler.default_config);
+    ("convergent x16",
+     { Sampler.default_config with backoff = 16.; max_skip = 1_000_000 }) ]
+
+let () =
+  let w = Workloads.find "compress" in
+  let prog = w.Workload.wbuild Workload.Train in
+  let full = Profile.run prog in
+  Printf.printf "workload: %s (train), %s dynamic instructions\n\n"
+    w.Workload.wname
+    (Table.count full.Profile.dynamic_instructions);
+  Printf.printf "%-28s %12s %10s %10s\n" "sampler" "profiled" "overhead"
+    "inv error";
+  List.iter
+    (fun (name, config) ->
+      let sampled = Sampler.run ~config prog in
+      Printf.printf "%-28s %12s %9.1f%% %9.2f%%\n" name
+        (Table.count sampled.Sampler.profiled_events)
+        (100. *. sampled.Sampler.overhead)
+        (100. *. Sampler.invariance_error sampled full))
+    configs;
+  Printf.printf "\n(full profiling recorded %s events)\n"
+    (Table.count full.Profile.profiled_events)

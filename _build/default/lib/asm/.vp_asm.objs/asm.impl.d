@@ -1,0 +1,1 @@
+lib/asm/asm.ml: Array Buffer Hashtbl Int64 Isa List Printf

@@ -1,0 +1,1 @@
+lib/asm/parser.ml: Array Asm Buffer Fun Hashtbl Int64 Isa List Printf String

@@ -1,0 +1,164 @@
+type proc = { pname : string; pentry : int; plength : int; pindex : int }
+
+type program = {
+  code : Isa.instr array;
+  procs : proc array;
+  data : (int64 * int64 array) list;
+  entry : int;
+}
+
+let proc_of_pc program pc =
+  let found = ref None in
+  Array.iter
+    (fun p ->
+      if pc >= p.pentry && pc < p.pentry + p.plength then found := Some p)
+    program.procs;
+  match !found with Some p -> p | None -> raise Not_found
+
+let find_proc program name =
+  match Array.find_opt (fun p -> p.pname = name) program.procs with
+  | Some p -> p
+  | None -> raise Not_found
+
+let disassemble program =
+  let buf = Buffer.create 4096 in
+  Array.iter
+    (fun p ->
+      Buffer.add_string buf (Printf.sprintf "%s:  ; entry=%d len=%d\n" p.pname p.pentry p.plength);
+      for pc = p.pentry to p.pentry + p.plength - 1 do
+        Buffer.add_string buf
+          (Printf.sprintf "  %4d  %s\n" pc (Isa.to_string program.code.(pc)))
+      done)
+    program.procs;
+  Buffer.contents buf
+
+(* Instructions whose targets are still symbolic. *)
+type uinstr =
+  | UPlain of Isa.instr
+  | UBr of Isa.cond * Isa.reg * string
+  | UJmp of string
+  | UJsr of string
+  | ULdi_label of Isa.reg * string
+
+type builder = {
+  mutable items : uinstr list; (* reversed *)
+  mutable count : int;
+  labels : (string, int) Hashtbl.t;
+  mutable procs_rev : (string * int * int) list; (* name, entry, length *)
+  mutable data_rev : (int64 * int64 array) list;
+  mutable data_cursor : int64;
+  mutable in_proc : bool;
+}
+
+let data_base = 0x1_0000L
+
+let create () =
+  { items = []; count = 0; labels = Hashtbl.create 64; procs_rev = [];
+    data_rev = []; data_cursor = data_base; in_proc = false }
+
+let emit b u =
+  if not b.in_proc then failwith "Asm: instruction emitted outside a procedure";
+  b.items <- u :: b.items;
+  b.count <- b.count + 1
+
+let define_label b name =
+  if Hashtbl.mem b.labels name then
+    failwith (Printf.sprintf "Asm: duplicate label %S" name);
+  Hashtbl.replace b.labels name b.count
+
+let label b name = define_label b name
+
+let proc b name body =
+  if b.in_proc then failwith "Asm: nested procedures are not supported";
+  define_label b name;
+  let entry = b.count in
+  b.in_proc <- true;
+  body b;
+  b.in_proc <- false;
+  let length = b.count - entry in
+  if length = 0 then failwith (Printf.sprintf "Asm: empty procedure %S" name);
+  b.procs_rev <- (name, entry, length) :: b.procs_rev
+
+let data b words =
+  let base = b.data_cursor in
+  b.data_rev <- (base, Array.copy words) :: b.data_rev;
+  b.data_cursor <- Int64.add b.data_cursor (Int64.of_int (Array.length words));
+  base
+
+let reserve b n = data b (Array.make n 0L)
+
+let bin b op ~dst ra operand = emit b (UPlain (Isa.Op (op, ra, operand, dst)))
+
+let rr op b ~dst ra rb = bin b op ~dst ra (Isa.Reg rb)
+let ri op b ~dst ra imm = bin b op ~dst ra (Isa.Imm imm)
+
+let add = rr Isa.Add
+let sub = rr Isa.Sub
+let mul = rr Isa.Mul
+let div = rr Isa.Div
+let rem = rr Isa.Rem
+let and_ = rr Isa.And
+let or_ = rr Isa.Or
+let xor = rr Isa.Xor
+let sll = rr Isa.Sll
+let srl = rr Isa.Srl
+let sra = rr Isa.Sra
+let cmpeq = rr Isa.Cmpeq
+let cmplt = rr Isa.Cmplt
+let cmple = rr Isa.Cmple
+
+let addi = ri Isa.Add
+let subi = ri Isa.Sub
+let muli = ri Isa.Mul
+let divi = ri Isa.Div
+let remi = ri Isa.Rem
+let andi = ri Isa.And
+let ori = ri Isa.Or
+let xori = ri Isa.Xor
+let slli = ri Isa.Sll
+let srli = ri Isa.Srl
+let srai = ri Isa.Sra
+let cmpeqi = ri Isa.Cmpeq
+let cmplti = ri Isa.Cmplt
+let cmplei = ri Isa.Cmple
+
+let ldi b rd v = emit b (UPlain (Isa.Ldi (rd, v)))
+let mov b ~dst src = addi b ~dst src 0L
+let ld b ~dst ~base ~off = emit b (UPlain (Isa.Ld (dst, base, off)))
+let st b ~src ~base ~off = emit b (UPlain (Isa.St (src, base, off)))
+let br b c r target = emit b (UBr (c, r, target))
+let jmp b target = emit b (UJmp target)
+let call b target = emit b (UJsr target)
+let call_ind b r = emit b (UPlain (Isa.Jsr_ind r))
+let ret b = emit b (UPlain Isa.Ret)
+let halt b = emit b (UPlain Isa.Halt)
+let nop b = emit b (UPlain Isa.Nop)
+let code_addr_of b ~dst name = emit b (ULdi_label (dst, name))
+
+let assemble b ~entry =
+  if b.in_proc then failwith "Asm.assemble: still inside a procedure";
+  let resolve name =
+    match Hashtbl.find_opt b.labels name with
+    | Some idx -> idx
+    | None -> failwith (Printf.sprintf "Asm: undefined label %S" name)
+  in
+  let items = Array.of_list (List.rev b.items) in
+  let code =
+    Array.map
+      (function
+        | UPlain i -> i
+        | UBr (c, r, t) -> Isa.Br (c, r, resolve t)
+        | UJmp t -> Isa.Jmp (resolve t)
+        | UJsr t -> Isa.Jsr (resolve t)
+        | ULdi_label (rd, t) -> Isa.Ldi (rd, Int64.of_int (resolve t)))
+      items
+  in
+  let procs =
+    Array.of_list (List.rev b.procs_rev)
+    |> Array.mapi (fun i (pname, pentry, plength) ->
+           { pname; pentry; plength; pindex = i })
+  in
+  let entry_idx = resolve entry in
+  if not (Array.exists (fun p -> p.pentry = entry_idx) procs) then
+    failwith (Printf.sprintf "Asm: entry %S is not a procedure" entry);
+  { code; procs; data = List.rev b.data_rev; entry = entry_idx }

@@ -1,0 +1,120 @@
+(** Program construction: an assembler eDSL over {!Vp_isa.Isa}.
+
+    Workloads are built by emitting instructions into a {!builder} inside
+    {!proc} bodies, using string labels for control flow. {!assemble}
+    resolves labels to absolute code indices and produces the immutable
+    {!program} that the machine executes and the profiler instruments.
+
+    Memory is word-addressed: addresses count 64-bit words, not bytes.
+    {!data} allocates initialized words in the data segment and returns the
+    base address so builders can bake it into [ldi] instructions. *)
+
+type proc = {
+  pname : string;
+  pentry : int;  (** code index of the first instruction *)
+  plength : int;  (** number of instructions, contiguous *)
+  pindex : int;  (** position in [procs] *)
+}
+
+type program = {
+  code : Isa.instr array;
+  procs : proc array;
+  data : (int64 * int64 array) list;  (** (base address, initial words) *)
+  entry : int;  (** code index where execution starts *)
+}
+
+(** Procedure containing code index [pc]; raises [Not_found] for an index
+    outside every procedure. *)
+val proc_of_pc : program -> int -> proc
+
+(** Look a procedure up by name. *)
+val find_proc : program -> string -> proc
+
+(** Multi-line disassembly listing with procedure headers. *)
+val disassemble : program -> string
+
+type builder
+
+val create : unit -> builder
+
+(** [proc b name body] appends a procedure; [name] doubles as a label for
+    [call]/[jmp]. Raises if [name] was already defined. *)
+val proc : builder -> string -> (builder -> unit) -> unit
+
+(** [label b name] binds [name] to the next emitted instruction. Labels
+    share one global namespace with procedure names. *)
+val label : builder -> string -> unit
+
+(** [data b words] copies [words] into the data segment and returns the
+    base address of the allocation. *)
+val data : builder -> int64 array -> int64
+
+(** [reserve b n] allocates [n] zero-initialized words. *)
+val reserve : builder -> int -> int64
+
+(** Raw three-operand emit: [bin b op ~dst ra operand]. *)
+val bin : builder -> Isa.binop -> dst:Isa.reg -> Isa.reg -> Isa.operand -> unit
+
+(** Register-register forms, [dst <- a op b]. *)
+
+val add : builder -> dst:Isa.reg -> Isa.reg -> Isa.reg -> unit
+val sub : builder -> dst:Isa.reg -> Isa.reg -> Isa.reg -> unit
+val mul : builder -> dst:Isa.reg -> Isa.reg -> Isa.reg -> unit
+val div : builder -> dst:Isa.reg -> Isa.reg -> Isa.reg -> unit
+val rem : builder -> dst:Isa.reg -> Isa.reg -> Isa.reg -> unit
+val and_ : builder -> dst:Isa.reg -> Isa.reg -> Isa.reg -> unit
+val or_ : builder -> dst:Isa.reg -> Isa.reg -> Isa.reg -> unit
+val xor : builder -> dst:Isa.reg -> Isa.reg -> Isa.reg -> unit
+val sll : builder -> dst:Isa.reg -> Isa.reg -> Isa.reg -> unit
+val srl : builder -> dst:Isa.reg -> Isa.reg -> Isa.reg -> unit
+val sra : builder -> dst:Isa.reg -> Isa.reg -> Isa.reg -> unit
+val cmpeq : builder -> dst:Isa.reg -> Isa.reg -> Isa.reg -> unit
+val cmplt : builder -> dst:Isa.reg -> Isa.reg -> Isa.reg -> unit
+val cmple : builder -> dst:Isa.reg -> Isa.reg -> Isa.reg -> unit
+
+(** Register-immediate forms, [dst <- a op imm]. *)
+
+val addi : builder -> dst:Isa.reg -> Isa.reg -> int64 -> unit
+val subi : builder -> dst:Isa.reg -> Isa.reg -> int64 -> unit
+val muli : builder -> dst:Isa.reg -> Isa.reg -> int64 -> unit
+val divi : builder -> dst:Isa.reg -> Isa.reg -> int64 -> unit
+val remi : builder -> dst:Isa.reg -> Isa.reg -> int64 -> unit
+val andi : builder -> dst:Isa.reg -> Isa.reg -> int64 -> unit
+val ori : builder -> dst:Isa.reg -> Isa.reg -> int64 -> unit
+val xori : builder -> dst:Isa.reg -> Isa.reg -> int64 -> unit
+val slli : builder -> dst:Isa.reg -> Isa.reg -> int64 -> unit
+val srli : builder -> dst:Isa.reg -> Isa.reg -> int64 -> unit
+val srai : builder -> dst:Isa.reg -> Isa.reg -> int64 -> unit
+val cmpeqi : builder -> dst:Isa.reg -> Isa.reg -> int64 -> unit
+val cmplti : builder -> dst:Isa.reg -> Isa.reg -> int64 -> unit
+val cmplei : builder -> dst:Isa.reg -> Isa.reg -> int64 -> unit
+
+val ldi : builder -> Isa.reg -> int64 -> unit
+
+(** [mov b ~dst src]. *)
+val mov : builder -> dst:Isa.reg -> Isa.reg -> unit
+
+(** [ld b ~dst ~base ~off] / [st b ~src ~base ~off]; [off] in words. *)
+val ld : builder -> dst:Isa.reg -> base:Isa.reg -> off:int -> unit
+
+val st : builder -> src:Isa.reg -> base:Isa.reg -> off:int -> unit
+
+(** [br b cond reg target_label]: branch when [reg cond 0]. *)
+val br : builder -> Isa.cond -> Isa.reg -> string -> unit
+
+val jmp : builder -> string -> unit
+val call : builder -> string -> unit
+val call_ind : builder -> Isa.reg -> unit
+val ret : builder -> unit
+val halt : builder -> unit
+val nop : builder -> unit
+
+(** [code_addr_of b name] emits [ldi] of the code index of label [name]
+    into a register — for building indirect-call tables. The fix-up happens
+    at assembly. *)
+val code_addr_of : builder -> dst:Isa.reg -> string -> unit
+
+(** [assemble b ~entry] resolves all labels. Raises [Failure] describing
+    any undefined or duplicate label, or an [entry] that is not a
+    procedure. *)
+val assemble : builder -> entry:string -> program

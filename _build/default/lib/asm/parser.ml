@@ -1,0 +1,343 @@
+exception Parse_error of int * string
+
+let fail line msg = raise (Parse_error (line, msg))
+
+(* --- lexical helpers --- *)
+
+let strip_comment s =
+  match String.index_opt s ';' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let is_space c = c = ' ' || c = '\t' || c = '\r'
+
+let trim = String.trim
+
+(* Split an operand list on commas, trimming each piece. *)
+let split_operands s =
+  if trim s = "" then []
+  else String.split_on_char ',' s |> List.map trim
+
+(* First word and the rest of the line. *)
+let split_word s =
+  let s = trim s in
+  match String.index_opt s ' ' with
+  | None ->
+    (match String.index_opt s '\t' with
+     | None -> (s, "")
+     | Some i -> (String.sub s 0 i, trim (String.sub s i (String.length s - i))))
+  | Some i -> (String.sub s 0 i, trim (String.sub s i (String.length s - i)))
+
+let reg_table =
+  let t = Hashtbl.create 64 in
+  for r = 0 to Isa.num_regs - 1 do
+    Hashtbl.replace t (Printf.sprintf "r%d" r) r;
+    Hashtbl.replace t (Isa.string_of_reg r) r
+  done;
+  t
+
+let parse_reg line s =
+  match Hashtbl.find_opt reg_table (String.lowercase_ascii s) with
+  | Some r -> r
+  | None -> fail line (Printf.sprintf "unknown register %S" s)
+
+let parse_int64 line s =
+  match Int64.of_string_opt s with
+  | Some v -> v
+  | None -> fail line (Printf.sprintf "bad number %S" s)
+
+(* [base+off], [base-off], [base] *)
+let parse_mem line s =
+  let n = String.length s in
+  if n < 3 || s.[0] <> '[' || s.[n - 1] <> ']' then
+    fail line (Printf.sprintf "expected [reg+off], got %S" s);
+  let inner = String.sub s 1 (n - 2) in
+  let split_at i =
+    ( trim (String.sub inner 0 i),
+      trim (String.sub inner i (String.length inner - i)) )
+  in
+  let reg_s, off_s =
+    match String.index_opt inner '+' with
+    | Some i -> (fst (split_at i), String.sub inner (i + 1) (String.length inner - i - 1))
+    | None ->
+      (match String.index_opt inner '-' with
+       | Some i -> (fst (split_at i), String.sub inner i (String.length inner - i))
+       | None -> (trim inner, "0"))
+  in
+  let off =
+    match int_of_string_opt (trim off_s) with
+    | Some v -> v
+    | None -> fail line (Printf.sprintf "bad offset in %S" s)
+  in
+  (parse_reg line reg_s, off)
+
+type operand_kind =
+  | OReg of Isa.reg
+  | OImm of int64
+  | OAddr of string (* @name *)
+
+let parse_operand line s =
+  if s = "" then fail line "empty operand"
+  else if s.[0] = '#' then
+    OImm (parse_int64 line (String.sub s 1 (String.length s - 1)))
+  else if s.[0] = '@' then OAddr (String.sub s 1 (String.length s - 1))
+  else
+    match Hashtbl.find_opt reg_table (String.lowercase_ascii s) with
+    | Some r -> OReg r
+    | None ->
+      (match Int64.of_string_opt s with
+       | Some v -> OImm v
+       | None -> fail line (Printf.sprintf "bad operand %S" s))
+
+let binops =
+  [ ("add", Isa.Add); ("sub", Isa.Sub); ("mul", Isa.Mul); ("div", Isa.Div);
+    ("rem", Isa.Rem); ("and", Isa.And); ("or", Isa.Or); ("xor", Isa.Xor);
+    ("sll", Isa.Sll); ("srl", Isa.Srl); ("sra", Isa.Sra);
+    ("cmpeq", Isa.Cmpeq); ("cmplt", Isa.Cmplt); ("cmple", Isa.Cmple);
+    ("cmpult", Isa.Cmpult) ]
+
+let branches =
+  [ ("beq", Isa.Eq); ("bne", Isa.Ne); ("blt", Isa.Lt); ("ble", Isa.Le);
+    ("bgt", Isa.Gt); ("bge", Isa.Ge) ]
+
+(* --- first pass: directives layout --- *)
+
+type line_kind =
+  | Blank
+  | Directive of string * string (* name, rest *)
+  | Label of string
+  | Instr of string * string (* mnemonic, operands *)
+
+let classify line_no raw =
+  let s = trim (strip_comment raw) in
+  if s = "" then Blank
+  else if s.[0] = '.' then begin
+    let word, rest = split_word s in
+    Directive (word, rest)
+  end
+  else if s.[String.length s - 1] = ':' then begin
+    let name = trim (String.sub s 0 (String.length s - 1)) in
+    if name = "" || String.exists is_space name then
+      fail line_no (Printf.sprintf "bad label %S" s);
+    Label name
+  end
+  else begin
+    let word, rest = split_word s in
+    Instr (String.lowercase_ascii word, rest)
+  end
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let classified = List.mapi (fun i raw -> (i + 1, classify (i + 1) raw)) lines in
+  let b = Asm.create () in
+  (* pass 1: allocate every data block, in order, recording addresses *)
+  let data_addrs = Hashtbl.create 16 in
+  let add_block line name addr =
+    if Hashtbl.mem data_addrs name then
+      fail line (Printf.sprintf "duplicate data block %S" name);
+    Hashtbl.replace data_addrs name addr
+  in
+  let tokens s =
+    String.split_on_char ' ' s
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun t -> t <> "")
+  in
+  List.iter
+    (fun (line, kind) ->
+      match kind with
+      | Directive (".data", rest) ->
+        (match tokens rest with
+         | name :: (_ :: _ as words) ->
+           let values = Array.of_list (List.map (parse_int64 line) words) in
+           add_block line name (Asm.data b values)
+         | _ -> fail line ".data needs a name and at least one value")
+      | Directive (".reserve", rest) ->
+        (match tokens rest with
+         | [ name; n ] ->
+           (match int_of_string_opt n with
+            | Some n when n > 0 -> add_block line name (Asm.reserve b n)
+            | Some _ | None -> fail line ".reserve size must be a positive integer")
+         | _ -> fail line ".reserve needs a name and a size")
+      | Directive _ | Blank | Label _ | Instr _ -> ())
+    classified;
+  (* pass 2: procedures and instructions *)
+  let entry = ref "main" in
+  let in_proc = ref false in
+  let resolve_value line = function
+    | OImm v -> v
+    | OAddr name ->
+      (match Hashtbl.find_opt data_addrs name with
+       | Some addr -> addr
+       | None -> fail line (Printf.sprintf "unknown data block %S (code labels need code_addr support via ldi @proc only for data; use jsr)" name))
+    | OReg _ -> fail line "expected an immediate or @name"
+  in
+  let emit_instr line mnem operands =
+    if not !in_proc then fail line "instruction outside .proc";
+    let ops = split_operands operands in
+    match (List.assoc_opt mnem binops, ops) with
+    | Some op, [ dst; src1; src2 ] ->
+      let dst = parse_reg line dst and src1 = parse_reg line src1 in
+      (match parse_operand line src2 with
+       | OReg r -> Asm.bin b op ~dst src1 (Isa.Reg r)
+       | OImm v -> Asm.bin b op ~dst src1 (Isa.Imm v)
+       | OAddr name -> Asm.bin b op ~dst src1 (Isa.Imm (resolve_value line (OAddr name))))
+    | Some _, _ -> fail line (mnem ^ " expects: dst, src1, src2")
+    | None, _ ->
+      (match (List.assoc_opt mnem branches, ops) with
+       | Some cond, [ reg; target ] ->
+         Asm.br b cond (parse_reg line reg) target
+       | Some _, _ -> fail line (mnem ^ " expects: reg, label")
+       | None, _ ->
+         (match (mnem, ops) with
+          | "ldi", [ rd; v ] ->
+            let rd = parse_reg line rd in
+            (match parse_operand line v with
+             | OImm imm -> Asm.ldi b rd imm
+             | OAddr name ->
+               (match Hashtbl.find_opt data_addrs name with
+                | Some addr -> Asm.ldi b rd addr
+                | None -> Asm.code_addr_of b ~dst:rd name)
+             | OReg _ -> fail line "ldi takes an immediate or @name")
+          | "mov", [ dst; src ] ->
+            Asm.mov b ~dst:(parse_reg line dst) (parse_reg line src)
+          | "ld", [ rd; mem ] ->
+            let base, off = parse_mem line mem in
+            Asm.ld b ~dst:(parse_reg line rd) ~base ~off
+          | "st", [ ra; mem ] ->
+            let base, off = parse_mem line mem in
+            Asm.st b ~src:(parse_reg line ra) ~base ~off
+          | "jmp", [ target ] -> Asm.jmp b target
+          | "jsr", [ target ] ->
+            let n = String.length target in
+            if n >= 3 && target.[0] = '(' && target.[n - 1] = ')' then
+              Asm.call_ind b (parse_reg line (String.sub target 1 (n - 2)))
+            else Asm.call b target
+          | "ret", [] -> Asm.ret b
+          | "halt", [] -> Asm.halt b
+          | "nop", [] -> Asm.nop b
+          | _, _ -> fail line (Printf.sprintf "unknown instruction %S" mnem)))
+  in
+  let pending : (int * line_kind) list ref = ref [] in
+  let flush_proc line name =
+    Asm.proc b name (fun _ ->
+        List.iter
+          (fun (l, kind) ->
+            match kind with
+            | Label lbl -> Asm.label b lbl
+            | Instr (m, ops) -> emit_instr l m ops
+            | Blank | Directive _ -> ())
+          (List.rev !pending));
+    ignore line;
+    pending := []
+  in
+  let current_proc = ref None in
+  List.iter
+    (fun (line, kind) ->
+      match kind with
+      | Blank -> ()
+      | Directive (".data", _) | Directive (".reserve", _) -> ()
+      | Directive (".entry", rest) ->
+        if trim rest = "" then fail line ".entry needs a name";
+        entry := trim rest
+      | Directive (".proc", rest) ->
+        if !in_proc then fail line "nested .proc";
+        let name = trim rest in
+        if name = "" then fail line ".proc needs a name";
+        in_proc := true;
+        current_proc := Some name
+      | Directive (".end", _) ->
+        (match !current_proc with
+         | None -> fail line ".end without .proc"
+         | Some name ->
+           (* emit the collected body now *)
+           (try flush_proc line name with
+            | Failure msg -> fail line msg);
+           in_proc := false;
+           current_proc := None)
+      | Directive (d, _) -> fail line (Printf.sprintf "unknown directive %S" d)
+      | Label _ | Instr _ ->
+        if not !in_proc then fail line "code outside .proc";
+        pending := (line, kind) :: !pending)
+    classified;
+  if !in_proc then fail (List.length lines) "missing .end";
+  match Asm.assemble b ~entry:!entry with
+  | prog -> prog
+  | exception Failure msg -> fail 0 msg
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      parse (really_input_string ic n))
+
+(* --- emitter --- *)
+
+let emit (prog : Asm.program) =
+  let buf = Buffer.create 4096 in
+  let entry_proc =
+    match
+      Array.find_opt (fun (p : Asm.proc) -> p.pentry = prog.entry) prog.procs
+    with
+    | Some p -> p.pname
+    | None -> "main"
+  in
+  Buffer.add_string buf (Printf.sprintf ".entry %s\n" entry_proc);
+  List.iteri
+    (fun i (_, words) ->
+      Buffer.add_string buf (Printf.sprintf ".data d%d" i);
+      Array.iter (fun w -> Buffer.add_string buf (Printf.sprintf " %Ld" w)) words;
+      Buffer.add_char buf '\n')
+    prog.data;
+  (* label every branch/jump/call target *)
+  let targeted = Array.make (Array.length prog.code) false in
+  Array.iter
+    (fun instr -> List.iter (fun t -> targeted.(t) <- true) (Isa.targets instr))
+    prog.code;
+  let name_of_target t =
+    match
+      Array.find_opt (fun (p : Asm.proc) -> p.pentry = t) prog.procs
+    with
+    | Some p -> p.pname
+    | None -> Printf.sprintf "L%d" t
+  in
+  let operand = function
+    | Isa.Reg r -> Isa.string_of_reg r
+    | Isa.Imm v -> Printf.sprintf "#%Ld" v
+  in
+  Array.iter
+    (fun (p : Asm.proc) ->
+      Buffer.add_string buf (Printf.sprintf "\n.proc %s\n" p.pname);
+      for pc = p.pentry to p.pentry + p.plength - 1 do
+        if targeted.(pc) && pc <> p.pentry then
+          Buffer.add_string buf (Printf.sprintf "L%d:\n" pc);
+        let line =
+          match prog.code.(pc) with
+          | Isa.Op (op, ra, ob, rc) ->
+            Printf.sprintf "%s %s, %s, %s"
+              (List.assoc op (List.map (fun (n, o) -> (o, n)) binops))
+              (Isa.string_of_reg rc) (Isa.string_of_reg ra) (operand ob)
+          | Isa.Ldi (rd, v) ->
+            Printf.sprintf "ldi %s, #%Ld" (Isa.string_of_reg rd) v
+          | Isa.Ld (rd, rb, off) ->
+            Printf.sprintf "ld %s, [%s%+d]" (Isa.string_of_reg rd)
+              (Isa.string_of_reg rb) off
+          | Isa.St (ra, rb, off) ->
+            Printf.sprintf "st %s, [%s%+d]" (Isa.string_of_reg ra)
+              (Isa.string_of_reg rb) off
+          | Isa.Br (c, r, t) ->
+            Printf.sprintf "b%s %s, %s" (Isa.string_of_cond c)
+              (Isa.string_of_reg r) (name_of_target t)
+          | Isa.Jmp t -> Printf.sprintf "jmp %s" (name_of_target t)
+          | Isa.Jsr t -> Printf.sprintf "jsr %s" (name_of_target t)
+          | Isa.Jsr_ind r -> Printf.sprintf "jsr (%s)" (Isa.string_of_reg r)
+          | Isa.Ret -> "ret"
+          | Isa.Halt -> "halt"
+          | Isa.Nop -> "nop"
+        in
+        Buffer.add_string buf ("  " ^ line ^ "\n")
+      done;
+      Buffer.add_string buf ".end\n")
+    prog.procs;
+  Buffer.contents buf

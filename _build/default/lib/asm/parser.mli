@@ -1,0 +1,43 @@
+(** Textual assembly: parse programs from source text, and emit programs
+    back to parseable text. The eDSL ({!Asm}) is the native interface;
+    this is the file format, so users can profile programs without
+    writing OCaml.
+
+    Syntax (one statement per line; [;] starts a comment):
+
+    {v
+    .entry main              ; optional, defaults to "main"
+    .data table 1 2 0x2A -7  ; named, initialized words
+    .reserve buf 64          ; named, zeroed words
+
+    .proc sum                ; procedure body until .end
+      ldi  t1, @table        ; @name = address of a data block,
+      ldi  t2, @sum          ;         or code index of a procedure/label
+    loop:
+      add  t3, t1, t0        ; dst, src1, src2 (register or #immediate)
+      ld   t4, [t3+0]        ; loads/stores: [base+off] or [base-off]
+      st   t4, [t3+1]
+      add  t0, t0, #1
+      blt  t0, loop          ; beq/bne/blt/ble/bgt/bge reg, label
+      jsr  helper            ; direct call
+      jsr  (t2)              ; indirect call
+      ret
+    .end
+    v}
+
+    Mnemonics: [add sub mul div rem and or xor sll srl sra cmpeq cmplt
+    cmple cmpult ldi ld st beq bne blt ble bgt bge jmp jsr ret halt nop]
+    and the [mov dst, src] idiom. Registers: [v0 a0..a5 t0..t7 s0..s5 sp
+    zero] or [r0..r31]. Numbers: decimal or [0x] hex, optionally negative. *)
+
+exception Parse_error of int * string  (** line number, message *)
+
+val parse : string -> Asm.program
+
+(** Raises [Sys_error] on unreadable files, {!Parse_error} on bad input. *)
+val parse_file : string -> Asm.program
+
+(** Emit a program as parseable source ([parse (emit p)] reconstructs a
+    structurally identical program: same code, procedures, data, entry).
+    Data blocks are named [d0, d1, …]; branch targets become local labels. *)
+val emit : Asm.program -> string

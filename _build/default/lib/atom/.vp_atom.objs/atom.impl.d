@@ -1,0 +1,1 @@
+lib/atom/atom.ml: Array Asm Hashtbl Isa List Machine Option

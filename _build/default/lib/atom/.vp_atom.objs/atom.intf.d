@@ -1,0 +1,1 @@
+lib/atom/atom.mli: Asm Isa Machine

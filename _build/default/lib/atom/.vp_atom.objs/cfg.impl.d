@@ -1,0 +1,1 @@
+lib/atom/cfg.ml: Array Asm Isa List Machine

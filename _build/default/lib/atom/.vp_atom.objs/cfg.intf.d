@@ -1,0 +1,1 @@
+lib/atom/cfg.mli: Asm Machine

@@ -1,0 +1,45 @@
+type selection = [ `All | `Loads | `Alu | `Stores | `Pcs of int list ]
+
+let matches instr = function
+  | `All -> Isa.dest_reg instr <> None
+  | `Loads -> Isa.dest_reg instr <> None && Isa.category instr = Isa.Load
+  | `Alu -> Isa.dest_reg instr <> None && Isa.category instr = Isa.Alu
+  | `Stores -> Isa.category instr = Isa.Store
+  | `Pcs _ -> false (* handled separately *)
+
+let select (prog : Asm.program) sel =
+  match sel with
+  | `Pcs pcs -> List.sort_uniq compare pcs
+  | (`All | `Loads | `Alu | `Stores) as sel ->
+    let acc = ref [] in
+    for pc = Array.length prog.code - 1 downto 0 do
+      if matches prog.code.(pc) sel then acc := pc :: !acc
+    done;
+    !acc
+
+let dynamic_events machine pcs =
+  List.fold_left (fun acc pc -> acc + Machine.exec_count machine pc) 0 pcs
+
+let instrument machine pcs make_hook =
+  List.iter (fun pc -> Machine.set_hook machine pc (make_hook pc)) pcs;
+  List.length pcs
+
+let instrument_proc_entries machine (prog : Asm.program) f =
+  Array.iter
+    (fun (p : Asm.proc) -> Machine.set_proc_entry_hook machine p.pindex (f p))
+    prog.procs
+
+let instrument_proc_returns machine (prog : Asm.program) f =
+  Array.iter
+    (fun (p : Asm.proc) -> Machine.set_proc_return_hook machine p.pindex (f p))
+    prog.procs
+
+let category_census (prog : Asm.program) =
+  let tally = Hashtbl.create 8 in
+  Array.iter
+    (fun instr ->
+      let c = Isa.category instr in
+      Hashtbl.replace tally c (1 + Option.value ~default:0 (Hashtbl.find_opt tally c)))
+    prog.code;
+  Hashtbl.fold (fun c n acc -> (c, n) :: acc) tally []
+  |> List.sort compare

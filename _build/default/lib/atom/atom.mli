@@ -1,0 +1,37 @@
+(** ATOM-like instrumentation interface.
+
+    ATOM [35] let a tool walk a binary's procedures, basic blocks, and
+    instructions, and attach analysis calls that receive run-time values.
+    This module is that interface for our virtual machine: query helpers to
+    enumerate and select instrumentation points, and bulk attachment of
+    per-PC analysis hooks. The value profiler ({!Vp_core}) is a client, in
+    the same way the paper's profiler was an ATOM tool. *)
+
+(** Which instructions to instrument. Only {e value-producing} instructions
+    (those with a destination register) match [`All]/[`Loads]/[`Alu];
+    [`Stores] selects store instructions (used by memory-location
+    profiling); [`Pcs] is an explicit list. *)
+type selection = [ `All | `Loads | `Alu | `Stores | `Pcs of int list ]
+
+(** PCs matched by a selection, ascending. *)
+val select : Asm.program -> selection -> int list
+
+(** Number of dynamic events a past run would have delivered for the
+    selection — [sum of exec counts] — used for overhead accounting. *)
+val dynamic_events : Machine.t -> int list -> int
+
+(** [instrument machine pcs make_hook] attaches [make_hook pc] at each
+    selected pc. Returns the number of instrumentation points. *)
+val instrument : Machine.t -> int list -> (int -> Machine.hook) -> int
+
+(** [instrument_proc_entries machine prog f] attaches [f proc] as the entry
+    hook of every procedure. *)
+val instrument_proc_entries :
+  Machine.t -> Asm.program -> (Asm.proc -> Machine.t -> unit) -> unit
+
+(** Same for returns: [f proc machine return_value]. *)
+val instrument_proc_returns :
+  Machine.t -> Asm.program -> (Asm.proc -> Machine.t -> int64 -> unit) -> unit
+
+(** Static summary used in listings: instruction counts per category. *)
+val category_census : Asm.program -> (Isa.category * int) list

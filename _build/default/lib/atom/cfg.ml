@@ -1,0 +1,56 @@
+type block = { bindex : int; bfirst : int; blast : int; bproc : int }
+
+let build (prog : Asm.program) =
+  let n = Array.length prog.code in
+  let leader = Array.make n false in
+  Array.iter (fun (p : Asm.proc) -> leader.(p.pentry) <- true) prog.procs;
+  Array.iteri
+    (fun pc instr ->
+      List.iter
+        (fun t -> if t >= 0 && t < n then leader.(t) <- true)
+        (Isa.targets instr);
+      if Isa.is_control instr && pc + 1 < n then leader.(pc + 1) <- true)
+    prog.code;
+  if n > 0 then leader.(0) <- true;
+  let proc_of = Array.make n (-1) in
+  Array.iter
+    (fun (p : Asm.proc) ->
+      for pc = p.pentry to p.pentry + p.plength - 1 do
+        proc_of.(pc) <- p.pindex
+      done)
+    prog.procs;
+  let blocks = ref [] in
+  let start = ref 0 in
+  let flush last =
+    if last >= !start then
+      blocks := { bindex = 0; bfirst = !start; blast = last; bproc = proc_of.(!start) } :: !blocks
+  in
+  for pc = 0 to n - 1 do
+    (* A block also ends at a procedure boundary. *)
+    if pc > !start && (leader.(pc) || proc_of.(pc) <> proc_of.(!start)) then begin
+      flush (pc - 1);
+      start := pc
+    end;
+    if Isa.is_control prog.code.(pc) && pc < n - 1 then begin
+      flush pc;
+      start := pc + 1
+    end
+  done;
+  if n > 0 && !start <= n - 1 then flush (n - 1);
+  let arr = Array.of_list (List.rev !blocks) in
+  Array.mapi (fun i b -> { b with bindex = i }) arr
+
+let block_of_pc blocks pc =
+  let lo = ref 0 and hi = ref (Array.length blocks - 1) in
+  let found = ref None in
+  while !lo <= !hi && !found = None do
+    let mid = (!lo + !hi) / 2 in
+    let b = blocks.(mid) in
+    if pc < b.bfirst then hi := mid - 1
+    else if pc > b.blast then lo := mid + 1
+    else found := Some b
+  done;
+  match !found with Some b -> b | None -> raise Not_found
+
+let dynamic_counts machine blocks =
+  Array.map (fun b -> Machine.exec_count machine b.bfirst) blocks

@@ -1,0 +1,25 @@
+(** Basic-block discovery (leader analysis) over assembled programs.
+
+    A block is a maximal straight-line run of instructions inside one
+    procedure: it starts at a leader (procedure entry, branch/call target,
+    or successor of a control instruction) and ends at the next control
+    instruction or leader. Used by the Basic Block Quantile Table (E02) and
+    by block-granularity instrumentation. *)
+
+type block = {
+  bindex : int;
+  bfirst : int;  (** pc of the leader *)
+  blast : int;  (** pc of the final instruction (inclusive) *)
+  bproc : int;  (** owning procedure index, [-1] if outside any *)
+}
+
+(** All blocks in ascending [bfirst] order. *)
+val build : Asm.program -> block array
+
+(** Block containing [pc] (binary search). Raises [Not_found] when [pc] is
+    outside the code. *)
+val block_of_pc : block array -> int -> block
+
+(** Dynamic execution count of each block after a run: the count of its
+    leader instruction. *)
+val dynamic_counts : Machine.t -> block array -> int array

@@ -1,0 +1,1 @@
+lib/core/ctxprof.ml: Array Atom Hashtbl Isa List Machine Metrics Option Procprof Vstate

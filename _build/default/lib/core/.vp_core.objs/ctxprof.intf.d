@@ -1,0 +1,1 @@
+lib/core/ctxprof.mli: Asm Machine Metrics Procprof Vstate

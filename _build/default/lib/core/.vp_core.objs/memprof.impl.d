@@ -1,0 +1,1 @@
+lib/core/memprof.ml: Array Atom Hashtbl List Machine Metrics Vstate

@@ -1,0 +1,1 @@
+lib/core/memprof.mli: Asm Machine Metrics Vstate

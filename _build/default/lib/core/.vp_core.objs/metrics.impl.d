@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Int64 List Printf

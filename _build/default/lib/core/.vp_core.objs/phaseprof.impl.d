@@ -1,0 +1,1 @@
+lib/core/phaseprof.ml: Array Asm Atom Isa List Machine Vstate

@@ -1,0 +1,1 @@
+lib/core/phaseprof.mli: Asm Atom Isa Machine Vstate

@@ -1,0 +1,1 @@
+lib/core/procprof.ml: Array Asm Atom Hashtbl Isa List Machine Metrics Vstate

@@ -1,0 +1,1 @@
+lib/core/procprof.mli: Asm Machine Metrics Vstate

@@ -1,0 +1,1 @@
+lib/core/profile.ml: Array Asm Atom Isa List Machine Metrics Vstate

@@ -1,0 +1,1 @@
+lib/core/profile.mli: Asm Atom Isa Machine Metrics Vstate

@@ -1,0 +1,1 @@
+lib/core/profile_io.ml: Array Asm Buffer Fun Int64 Isa List Metrics Printf Profile String

@@ -1,0 +1,1 @@
+lib/core/regprof.ml: Array Asm Atom Isa List Machine Metrics Vstate

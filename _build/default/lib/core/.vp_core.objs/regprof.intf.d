@@ -1,0 +1,1 @@
+lib/core/regprof.mli: Asm Isa Machine Metrics Vstate

@@ -1,0 +1,1 @@
+lib/core/sampler.ml: Array Asm Atom Int64 Isa List Machine Metrics Profile Stats Vstate

@@ -1,0 +1,1 @@
+lib/core/sampler.mli: Asm Atom Isa Machine Metrics Profile Vstate

@@ -1,0 +1,1 @@
+lib/core/specul.ml: Array Atom Hashtbl Int64 List Machine Option

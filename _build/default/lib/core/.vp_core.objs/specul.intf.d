@@ -1,0 +1,1 @@
+lib/core/specul.mli: Asm Machine

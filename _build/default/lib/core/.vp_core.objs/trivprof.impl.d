@@ -1,0 +1,1 @@
+lib/core/trivprof.ml: Array Asm Hashtbl Int64 Isa List Machine

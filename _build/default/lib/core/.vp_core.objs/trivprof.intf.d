@@ -1,0 +1,1 @@
+lib/core/trivprof.mli: Asm Machine

@@ -1,0 +1,1 @@
+lib/core/vstate.ml: Hashtbl Int64 Metrics Option Tnv

@@ -1,0 +1,47 @@
+(** Call-site-sensitive (context-sensitive) procedure value profiling.
+
+    The thesis's future-work section suggests following Young & Smith [40]
+    and splitting value profiles by path history, "especially beneficial
+    for procedures called from several locations". This module implements
+    the one-level version: parameter profiles keyed by (procedure, call
+    site). A parameter that looks variant in the aggregate often becomes
+    invariant per call site — the gain {!context_gain} quantifies. *)
+
+type config = {
+  arities : (string * int) list;
+  vconfig : Vstate.config;
+  max_contexts : int;  (** stop tracking new (proc, site) pairs past this *)
+}
+
+val default_config : config
+
+type context_report = {
+  c_proc : string;
+  c_site : int;  (** pc of the call instruction *)
+  c_calls : int;
+  c_params : Metrics.t array;
+}
+
+type t = {
+  contexts : context_report array;  (** descending by call count *)
+  untracked_calls : int;
+  dynamic_instructions : int;
+}
+
+type live
+
+val attach : ?config:config -> Machine.t -> live
+
+val collect : live -> t
+
+val run : ?config:config -> ?fuel:int -> Asm.program -> t
+
+(** Call-weighted mean parameter Inv-Top across all contexts of all
+    procedures with declared arguments. *)
+val weighted_param_invariance : t -> float
+
+(** [context_gain ctx flat] — per procedure with declared arguments:
+    (name, aggregate Inv-Top from the context-insensitive profile,
+    per-site Inv-Top from this profile), both call-weighted means over
+    every argument. The second number can only be >= the first. *)
+val context_gain : t -> Procprof.t -> (string * float * float) list

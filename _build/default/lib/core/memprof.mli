@@ -1,0 +1,46 @@
+(** Memory-location value profiling, Chapter VII.
+
+    The same TNV machinery as instruction profiling, but keyed by effective
+    address: every load (and/or store) contributes the transferred value to
+    the TNV table of the accessed {e location}. Because a program can touch
+    an unbounded number of addresses, tracking stops adding {e new}
+    locations after [max_locations] (existing ones keep profiling); the
+    result records how many events fell outside tracked locations. *)
+
+type mode = Loads | Stores | Both
+
+type config = {
+  mode : mode;
+  vconfig : Vstate.config;
+  max_locations : int;
+}
+
+val default_config : config
+
+type location = {
+  l_addr : int64;
+  l_metrics : Metrics.t;
+}
+
+type t = {
+  locations : location array;  (** descending by access count *)
+  tracked_events : int;
+  untracked_events : int;  (** events at addresses beyond [max_locations] *)
+  dynamic_instructions : int;
+}
+
+type live
+
+val attach : ?config:config -> Machine.t -> live
+
+val collect : live -> t
+
+val run : ?config:config -> ?fuel:int -> Asm.program -> t
+
+(** Fraction of tracked locations whose Inv-Top is at least [threshold];
+    [weighted] (default true) weights each location by its access count,
+    matching the thesis's presentation. *)
+val fraction_invariant : ?weighted:bool -> t -> threshold:float -> float
+
+(** Execution-weighted mean of a metric over all tracked locations. *)
+val mean_metric : t -> (Metrics.t -> float) -> float

@@ -1,0 +1,63 @@
+type t = {
+  total : int;
+  lvp : float;
+  inv_top : float;
+  inv_all : float;
+  zero : float;
+  distinct : int;
+  distinct_saturated : bool;
+  top_values : (int64 * int) array;
+  stride_top : float;
+  top_stride : int64 option;
+}
+
+let empty =
+  { total = 0; lvp = 0.; inv_top = 0.; inv_all = 0.; zero = 0.; distinct = 0;
+    distinct_saturated = false; top_values = [||]; stride_top = 0.;
+    top_stride = None }
+
+type classification = Invariant | Semi_invariant | Variant
+
+let classify ?(invariant_at = 0.9) ?(semi_at = 0.5) m =
+  if m.inv_top >= invariant_at then Invariant
+  else if m.inv_top >= semi_at then Semi_invariant
+  else Variant
+
+let string_of_classification = function
+  | Invariant -> "invariant"
+  | Semi_invariant -> "semi-invariant"
+  | Variant -> "variant"
+
+type predictor_class = Last_value | Strided | Unpredictable
+
+let predictor_class ?(threshold = 0.5) m =
+  (* A dominant zero stride IS last-value behaviour, so check the value
+     table first; a dominant non-zero stride wants a stride predictor. *)
+  if m.inv_top >= threshold || m.lvp >= threshold then Last_value
+  else
+    match m.top_stride with
+    | Some s when (not (Int64.equal s 0L)) && m.stride_top >= threshold ->
+      Strided
+    | Some _ | None -> Unpredictable
+
+let string_of_predictor_class = function
+  | Last_value -> "last-value"
+  | Strided -> "strided"
+  | Unpredictable -> "unpredictable"
+
+let weighted_mean field points =
+  let num = ref 0. and den = ref 0. in
+  List.iter
+    (fun m ->
+      let w = float_of_int m.total in
+      num := !num +. (field m *. w);
+      den := !den +. w)
+    points;
+  if !den = 0. then 0. else !num /. !den
+
+let to_string m =
+  Printf.sprintf
+    "execs %d  LVP %.1f%%  InvTop %.1f%%  InvAll %.1f%%  zero %.1f%%  diff %d%s"
+    m.total (100. *. m.lvp) (100. *. m.inv_top) (100. *. m.inv_all)
+    (100. *. m.zero) m.distinct
+    (if m.distinct_saturated then "+" else "")

@@ -1,0 +1,58 @@
+(** The value-profile metrics of §III.C of the thesis.
+
+    For one profiled point (an instruction, a memory location, a procedure
+    parameter …):
+    - [LVP]: fraction of executions whose value equals the immediately
+      preceding value — the accuracy a last-value predictor would get;
+    - [Inv-Top]: fraction belonging to the single most frequent TNV value;
+    - [Inv-All]: fraction belonging to any value held in the TNV table;
+    - [%zero]: fraction producing the value 0;
+    - [Diff]: number of distinct values observed (capped — real programs
+      can produce millions). *)
+
+type t = {
+  total : int;  (** profiled executions *)
+  lvp : float;
+  inv_top : float;
+  inv_all : float;
+  zero : float;
+  distinct : int;
+  distinct_saturated : bool;  (** [distinct] hit its tracking cap *)
+  top_values : (int64 * int) array;  (** TNV contents, most frequent first *)
+  stride_top : float;
+      (** fraction of transitions whose delta equals the dominant delta —
+          the stride analogue of Inv-Top (§II's stride-predictor
+          discussion: stride 0 degenerates to last-value) *)
+  top_stride : int64 option;  (** the dominant delta, when any transition
+          was observed *)
+}
+
+(** All-zero metrics (for points that never executed). *)
+val empty : t
+
+(** Invariance classification of §II: an instruction is {e invariant} when
+    its top value accounts for (almost) every execution, {e semi-invariant}
+    when the top value dominates without being exclusive, else
+    {e variant}. Thresholds follow the paper's 90%/50% working definition. *)
+type classification = Invariant | Semi_invariant | Variant
+
+val classify : ?invariant_at:float -> ?semi_at:float -> t -> classification
+
+val string_of_classification : classification -> string
+
+(** Which hardware value predictor the profile says this point suits —
+    the classification Gabbay [18] derived from profiles, generalized:
+    last-value when the top value dominates, stride when a non-zero delta
+    dominates transitions, otherwise unpredictable. *)
+type predictor_class = Last_value | Strided | Unpredictable
+
+val predictor_class : ?threshold:float -> t -> predictor_class
+
+val string_of_predictor_class : predictor_class -> string
+
+(** [weighted_mean field points] — execution-frequency-weighted average of
+    a metric across points, the aggregation every results table uses. *)
+val weighted_mean : (t -> float) -> t list -> float
+
+(** One-line rendering used by the CLI ("LVP 42.0% InvTop 61.3% …"). *)
+val to_string : t -> string

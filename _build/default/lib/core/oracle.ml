@@ -1,0 +1,47 @@
+type t = { counts : (int64, int ref) Hashtbl.t; mutable total : int }
+
+let create () = { counts = Hashtbl.create 64; total = 0 }
+
+let observe t v =
+  t.total <- t.total + 1;
+  match Hashtbl.find_opt t.counts v with
+  | Some r -> incr r
+  | None -> Hashtbl.replace t.counts v (ref 1)
+
+let total t = t.total
+
+let distinct t = Hashtbl.length t.counts
+
+let sorted t =
+  let arr =
+    Hashtbl.fold (fun v r acc -> (v, !r) :: acc) t.counts []
+    |> Array.of_list
+  in
+  Array.sort (fun (_, a) (_, b) -> compare b a) arr;
+  arr
+
+let top t =
+  Hashtbl.fold
+    (fun v r best ->
+      match best with
+      | Some (_, c) when c >= !r -> best
+      | _ -> Some (v, !r))
+    t.counts None
+
+let top_n t n =
+  let arr = sorted t in
+  Array.sub arr 0 (min n (Array.length arr))
+
+let inv_top t =
+  if t.total = 0 then 0.
+  else
+    match top t with
+    | None -> 0.
+    | Some (_, c) -> float_of_int c /. float_of_int t.total
+
+let inv_all t ~n =
+  if t.total = 0 then 0.
+  else begin
+    let covered = Array.fold_left (fun acc (_, c) -> acc + c) 0 (top_n t n) in
+    float_of_int covered /. float_of_int t.total
+  end

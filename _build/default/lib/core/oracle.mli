@@ -1,0 +1,23 @@
+(** Exact value profile: a full value→count map, affordable in a simulator
+    though not in the paper's production setting. Serves as ground truth
+    when measuring how accurately the bounded TNV table (E07) and its
+    replacement policies (E08) identify top values and invariance. *)
+
+type t
+
+val create : unit -> t
+val observe : t -> int64 -> unit
+val total : t -> int
+val distinct : t -> int
+
+(** Most frequent value and its count. *)
+val top : t -> (int64 * int) option
+
+(** [top_n t n] — the [n] most frequent values, descending by count. *)
+val top_n : t -> int -> (int64 * int) array
+
+(** Exact Inv-Top. *)
+val inv_top : t -> float
+
+(** Exact Inv-All for a table of capacity [n] with perfect replacement. *)
+val inv_all : t -> n:int -> float

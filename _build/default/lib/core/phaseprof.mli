@@ -1,0 +1,45 @@
+(** Windowed (phase) value profiling.
+
+    The convergent sampler (Ch. VI) declares an instruction converged when
+    its invariance stops moving — implicitly assuming value behaviour is
+    stationary. This profiler checks that assumption: each point's
+    execution stream is cut into fixed-size windows, each window gets its
+    own Inv-Top, and the report carries the drift (max |window − overall|)
+    per point. Stationary points have near-zero drift; phased behaviour
+    (go's board filling up, compress's dictionary warming) shows up
+    directly. *)
+
+type config = {
+  window : int;  (** executions per window *)
+  vconfig : Vstate.config;
+  max_windows : int;  (** windows kept per point (the tail is merged) *)
+}
+
+val default_config : config
+
+type point = {
+  ph_pc : int;
+  ph_instr : Isa.instr;
+  ph_total : int;
+  ph_overall : float;  (** Inv-Top over the whole run *)
+  ph_windows : float array;  (** per-window Inv-Top, oldest first *)
+  ph_drift : float;  (** max |window − overall| *)
+}
+
+type t = {
+  points : point array;  (** ascending pc *)
+  dynamic_instructions : int;
+}
+
+type live
+
+val attach : ?config:config -> Machine.t -> Atom.selection -> live
+
+val collect : live -> t
+
+val run :
+  ?config:config -> ?selection:Atom.selection -> ?fuel:int -> Asm.program -> t
+
+(** Execution-weighted mean drift — one number for "how phased is this
+    program". *)
+val mean_drift : t -> float

@@ -1,0 +1,42 @@
+(** Procedure-level value profiling: parameter and return-value invariance
+    (the thesis's procedure chapters), plus the memoization-opportunity
+    measurement suggested by Richardson [32] — how often a procedure is
+    re-invoked with an argument tuple it has already seen.
+
+    Parameter arity is metadata (the ISA does not encode it); procedures
+    absent from [arities] have only their return value profiled. *)
+
+type config = {
+  arities : (string * int) list;  (** procedure name → argument count (≤ 6) *)
+  vconfig : Vstate.config;
+  memo_capacity : int;  (** distinct argument tuples remembered per procedure *)
+}
+
+val default_config : config
+
+type proc_report = {
+  r_name : string;
+  r_calls : int;
+  r_params : Metrics.t array;  (** one per declared argument *)
+  r_return : Metrics.t;
+  r_memo_hits : int;  (** calls whose argument tuple was seen before *)
+  r_memo_capacity_exceeded : bool;
+}
+
+type t = {
+  procs : proc_report array;  (** descending by call count *)
+  total_calls : int;
+  dynamic_instructions : int;
+}
+
+type live
+
+val attach : ?config:config -> Machine.t -> live
+
+val collect : live -> t
+
+val run : ?config:config -> ?fuel:int -> Asm.program -> t
+
+(** Memoization-cache hit rate over all calls to procedures with declared
+    arguments. *)
+val memo_hit_rate : t -> float

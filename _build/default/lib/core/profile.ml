@@ -1,0 +1,68 @@
+type point = {
+  p_pc : int;
+  p_instr : Isa.instr;
+  p_proc : string;
+  p_metrics : Metrics.t;
+}
+
+type t = {
+  points : point array;
+  instrumented : int;
+  profiled_events : int;
+  dynamic_instructions : int;
+}
+
+type live = {
+  machine : Machine.t;
+  states : (int * Vstate.t) list; (* ascending pc *)
+}
+
+let attach ?config machine selection =
+  let prog = Machine.program machine in
+  let pcs = Atom.select prog selection in
+  let states = List.map (fun pc -> (pc, Vstate.create ?config ())) pcs in
+  List.iter
+    (fun (pc, vs) ->
+      Machine.set_hook machine pc (fun value _addr -> Vstate.observe vs value))
+    states;
+  { machine; states }
+
+let proc_name prog pc =
+  match Asm.proc_of_pc prog pc with
+  | p -> p.Asm.pname
+  | exception Not_found -> ""
+
+let collect live =
+  let prog = Machine.program live.machine in
+  let points =
+    List.map
+      (fun (pc, vs) ->
+        { p_pc = pc;
+          p_instr = prog.Asm.code.(pc);
+          p_proc = proc_name prog pc;
+          p_metrics = Vstate.metrics vs })
+      live.states
+    |> Array.of_list
+  in
+  let profiled_events =
+    Array.fold_left (fun acc p -> acc + p.p_metrics.Metrics.total) 0 points
+  in
+  { points;
+    instrumented = Array.length points;
+    profiled_events;
+    dynamic_instructions = Machine.icount live.machine }
+
+let run ?config ?(selection = `All) ?fuel prog =
+  let machine = Machine.create prog in
+  let live = attach ?config machine selection in
+  ignore (Machine.run ?fuel machine);
+  collect live
+
+let points_by_category t cat =
+  Array.to_list t.points
+  |> List.filter (fun p -> Isa.category p.p_instr = cat)
+
+let weighted points field =
+  Metrics.weighted_mean field (List.map (fun p -> p.p_metrics) points)
+
+let point_at t pc = Array.find_opt (fun p -> p.p_pc = pc) t.points

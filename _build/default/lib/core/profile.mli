@@ -1,0 +1,48 @@
+(** The value profiler: full (every-execution) instruction profiling, as in
+    §III.E of the thesis — "each instruction can be profiled either before
+    or after the instruction is executed; the destination register value is
+    passed to the function which records the profiling information. Within
+    that function, we add the register value to the TNV table."
+
+    {!run} is the one-call entry point; {!attach}/{!collect} compose with a
+    machine the caller controls (the sampling and accuracy experiments use
+    the latter to co-instrument oracles). *)
+
+type point = {
+  p_pc : int;
+  p_instr : Isa.instr;
+  p_proc : string;  (** owning procedure name, [""] if outside any *)
+  p_metrics : Metrics.t;
+}
+
+type t = {
+  points : point array;  (** ascending pc *)
+  instrumented : int;  (** static instrumentation points *)
+  profiled_events : int;  (** dynamic analysis calls that ran *)
+  dynamic_instructions : int;  (** total instructions the program executed *)
+}
+
+(** Profile attached to a live machine; collect after running. *)
+type live
+
+val attach : ?config:Vstate.config -> Machine.t -> Atom.selection -> live
+
+val collect : live -> t
+
+(** [run program] executes the program fully instrumented and returns the
+    profile. [selection] defaults to [`All] value-producing instructions. *)
+val run :
+  ?config:Vstate.config ->
+  ?selection:Atom.selection ->
+  ?fuel:int ->
+  Asm.program ->
+  t
+
+(** Points whose instruction has the given category. *)
+val points_by_category : t -> Isa.category -> point list
+
+(** Execution-weighted mean of a metric over a point subset. *)
+val weighted : point list -> (Metrics.t -> float) -> float
+
+(** Find the profile point at a pc. *)
+val point_at : t -> int -> point option

@@ -1,0 +1,165 @@
+let version = 1
+
+let float_to_string f = Printf.sprintf "%.17g" f
+
+let to_string (p : Profile.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "vprof-profile %d\n" version);
+  Buffer.add_string buf
+    (Printf.sprintf "meta instrumented=%d events=%d dynamic=%d\n"
+       p.instrumented p.profiled_events p.dynamic_instructions);
+  Array.iter
+    (fun (pt : Profile.point) ->
+      let m = pt.p_metrics in
+      if String.contains pt.p_proc ' ' then
+        invalid_arg "Profile_io: procedure names may not contain spaces";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "point pc=%d proc=%s total=%d lvp=%s invtop=%s invall=%s zero=%s \
+            distinct=%d saturated=%d stridetop=%s stride=%s\n"
+           pt.p_pc
+           (if pt.p_proc = "" then "-" else pt.p_proc)
+           m.Metrics.total
+           (float_to_string m.Metrics.lvp)
+           (float_to_string m.Metrics.inv_top)
+           (float_to_string m.Metrics.inv_all)
+           (float_to_string m.Metrics.zero)
+           m.Metrics.distinct
+           (if m.Metrics.distinct_saturated then 1 else 0)
+           (float_to_string m.Metrics.stride_top)
+           (match m.Metrics.top_stride with
+            | None -> "none"
+            | Some s -> Int64.to_string s));
+      Array.iter
+        (fun (v, c) -> Buffer.add_string buf (Printf.sprintf "tv %Ld %d\n" v c))
+        m.Metrics.top_values)
+    p.points;
+  Buffer.contents buf
+
+let write_file p path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string p))
+
+(* --- parsing --- *)
+
+type parse_state = {
+  mutable meta : (int * int * int) option;
+  mutable points_rev : Profile.point list;
+  mutable pending_tvs : (int64 * int) list; (* reversed, for current point *)
+  mutable current : Profile.point option;
+}
+
+let fail line_no msg = failwith (Printf.sprintf "Profile_io: line %d: %s" line_no msg)
+
+let field line_no line key =
+  let prefix = key ^ "=" in
+  let tokens = String.split_on_char ' ' line in
+  match
+    List.find_opt (fun t -> String.length t > String.length prefix
+                            && String.sub t 0 (String.length prefix) = prefix)
+      tokens
+  with
+  | Some t ->
+    String.sub t (String.length prefix) (String.length t - String.length prefix)
+  | None -> fail line_no (Printf.sprintf "missing field %s" key)
+
+let int_field line_no line key =
+  match int_of_string_opt (field line_no line key) with
+  | Some v -> v
+  | None -> fail line_no (Printf.sprintf "field %s is not an integer" key)
+
+let float_field line_no line key =
+  match float_of_string_opt (field line_no line key) with
+  | Some v -> v
+  | None -> fail line_no (Printf.sprintf "field %s is not a float" key)
+
+let flush_current st =
+  match st.current with
+  | None -> ()
+  | Some pt ->
+    let top_values = Array.of_list (List.rev st.pending_tvs) in
+    let pt =
+      { pt with Profile.p_metrics = { pt.p_metrics with Metrics.top_values } }
+    in
+    st.points_rev <- pt :: st.points_rev;
+    st.pending_tvs <- [];
+    st.current <- None
+
+let of_string ~(program : Asm.program) text =
+  let lines = String.split_on_char '\n' text in
+  let st = { meta = None; points_rev = []; pending_tvs = []; current = None } in
+  List.iteri
+    (fun i line ->
+      let line_no = i + 1 in
+      if line = "" then ()
+      else
+        match String.split_on_char ' ' line with
+        | "vprof-profile" :: v :: _ ->
+          if int_of_string_opt v <> Some version then
+            fail line_no (Printf.sprintf "unsupported version %s" v)
+        | "meta" :: _ ->
+          st.meta <-
+            Some
+              ( int_field line_no line "instrumented",
+                int_field line_no line "events",
+                int_field line_no line "dynamic" )
+        | "point" :: _ ->
+          flush_current st;
+          let pc = int_field line_no line "pc" in
+          if pc < 0 || pc >= Array.length program.code then
+            fail line_no (Printf.sprintf "pc %d outside the program" pc);
+          let instr = program.code.(pc) in
+          if Isa.dest_reg instr = None then
+            fail line_no
+              (Printf.sprintf "pc %d is not a value-producing instruction" pc);
+          let proc = field line_no line "proc" in
+          let stride =
+            match field line_no line "stride" with
+            | "none" -> None
+            | s ->
+              (match Int64.of_string_opt s with
+               | Some v -> Some v
+               | None -> fail line_no "field stride is not an integer")
+          in
+          st.current <-
+            Some
+              { Profile.p_pc = pc;
+                p_instr = instr;
+                p_proc = (if proc = "-" then "" else proc);
+                p_metrics =
+                  { Metrics.total = int_field line_no line "total";
+                    lvp = float_field line_no line "lvp";
+                    inv_top = float_field line_no line "invtop";
+                    inv_all = float_field line_no line "invall";
+                    zero = float_field line_no line "zero";
+                    distinct = int_field line_no line "distinct";
+                    distinct_saturated = int_field line_no line "saturated" <> 0;
+                    top_values = [||];
+                    stride_top = float_field line_no line "stridetop";
+                    top_stride = stride } }
+        | "tv" :: v :: c :: _ ->
+          if st.current = None then fail line_no "tv line before any point";
+          (match (Int64.of_string_opt v, int_of_string_opt c) with
+           | Some v, Some c -> st.pending_tvs <- (v, c) :: st.pending_tvs
+           | _ -> fail line_no "malformed tv line")
+        | tag :: _ -> fail line_no (Printf.sprintf "unknown line tag %S" tag)
+        | [] -> ())
+    lines;
+  flush_current st;
+  match st.meta with
+  | None -> failwith "Profile_io: missing meta line"
+  | Some (instrumented, profiled_events, dynamic_instructions) ->
+    { Profile.points = Array.of_list (List.rev st.points_rev);
+      instrumented;
+      profiled_events;
+      dynamic_instructions }
+
+let read_file ~program path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      of_string ~program (really_input_string ic n))

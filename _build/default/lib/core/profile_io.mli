@@ -1,0 +1,29 @@
+(** Profile persistence.
+
+    Value profiles are gathered once and consumed later — by a compiler
+    doing specialization, by a simulator configuring predictors — so they
+    need a durable form. This is a line-oriented text format (stable,
+    diffable, greppable):
+
+    {v
+    vprof-profile 1
+    meta instrumented=52 events=145011 dynamic=204852
+    point pc=12 proc=compress total=3999 lvp=0.25 ... stride=none
+    tv 42 1800
+    tv 7 120
+    v}
+
+    Loading re-attaches the points to a program (the same workload build),
+    re-deriving each point's instruction and validating that every saved
+    pc is a value-producing instruction of that program. *)
+
+val to_string : Profile.t -> string
+
+val write_file : Profile.t -> string -> unit
+
+(** Raises [Failure] with a line-numbered message on malformed input, an
+    unsupported version, or a pc that is not a value-producing instruction
+    of [program]. *)
+val of_string : program:Asm.program -> string -> Profile.t
+
+val read_file : program:Asm.program -> string -> Profile.t

@@ -1,0 +1,59 @@
+type config = { vconfig : Vstate.config }
+
+let default_config = { vconfig = Vstate.default_config }
+
+type reg_report = {
+  g_reg : Isa.reg;
+  g_writes : int;
+  g_metrics : Metrics.t;
+}
+
+type t = {
+  regs : reg_report array;
+  total_writes : int;
+  dynamic_instructions : int;
+}
+
+type live = {
+  machine : Machine.t;
+  states : Vstate.t array; (* indexed by register number *)
+}
+
+let attach ?(config = default_config) machine =
+  let states =
+    Array.init Isa.num_regs (fun _ -> Vstate.create ~config:config.vconfig ())
+  in
+  let prog = Machine.program machine in
+  let pcs = Atom.select prog `All in
+  List.iter
+    (fun pc ->
+      match Isa.dest_reg prog.Asm.code.(pc) with
+      | None -> ()
+      | Some rd ->
+        let vs = states.(rd) in
+        Machine.set_hook machine pc (fun value _addr -> Vstate.observe vs value))
+    pcs;
+  { machine; states }
+
+let collect live =
+  let regs =
+    Array.to_list live.states
+    |> List.mapi (fun r vs ->
+           { g_reg = r; g_writes = Vstate.total vs; g_metrics = Vstate.metrics vs })
+    |> List.filter (fun g -> g.g_writes > 0)
+    |> Array.of_list
+  in
+  Array.sort (fun a b -> compare b.g_writes a.g_writes) regs;
+  { regs;
+    total_writes = Array.fold_left (fun acc g -> acc + g.g_writes) 0 regs;
+    dynamic_instructions = Machine.icount live.machine }
+
+let run ?config ?fuel prog =
+  let machine = Machine.create prog in
+  let live = attach ?config machine in
+  ignore (Machine.run ?fuel machine);
+  collect live
+
+let mean_metric t field =
+  Metrics.weighted_mean field
+    (Array.to_list t.regs |> List.map (fun g -> g.g_metrics))

@@ -1,0 +1,34 @@
+(** Register-granularity value profiling.
+
+    The thesis's §II discussion of register-file prediction (Gabbay [17])
+    motivates profiling the values written to each {e architectural
+    register}, aggregated over all instructions targeting it — coarser
+    than per-instruction profiling but exactly what a register-file value
+    predictor sees. One {!Vstate.t} per register. *)
+
+type config = { vconfig : Vstate.config }
+
+val default_config : config
+
+type reg_report = {
+  g_reg : Isa.reg;
+  g_writes : int;
+  g_metrics : Metrics.t;
+}
+
+type t = {
+  regs : reg_report array;  (** descending by write count; only written registers *)
+  total_writes : int;
+  dynamic_instructions : int;
+}
+
+type live
+
+val attach : ?config:config -> Machine.t -> live
+
+val collect : live -> t
+
+val run : ?config:config -> ?fuel:int -> Asm.program -> t
+
+(** Execution-weighted mean of a metric over all registers. *)
+val mean_metric : t -> (Metrics.t -> float) -> float

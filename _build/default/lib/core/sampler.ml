@@ -1,0 +1,168 @@
+type criterion = Inv_delta | Top_stability
+
+type config = {
+  burst : int;
+  initial_skip : int;
+  epsilon : float;
+  consecutive : int;
+  backoff : float;
+  max_skip : int;
+  criterion : criterion;
+}
+
+let default_config =
+  { burst = 50; initial_skip = 200; epsilon = 0.02; consecutive = 3;
+    backoff = 4.; max_skip = 100_000; criterion = Inv_delta }
+
+type state = {
+  vs : Vstate.t;
+  cfg : config;
+  mutable in_burst : int; (* executions left in the current burst; 0 = skipping *)
+  mutable to_skip : int;
+  mutable skip : int; (* current inter-burst gap *)
+  mutable prev_inv : float;
+  mutable prev_top : int64 option;
+  mutable streak : int;
+  mutable converged : bool;
+  mutable events : int;
+  mutable profiled : int;
+}
+
+let make_state cfg vconfig =
+  { vs = Vstate.create ?config:vconfig ();
+    cfg;
+    in_burst = cfg.burst;
+    to_skip = 0;
+    skip = cfg.initial_skip;
+    prev_inv = -1.; (* sentinel: first burst never counts as converged *)
+    prev_top = None;
+    streak = 0;
+    converged = false;
+    events = 0;
+    profiled = 0 }
+
+(* Did this burst leave the profile where the last one did? *)
+let burst_is_quiet st inv top =
+  match st.cfg.criterion with
+  | Inv_delta -> st.prev_inv >= 0. && abs_float (inv -. st.prev_inv) < st.cfg.epsilon
+  | Top_stability ->
+    (match (st.prev_top, top) with
+     | Some a, Some b -> Int64.equal a b
+     | Some _, None | None, Some _ | None, None -> false)
+
+let end_of_burst st =
+  let inv = Vstate.inv_top st.vs in
+  let top = Vstate.top_value st.vs in
+  if burst_is_quiet st inv top then begin
+    st.streak <- st.streak + 1;
+    if st.streak >= st.cfg.consecutive && not st.converged then begin
+      st.converged <- true;
+      let widened = int_of_float (float_of_int st.skip *. st.cfg.backoff) in
+      st.skip <- min st.cfg.max_skip (max st.skip widened)
+    end
+  end
+  else begin
+    st.streak <- 0;
+    (* A converged instruction that moved again is profiled eagerly anew. *)
+    if st.converged then begin
+      st.converged <- false;
+      st.skip <- st.cfg.initial_skip
+    end
+  end;
+  st.prev_inv <- inv;
+  st.prev_top <- top;
+  st.to_skip <- st.skip;
+  st.in_burst <- 0
+
+let observe st value =
+  st.events <- st.events + 1;
+  if st.to_skip > 0 then st.to_skip <- st.to_skip - 1
+  else begin
+    if st.in_burst = 0 then st.in_burst <- st.cfg.burst;
+    Vstate.observe st.vs value;
+    st.profiled <- st.profiled + 1;
+    st.in_burst <- st.in_burst - 1;
+    if st.in_burst = 0 then end_of_burst st
+  end
+
+type point = {
+  s_pc : int;
+  s_instr : Isa.instr;
+  s_metrics : Metrics.t;
+  s_events : int;
+  s_profiled : int;
+  s_converged : bool;
+}
+
+type t = {
+  points : point array;
+  total_events : int;
+  profiled_events : int;
+  overhead : float;
+  dynamic_instructions : int;
+}
+
+type live = {
+  machine : Machine.t;
+  states : (int * state) list;
+}
+
+let attach ?(config = default_config) ?vconfig machine selection =
+  if config.burst <= 0 then invalid_arg "Sampler: burst must be positive";
+  if config.backoff < 1. then invalid_arg "Sampler: backoff must be >= 1";
+  let prog = Machine.program machine in
+  let pcs = Atom.select prog selection in
+  let states = List.map (fun pc -> (pc, make_state config vconfig)) pcs in
+  List.iter
+    (fun (pc, st) ->
+      Machine.set_hook machine pc (fun value _addr -> observe st value))
+    states;
+  { machine; states }
+
+let collect live =
+  let prog = Machine.program live.machine in
+  let points =
+    List.map
+      (fun (pc, st) ->
+        { s_pc = pc;
+          s_instr = prog.Asm.code.(pc);
+          s_metrics = Vstate.metrics st.vs;
+          s_events = st.events;
+          s_profiled = st.profiled;
+          s_converged = st.converged })
+      live.states
+    |> Array.of_list
+  in
+  let total_events = Array.fold_left (fun a p -> a + p.s_events) 0 points in
+  let profiled_events = Array.fold_left (fun a p -> a + p.s_profiled) 0 points in
+  { points;
+    total_events;
+    profiled_events;
+    overhead =
+      (if total_events = 0 then 0.
+       else float_of_int profiled_events /. float_of_int total_events);
+    dynamic_instructions = Machine.icount live.machine }
+
+let run ?config ?vconfig ?(selection = `All) ?fuel prog =
+  let machine = Machine.create prog in
+  let live = attach ?config ?vconfig machine selection in
+  ignore (Machine.run ?fuel machine);
+  collect live
+
+let invariance_error sampled full =
+  let errors = ref [] and weights = ref [] in
+  Array.iter
+    (fun sp ->
+      match Profile.point_at full sp.s_pc with
+      | None -> ()
+      | Some fp ->
+        if fp.Profile.p_metrics.Metrics.total > 0 && sp.s_metrics.Metrics.total > 0
+        then begin
+          errors :=
+            abs_float
+              (sp.s_metrics.Metrics.inv_top -. fp.Profile.p_metrics.Metrics.inv_top)
+            :: !errors;
+          weights := float_of_int fp.Profile.p_metrics.Metrics.total :: !weights
+        end)
+    sampled.points;
+  Stats.weighted_mean (Array.of_list !errors) (Array.of_list !weights)

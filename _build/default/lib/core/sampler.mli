@@ -1,0 +1,72 @@
+(** Convergent ("intelligent") value profiling, Chapter VI.
+
+    Full profiling executes an analysis call on every instruction — too
+    slow for production use. The thesis's sampler profiles each instruction
+    in {e bursts}: record [burst] consecutive executions, skip [skip], and
+    repeat. After every burst it compares the instruction's current Inv-Top
+    with the previous burst's; when the change stays below [epsilon] for
+    [consecutive] bursts the instruction is declared {e converged} and its
+    skip interval is multiplied by [backoff] (capped at [max_skip]), so a
+    converged instruction is revisited only occasionally in case its
+    behaviour shifts.
+
+    Overhead is reported as the fraction of dynamic events actually
+    profiled; accuracy as the invariance error against a full profile. *)
+
+(** What "the profile stopped changing" means. The thesis used the change
+    in invariance; the alternative tracks the identity of the top value —
+    cheaper to evaluate and differently biased (it converges even while
+    Inv-Top still drifts, as long as the winner is stable). Compared in
+    E18. *)
+type criterion =
+  | Inv_delta  (** |ΔInv-Top| < epsilon across bursts (the thesis's) *)
+  | Top_stability  (** the TNV's top value is identical across bursts *)
+
+type config = {
+  burst : int;  (** executions profiled per burst *)
+  initial_skip : int;  (** executions skipped between bursts *)
+  epsilon : float;  (** convergence threshold on |ΔInv-Top| *)
+  consecutive : int;  (** quiet bursts needed to declare convergence *)
+  backoff : float;  (** skip multiplier once converged (>= 1) *)
+  max_skip : int;
+  criterion : criterion;
+}
+
+val default_config : config
+
+type point = {
+  s_pc : int;
+  s_instr : Isa.instr;
+  s_metrics : Metrics.t;  (** metrics over the sampled subset *)
+  s_events : int;  (** dynamic events seen (profiled + skipped) *)
+  s_profiled : int;  (** events actually recorded *)
+  s_converged : bool;
+}
+
+type t = {
+  points : point array;
+  total_events : int;
+  profiled_events : int;
+  overhead : float;  (** profiled / total, 0 when nothing executed *)
+  dynamic_instructions : int;
+}
+
+type live
+
+val attach : ?config:config -> ?vconfig:Vstate.config -> Machine.t -> Atom.selection -> live
+
+val collect : live -> t
+
+(** Instrument, run, collect. *)
+val run :
+  ?config:config ->
+  ?vconfig:Vstate.config ->
+  ?selection:Atom.selection ->
+  ?fuel:int ->
+  Asm.program ->
+  t
+
+(** Mean absolute Inv-Top error of the sampled profile against a full
+    profile of the same program, weighted by true execution frequency.
+    Points missing from either side are ignored. *)
+val invariance_error : t -> Profile.t -> float

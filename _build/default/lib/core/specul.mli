@@ -1,0 +1,42 @@
+(** Speculative-load conflict profiling, after Moudgill & Moreno [29].
+
+    Their software scheme hoists a load above stores and re-checks the
+    {e value} at the load's original position, paying a recovery sequence
+    when it changed. The thesis (§II.A.1) proposes value profiles to pick
+    which loads to hoist: "only reschedule loads with a high invariance …
+    this could potentially decrease the number of mis-speculated loads."
+
+    This profiler measures, per static load, the {e conflict rate}: the
+    fraction of executions where a store modified the loaded address's
+    content since this load last read that address — exactly the
+    executions whose value check would fail under hoisting. E22 then
+    shows the profile-guided selection the thesis proposes. *)
+
+type load_report = {
+  sl_pc : int;
+  sl_executions : int;
+  sl_conflicts : int;  (** executions whose value check would fail *)
+  sl_conflict_rate : float;
+}
+
+type t = {
+  loads : load_report array;  (** descending by executions *)
+  total_executions : int;
+  total_conflicts : int;
+  dynamic_instructions : int;
+}
+
+type live
+
+(** [max_tracked] bounds the per-load address maps (default [1 lsl 16]
+    addresses per load; accesses beyond the cap count as conflicts, the
+    conservative direction). *)
+val attach : ?max_tracked:int -> Machine.t -> live
+
+val collect : live -> t
+
+val run : ?max_tracked:int -> ?fuel:int -> Asm.program -> t
+
+(** Overall conflict rate of the load subset accepted by [select]
+    (e.g. loads whose profiled Inv-Top clears a threshold). *)
+val conflict_rate : t -> select:(load_report -> bool) -> float

@@ -1,0 +1,32 @@
+(** Trivial-computation profiling, after Richardson [32] (§IV of the
+    thesis's related work): how much dynamic arithmetic is {e trivial} —
+    completable in one cycle because an operand makes the answer immediate
+    (x*0, x*1, x+0, x/1, shifts by 0, …)?
+
+    Operands are observed at run time through the instrumentation hooks.
+    Instructions whose destination overwrites one of their own sources are
+    skipped (the hook runs after execution, so the source is gone); they
+    are reported as unmeasured rather than guessed. Instructions with an
+    immediate operand are classified statically+dynamically like the rest
+    but tallied separately, since a compiler could remove those without
+    any profile. *)
+
+type t = {
+  alu_events : int;  (** dynamic arithmetic/logic/shift executions *)
+  measured : int;  (** events whose operands were observable *)
+  trivial_imm : int;  (** trivial thanks to an immediate operand *)
+  trivial_dyn : int;  (** trivial thanks to a run-time register value *)
+  by_kind : (string * int) list;  (** e.g. [("mul by 0/1", …)] — descending *)
+  dynamic_instructions : int;
+}
+
+(** Fraction of measured events that were trivial (either kind). *)
+val trivial_fraction : t -> float
+
+type live
+
+val attach : Machine.t -> live
+
+val collect : live -> t
+
+val run : ?fuel:int -> Asm.program -> t

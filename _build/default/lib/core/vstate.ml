@@ -1,0 +1,84 @@
+type config = {
+  tnv_capacity : int;
+  tnv_policy : Tnv.policy;
+  clear_interval : int;
+  distinct_cap : int;
+}
+
+let default_config =
+  { tnv_capacity = 8; tnv_policy = Tnv.Lfu_clear; clear_interval = 2000;
+    distinct_cap = 1024 }
+
+type t = {
+  tnv : Tnv.t;
+  deltas : Tnv.t; (* TNV over value transitions: the stride profile *)
+  distinct : (int64, unit) Hashtbl.t;
+  distinct_cap : int;
+  mutable saturated : bool;
+  mutable last : int64;
+  mutable has_last : bool;
+  mutable lvp_hits : int;
+  mutable zero_hits : int;
+}
+
+let create ?(config = default_config) () =
+  { tnv =
+      Tnv.create ~policy:config.tnv_policy ~clear_interval:config.clear_interval
+        ~capacity:config.tnv_capacity ();
+    deltas =
+      Tnv.create ~policy:config.tnv_policy ~clear_interval:config.clear_interval
+        ~capacity:config.tnv_capacity ();
+    distinct = Hashtbl.create 64;
+    distinct_cap = config.distinct_cap;
+    saturated = false;
+    last = 0L;
+    has_last = false;
+    lvp_hits = 0;
+    zero_hits = 0 }
+
+let observe t v =
+  Tnv.add t.tnv v;
+  if t.has_last then begin
+    if Int64.equal v t.last then t.lvp_hits <- t.lvp_hits + 1;
+    Tnv.add t.deltas (Int64.sub v t.last)
+  end;
+  t.last <- v;
+  t.has_last <- true;
+  if Int64.equal v 0L then t.zero_hits <- t.zero_hits + 1;
+  if not (Hashtbl.mem t.distinct v) then begin
+    if Hashtbl.length t.distinct < t.distinct_cap then
+      Hashtbl.replace t.distinct v ()
+    else t.saturated <- true
+  end
+
+let total t = Tnv.total t.tnv
+
+let inv_top t = Tnv.inv_top t.tnv
+
+let top_value t = Option.map fst (Tnv.top t.tnv)
+
+let metrics t =
+  let n = total t in
+  if n = 0 then Metrics.empty
+  else
+    let fn = float_of_int n in
+    { Metrics.total = n;
+      lvp = float_of_int t.lvp_hits /. fn;
+      inv_top = Tnv.inv_top t.tnv;
+      inv_all = Tnv.inv_all t.tnv;
+      zero = float_of_int t.zero_hits /. fn;
+      distinct = Hashtbl.length t.distinct;
+      distinct_saturated = t.saturated;
+      top_values = Tnv.entries t.tnv;
+      stride_top = Tnv.inv_top t.deltas;
+      top_stride = Option.map fst (Tnv.top t.deltas) }
+
+let reset t =
+  Tnv.reset t.tnv;
+  Tnv.reset t.deltas;
+  Hashtbl.reset t.distinct;
+  t.saturated <- false;
+  t.last <- 0L;
+  t.has_last <- false;
+  t.lvp_hits <- 0;
+  t.zero_hits <- 0

@@ -1,0 +1,33 @@
+(** Per-point profiling state: the TNV table plus the counters needed for
+    the metrics of {!Metrics}. One [Vstate.t] is attached to each profiled
+    instruction / memory location / procedure parameter. *)
+
+type config = {
+  tnv_capacity : int;
+  tnv_policy : Tnv.policy;
+  clear_interval : int;
+  distinct_cap : int;  (** stop tracking new distinct values past this *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> unit -> t
+
+(** Record one produced value. *)
+val observe : t -> int64 -> unit
+
+val total : t -> int
+
+(** Snapshot of the metrics so far. *)
+val metrics : t -> Metrics.t
+
+(** Current Inv-Top without building a full snapshot (the convergent
+    sampler polls this after every burst). *)
+val inv_top : t -> float
+
+(** Current most-frequent value, without a full snapshot. *)
+val top_value : t -> int64 option
+
+val reset : t -> unit

@@ -1,0 +1,1 @@
+lib/experiments/e01_workloads.ml: Array Asm Atom Harness Isa List Machine Table Workload

@@ -1,0 +1,1 @@
+lib/experiments/e02_bb_quantile.ml: Array Cfg Harness List Printf Table Workload

@@ -1,0 +1,1 @@
+lib/experiments/e03_load_invariance.ml: Array Harness List Metrics Profile Stats Table Workload

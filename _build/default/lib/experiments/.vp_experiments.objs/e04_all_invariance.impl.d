@@ -1,0 +1,1 @@
+lib/experiments/e04_all_invariance.ml: Harness Isa List Metrics Profile Table Workload

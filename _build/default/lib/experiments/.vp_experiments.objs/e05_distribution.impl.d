@@ -1,0 +1,1 @@
+lib/experiments/e05_distribution.ml: Array Harness Histogram List Metrics Printf Profile Table Workload

@@ -1,0 +1,1 @@
+lib/experiments/e06_cross_input.ml: Array Float Harness Isa List Metrics Profile Stats Table Workload

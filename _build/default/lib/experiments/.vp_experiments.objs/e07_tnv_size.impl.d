@@ -1,0 +1,1 @@
+lib/experiments/e07_tnv_size.ml: Atom Harness Int64 List Machine Oracle Printf Table Tnv Workload

@@ -1,0 +1,1 @@
+lib/experiments/e08_replacement.ml: Atom Harness Int64 List Machine Oracle Printf Table Tnv Workload

@@ -1,0 +1,1 @@
+lib/experiments/e09_sampling.ml: Array Harness List Printf Sampler Table Workload

@@ -1,0 +1,1 @@
+lib/experiments/e10_memory.ml: Array Harness List Memprof Metrics Table Workload

@@ -1,0 +1,1 @@
+lib/experiments/e11_prediction.ml: Harness List Predictor Table Workload

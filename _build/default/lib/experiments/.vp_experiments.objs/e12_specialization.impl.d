@@ -1,0 +1,1 @@
+lib/experiments/e12_specialization.ml: Body Harness Int64 Isa List Printf Specialize Table Workload

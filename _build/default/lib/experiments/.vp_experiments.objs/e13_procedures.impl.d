@@ -1,0 +1,1 @@
+lib/experiments/e13_procedures.ml: Array Harness List Metrics Procprof String Table Workload

@@ -1,0 +1,1 @@
+lib/experiments/e14_overhead.ml: Harness List Printf Profile Sampler Table Workload

@@ -1,0 +1,1 @@
+lib/experiments/e15_classification.ml: Array Harness Hashtbl List Metrics Option Predictor Profile Table Workload

@@ -1,0 +1,1 @@
+lib/experiments/e16_registers.ml: Array Harness Isa List Metrics Regprof Table Workload

@@ -1,0 +1,1 @@
+lib/experiments/e17_context.ml: Array Ctxprof Harness List Printf Stats Table Workload

@@ -1,0 +1,1 @@
+lib/experiments/e18_criteria.ml: Array Harness List Printf Sampler Table Workload

@@ -1,0 +1,1 @@
+lib/experiments/e19_trivial.ml: Harness List Printf Table Trivprof Workload

@@ -1,0 +1,1 @@
+lib/experiments/e20_memo_sweep.ml: Harness List Printf Procprof Table Workload

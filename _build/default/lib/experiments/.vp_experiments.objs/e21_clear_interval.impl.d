@@ -1,0 +1,1 @@
+lib/experiments/e21_clear_interval.ml: Atom Harness List Machine Oracle Printf Table Tnv Workload

@@ -1,0 +1,1 @@
+lib/experiments/e22_speculation.ml: Array Harness List Metrics Printf Profile Specul Table Workload

@@ -1,0 +1,1 @@
+lib/experiments/e23_memoization.ml: Array Body Harness List Memoize Printf Procprof Table Workload Workloads

@@ -1,0 +1,1 @@
+lib/experiments/e24_phases.ml: Array Harness List Phaseprof Printf Sampler Stats Table Workload

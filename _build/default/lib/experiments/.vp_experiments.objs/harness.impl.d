@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Array Hashtbl Isa Machine Procprof Profile Workload Workloads

@@ -1,0 +1,30 @@
+(* E01 — Table III.1: the benchmark programs, their two data sets, and
+   dynamic instruction counts. *)
+
+let run () =
+  let table =
+    Table.create
+      ~title:
+        "E01 / Table III.1 - Benchmarks and data sets (dynamic instructions)"
+      [ "program"; "mimics"; "static instrs"; "procs"; "test (dyn)";
+        "train (dyn)"; "loads"; "stores" ]
+  in
+  List.iter
+    (fun (w : Workload.t) ->
+      let prog = w.wbuild Workload.Test in
+      let m_test = Harness.plain_run w Workload.Test in
+      let m_train = Harness.plain_run w Workload.Train in
+      let census = Atom.category_census prog in
+      let count cat =
+        match List.assoc_opt cat census with Some n -> n | None -> 0
+      in
+      Table.add_row table
+        [ w.wname; w.wmimics;
+          Table.count (Array.length prog.Asm.code);
+          string_of_int (Array.length prog.Asm.procs);
+          Table.count (Machine.icount m_test);
+          Table.count (Machine.icount m_train);
+          Table.count (count Isa.Load);
+          Table.count (count Isa.Store) ])
+    Harness.workloads;
+  [ table ]

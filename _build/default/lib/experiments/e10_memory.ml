@@ -1,0 +1,25 @@
+(* E10 — memory-location value profiling (Chapter VII): how invariant are
+   the values stored at individual memory locations? *)
+
+let run () =
+  let table =
+    Table.create
+      ~title:
+        "E10 - Memory-location value profiling (loads+stores, test input)"
+      [ "program"; "locations"; "events"; "InvTop (wt)"; "LVP (wt)";
+        ">=90% inv (wt)"; ">=90% inv (loc)"; "%zero" ]
+  in
+  List.iter
+    (fun (w : Workload.t) ->
+      let r = Memprof.run (w.wbuild Workload.Test) in
+      Table.add_row table
+        [ w.wname;
+          Table.count (Array.length r.Memprof.locations);
+          Table.count r.Memprof.tracked_events;
+          Table.pct (Memprof.mean_metric r (fun m -> m.Metrics.inv_top));
+          Table.pct (Memprof.mean_metric r (fun m -> m.Metrics.lvp));
+          Table.pct (Memprof.fraction_invariant r ~threshold:0.9);
+          Table.pct (Memprof.fraction_invariant ~weighted:false r ~threshold:0.9);
+          Table.pct (Memprof.mean_metric r (fun m -> m.Metrics.zero)) ])
+    Harness.workloads;
+  [ table ]

@@ -1,0 +1,66 @@
+(* E11 — value prediction (§II.A and the Gabbay [18] question): standard
+   predictor models on our event stream, then profile-guided filtering —
+   using the value profile to keep variant instructions out of a small
+   predictor table trades coverage for accuracy and fewer conflicts. *)
+
+let standard_predictors () =
+  [ Predictor.lvp ~bits:10 ();
+    Predictor.stride ~bits:10 ();
+    Predictor.fcm ~bits:12 ();
+    Predictor.hybrid (Predictor.lvp ~bits:10 ()) (Predictor.stride ~bits:10 ());
+    Predictor.perfect_last () ]
+
+let models_table () =
+  let table =
+    Table.create
+      ~title:
+        "E11a - Value predictor models (all value instructions, test input)"
+      [ "program"; "predictor"; "coverage"; "accuracy"; "correct rate" ]
+  in
+  List.iter
+    (fun (w : Workload.t) ->
+      let results =
+        Predictor.simulate (w.wbuild Workload.Test) (standard_predictors ())
+      in
+      List.iter
+        (fun (r : Predictor.result) ->
+          Table.add_row table
+            [ w.wname; r.pr_name;
+              Table.pct r.pr_coverage;
+              Table.pct r.pr_accuracy;
+              Table.pct r.pr_correct_rate ])
+        results;
+      Table.add_sep table)
+    Harness.workloads;
+  table
+
+let filtered_table () =
+  let table =
+    Table.create
+      ~title:
+        "E11b - Profile-guided prediction with a small (64-entry) LVP table"
+      [ "program"; "predictor"; "coverage"; "accuracy"; "evictions" ]
+  in
+  List.iter
+    (fun (w : Workload.t) ->
+      let profile = Harness.full_profile w Workload.Test in
+      let unfiltered = Predictor.lvp ~bits:6 () in
+      let filtered =
+        Predictor.filtered ~profile ~threshold:0.5 (Predictor.lvp ~bits:6 ())
+      in
+      let results =
+        Predictor.simulate (w.wbuild Workload.Test) [ unfiltered; filtered ]
+      in
+      List.iter
+        (fun (r : Predictor.result) ->
+          Table.add_row table
+            [ w.wname; r.pr_name;
+              Table.pct r.pr_coverage;
+              Table.pct r.pr_accuracy;
+              Table.count r.pr_evictions ])
+        results;
+      Table.add_sep table)
+    Harness.workloads;
+  table
+
+let run () = [ models_table (); filtered_table () ]

@@ -1,0 +1,73 @@
+(* E21 — TNV clear-interval sensitivity: the paper's LFU-clear policy has
+   one tuning knob besides capacity — how often the replacement half is
+   cleared. Too short destroys counts a new value needs to establish
+   itself; too long locks early values in. Swept against the oracle at
+   the paper's capacity. *)
+
+let intervals = [ 50; 200; 1000; 2000; 10000 ]
+
+let capacity = 8
+
+type point_state = {
+  oracle : Oracle.t;
+  tnvs : (int * Tnv.t) list;
+}
+
+let measure (w : Workload.t) =
+  let prog = w.wbuild Workload.Test in
+  let machine = Machine.create prog in
+  let pcs = Atom.select prog `Loads in
+  let states =
+    List.map
+      (fun pc ->
+        ( pc,
+          { oracle = Oracle.create ();
+            tnvs =
+              List.map
+                (fun i -> (i, Tnv.create ~clear_interval:i ~capacity ()))
+                intervals } ))
+      pcs
+  in
+  List.iter
+    (fun (pc, st) ->
+      Machine.set_hook machine pc (fun value _addr ->
+          Oracle.observe st.oracle value;
+          List.iter (fun (_, tnv) -> Tnv.add tnv value) st.tnvs))
+    states;
+  ignore (Machine.run machine);
+  List.map
+    (fun interval ->
+      let err_num = ref 0. and den = ref 0. in
+      List.iter
+        (fun (_, st) ->
+          let total = Oracle.total st.oracle in
+          if total > 0 then begin
+            let tnv = List.assoc interval st.tnvs in
+            let weight = float_of_int total in
+            den := !den +. weight;
+            err_num :=
+              !err_num
+              +. (weight *. abs_float (Tnv.inv_top tnv -. Oracle.inv_top st.oracle))
+          end)
+        states;
+      (interval, if !den = 0. then 0. else !err_num /. !den))
+    intervals
+
+let run () =
+  let headers =
+    "program" :: List.map (fun i -> Printf.sprintf "err @%d" i) intervals
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E21 - TNV clear-interval sensitivity (capacity %d, loads, Inv-Top error vs oracle)"
+           capacity)
+      headers
+  in
+  List.iter
+    (fun (w : Workload.t) ->
+      let per = measure w in
+      Table.add_row table (w.wname :: List.map (fun (_, e) -> Table.pct e) per))
+    Harness.workloads;
+  [ table ]

@@ -1,0 +1,76 @@
+type spec = {
+  id : string;
+  title : string;
+  paper_ref : string;
+  run : unit -> Table.t list;
+}
+
+let all =
+  [ { id = "e01"; title = "Benchmarks and data sets";
+      paper_ref = "Table III.1"; run = E01_workloads.run };
+    { id = "e02"; title = "Basic Block Quantile Table";
+      paper_ref = "Table IV.1"; run = E02_bb_quantile.run };
+    { id = "e03"; title = "Load value invariance";
+      paper_ref = "Ch. V load tables"; run = E03_load_invariance.run };
+    { id = "e04"; title = "Instruction invariance by category";
+      paper_ref = "Ch. V instruction tables"; run = E04_all_invariance.run };
+    { id = "e05"; title = "Invariance distribution";
+      paper_ref = "Ch. V distribution figures (§III.D bucketing)";
+      run = E05_distribution.run };
+    { id = "e06"; title = "Test vs train data sets";
+      paper_ref = "Table V.5"; run = E06_cross_input.run };
+    { id = "e07"; title = "TNV table size sweep";
+      paper_ref = "TNV design evaluation"; run = E07_tnv_size.run };
+    { id = "e08"; title = "TNV replacement ablation";
+      paper_ref = "TNV design evaluation"; run = E08_replacement.run };
+    { id = "e09"; title = "Convergent sampling";
+      paper_ref = "Ch. VI"; run = E09_sampling.run };
+    { id = "e10"; title = "Memory-location profiling";
+      paper_ref = "Ch. VII"; run = E10_memory.run };
+    { id = "e11"; title = "Value prediction classification";
+      paper_ref = "Ch. II/IX (Gabbay [18])"; run = E11_prediction.run };
+    { id = "e12"; title = "Code specialization";
+      paper_ref = "Ch. X"; run = E12_specialization.run };
+    { id = "e13"; title = "Procedure profiling and memoization";
+      paper_ref = "procedure chapters, Richardson [32]";
+      run = E13_procedures.run };
+    { id = "e14"; title = "Profiling overhead";
+      paper_ref = "Ch. VI overhead discussion"; run = E14_overhead.run };
+    { id = "e15"; title = "Predictability classification and routing";
+      paper_ref = "Gabbay [18] extension"; run = E15_classification.run };
+    { id = "e16"; title = "Register value profiling";
+      paper_ref = "Gabbay [17] register-file discussion";
+      run = E16_registers.run };
+    { id = "e17"; title = "Context-sensitive parameter profiling";
+      paper_ref = "future work via Young & Smith [40]";
+      run = E17_context.run };
+    { id = "e18"; title = "Sampler convergence-criterion ablation";
+      paper_ref = "Ch. VI future work"; run = E18_criteria.run };
+    { id = "e19"; title = "Trivial computation";
+      paper_ref = "Richardson [32]"; run = E19_trivial.run };
+    { id = "e20"; title = "Memoization-cache size sweep";
+      paper_ref = "Richardson [32] memoization"; run = E20_memo_sweep.run };
+    { id = "e21"; title = "TNV clear-interval sensitivity";
+      paper_ref = "TNV design evaluation"; run = E21_clear_interval.run };
+    { id = "e22"; title = "Profile-guided load speculation";
+      paper_ref = "Moudgill & Moreno [29], §II.A.1";
+      run = E22_speculation.run };
+    { id = "e23"; title = "Memoization transform";
+      paper_ref = "Richardson [32] memoization"; run = E23_memoization.run };
+    { id = "e24"; title = "Phase behaviour (windowed profiling)";
+      paper_ref = "Ch. VI stationarity assumption"; run = E24_phases.run } ]
+
+let find id =
+  match List.find_opt (fun s -> s.id = id) all with
+  | Some s -> s
+  | None -> raise Not_found
+
+let print_one spec =
+  Printf.printf "== %s: %s  [%s] ==\n" spec.id spec.title spec.paper_ref;
+  List.iter
+    (fun t ->
+      Table.print t;
+      print_newline ())
+    (spec.run ())
+
+let print_all () = List.iter print_one all

@@ -1,0 +1,21 @@
+(** The experiment registry: every table and figure of the thesis's
+    evaluation, reproduced. See DESIGN.md for the experiment ↔ paper
+    artifact mapping and EXPERIMENTS.md for recorded results. *)
+
+type spec = {
+  id : string;  (** "e01" … "e14" *)
+  title : string;
+  paper_ref : string;  (** the thesis table/figure it regenerates *)
+  run : unit -> Table.t list;
+}
+
+val all : spec list
+
+(** Raises [Not_found] for unknown ids. *)
+val find : string -> spec
+
+(** Run one experiment and print its tables to stdout. *)
+val print_one : spec -> unit
+
+(** Run the whole suite in order, printing everything. *)
+val print_all : unit -> unit

@@ -1,0 +1,39 @@
+let workloads = Workloads.all
+
+let profile_cache : (string * Workload.input, Profile.t) Hashtbl.t =
+  Hashtbl.create 32
+
+let run_cache : (string * Workload.input, Machine.t) Hashtbl.t =
+  Hashtbl.create 32
+
+let procprof_cache : (string * Workload.input, Procprof.t) Hashtbl.t =
+  Hashtbl.create 32
+
+let memo cache key compute =
+  match Hashtbl.find_opt cache key with
+  | Some v -> v
+  | None ->
+    let v = compute () in
+    Hashtbl.replace cache key v;
+    v
+
+let full_profile (w : Workload.t) input =
+  memo profile_cache (w.wname, input) (fun () ->
+      Profile.run ~selection:`All (w.wbuild input))
+
+let plain_run (w : Workload.t) input =
+  memo run_cache (w.wname, input) (fun () -> Machine.execute (w.wbuild input))
+
+let proc_profile (w : Workload.t) input =
+  memo procprof_cache (w.wname, input) (fun () ->
+      let config = { Procprof.default_config with arities = w.warities } in
+      Procprof.run ~config (w.wbuild input))
+
+let clear_cache () =
+  Hashtbl.reset profile_cache;
+  Hashtbl.reset run_cache;
+  Hashtbl.reset procprof_cache
+
+let load_points p = Profile.points_by_category p Isa.Load
+
+let value_points p = Array.to_list p.Profile.points

@@ -1,0 +1,26 @@
+(** Shared plumbing for the experiment drivers: the workload list in table
+    order and memoized full profiles/runs (several experiments consume the
+    same profile; profiling a workload twice would double the suite's run
+    time for no reason). *)
+
+(** All workloads, table order. *)
+val workloads : Workload.t list
+
+(** Memoized full value profile (selection [`All]) of a workload/input. *)
+val full_profile : Workload.t -> Workload.input -> Profile.t
+
+(** Memoized plain (uninstrumented) run. *)
+val plain_run : Workload.t -> Workload.input -> Machine.t
+
+(** Memoized procedure profile (with the workload's declared arities). *)
+val proc_profile : Workload.t -> Workload.input -> Procprof.t
+
+(** Drop every memoized result (tests use this to keep fixtures
+    independent). *)
+val clear_cache : unit -> unit
+
+(** Load-category points of a profile. *)
+val load_points : Profile.t -> Profile.point list
+
+(** [value_points p] — points of every value-producing instruction. *)
+val value_points : Profile.t -> Profile.point list

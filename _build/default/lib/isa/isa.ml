@@ -1,0 +1,118 @@
+type reg = int
+
+let num_regs = 32
+let zero_reg = 31
+
+let v0 = 0
+let a0 = 16
+let a1 = 17
+let a2 = 18
+let a3 = 19
+let a4 = 20
+let a5 = 21
+let sp = 30
+
+let t0 = 1
+let t1 = 2
+let t2 = 3
+let t3 = 4
+let t4 = 5
+let t5 = 6
+let t6 = 7
+let t7 = 8
+
+let s0 = 9
+let s1 = 10
+let s2 = 11
+let s3 = 12
+let s4 = 13
+let s5 = 14
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor
+  | Sll | Srl | Sra
+  | Cmpeq | Cmplt | Cmple | Cmpult
+
+type operand = Reg of reg | Imm of int64
+
+type cond = Eq | Ne | Lt | Le | Gt | Ge
+
+type instr =
+  | Op of binop * reg * operand * reg
+  | Ldi of reg * int64
+  | Ld of reg * reg * int
+  | St of reg * reg * int
+  | Br of cond * reg * int
+  | Jmp of int
+  | Jsr of int
+  | Jsr_ind of reg
+  | Ret
+  | Halt
+  | Nop
+
+type category = Alu | Load | Store | Branch | Call | Return | Other
+
+let category = function
+  | Op _ | Ldi _ -> Alu
+  | Ld _ -> Load
+  | St _ -> Store
+  | Br _ | Jmp _ -> Branch
+  | Jsr _ | Jsr_ind _ -> Call
+  | Ret -> Return
+  | Halt | Nop -> Other
+
+let dest_reg = function
+  | Op (_, _, _, rc) -> if rc = zero_reg then None else Some rc
+  | Ldi (rd, _) | Ld (rd, _, _) -> if rd = zero_reg then None else Some rd
+  | St _ | Br _ | Jmp _ | Jsr _ | Jsr_ind _ | Ret | Halt | Nop -> None
+
+let is_control = function
+  | Br _ | Jmp _ | Jsr _ | Jsr_ind _ | Ret | Halt -> true
+  | Op _ | Ldi _ | Ld _ | St _ | Nop -> false
+
+let targets = function
+  | Br (_, _, t) | Jmp t | Jsr t -> [ t ]
+  | Op _ | Ldi _ | Ld _ | St _ | Jsr_ind _ | Ret | Halt | Nop -> []
+
+let string_of_reg r =
+  if r = zero_reg then "zero"
+  else if r = sp then "sp"
+  else if r = v0 then "v0"
+  else if r >= a0 && r <= a5 then Printf.sprintf "a%d" (r - a0)
+  else if r >= t0 && r <= t7 then Printf.sprintf "t%d" (r - t0)
+  else if r >= s0 && r <= s5 then Printf.sprintf "s%d" (r - s0)
+  else Printf.sprintf "r%d" r
+
+let string_of_binop = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Rem -> "rem"
+  | And -> "and" | Or -> "or" | Xor -> "xor"
+  | Sll -> "sll" | Srl -> "srl" | Sra -> "sra"
+  | Cmpeq -> "cmpeq" | Cmplt -> "cmplt" | Cmple -> "cmple" | Cmpult -> "cmpult"
+
+let string_of_cond = function
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+
+let pp_operand ppf = function
+  | Reg r -> Fmt.string ppf (string_of_reg r)
+  | Imm v -> Fmt.pf ppf "#%Ld" v
+
+let pp_instr ppf = function
+  | Op (op, ra, ob, rc) ->
+    Fmt.pf ppf "%s %s, %a -> %s" (string_of_binop op) (string_of_reg ra)
+      pp_operand ob (string_of_reg rc)
+  | Ldi (rd, v) -> Fmt.pf ppf "ldi #%Ld -> %s" v (string_of_reg rd)
+  | Ld (rd, rb, off) ->
+    Fmt.pf ppf "ld [%s%+d] -> %s" (string_of_reg rb) off (string_of_reg rd)
+  | St (ra, rb, off) ->
+    Fmt.pf ppf "st %s -> [%s%+d]" (string_of_reg ra) (string_of_reg rb) off
+  | Br (c, ra, t) ->
+    Fmt.pf ppf "b%s %s, @%d" (string_of_cond c) (string_of_reg ra) t
+  | Jmp t -> Fmt.pf ppf "jmp @%d" t
+  | Jsr t -> Fmt.pf ppf "jsr @%d" t
+  | Jsr_ind r -> Fmt.pf ppf "jsr (%s)" (string_of_reg r)
+  | Ret -> Fmt.string ppf "ret"
+  | Halt -> Fmt.string ppf "halt"
+  | Nop -> Fmt.string ppf "nop"
+
+let to_string i = Fmt.str "%a" pp_instr i

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Asm Int64 Isa List Memory Printf

@@ -1,0 +1,223 @@
+type trap =
+  | Div_by_zero of int
+  | Invalid_pc of int
+  | Call_depth_exceeded of int
+  | Fuel_exhausted of int
+
+exception Trap of trap
+
+let string_of_trap = function
+  | Div_by_zero pc -> Printf.sprintf "division by zero at pc %d" pc
+  | Invalid_pc pc -> Printf.sprintf "invalid pc %d" pc
+  | Call_depth_exceeded d -> Printf.sprintf "call depth exceeded (%d)" d
+  | Fuel_exhausted f -> Printf.sprintf "fuel exhausted (%d instructions)" f
+
+type hook = int64 -> int64 -> unit
+
+let stack_base = 0x7F0_0000L
+let max_call_depth = 100_000
+
+type frame = { return_pc : int; frame_proc : int }
+
+type t = {
+  prog : Asm.program;
+  regs : int64 array;
+  mem : Memory.t;
+  mutable pc : int;
+  mutable halted : bool;
+  mutable icount : int;
+  exec_counts : int array;
+  mutable stack : frame list;
+  mutable depth : int;
+  proc_of : int array; (* pc -> proc index, -1 outside any proc *)
+  hooks : hook option array;
+  entry_hooks : (t -> unit) option array;
+  return_hooks : (t -> int64 -> unit) option array;
+}
+
+let build_proc_of (prog : Asm.program) =
+  let proc_of = Array.make (Array.length prog.code) (-1) in
+  Array.iter
+    (fun (p : Asm.proc) ->
+      for pc = p.pentry to p.pentry + p.plength - 1 do
+        proc_of.(pc) <- p.pindex
+      done)
+    prog.procs;
+  proc_of
+
+let load_data t =
+  List.iter (fun (base, words) -> Memory.load_segment t.mem base words) t.prog.data
+
+let init_regs regs =
+  Array.fill regs 0 (Array.length regs) 0L;
+  regs.(Isa.sp) <- stack_base
+
+let create prog =
+  let t =
+    { prog;
+      regs = Array.make Isa.num_regs 0L;
+      mem = Memory.create ();
+      pc = prog.entry;
+      halted = false;
+      icount = 0;
+      exec_counts = Array.make (Array.length prog.code) 0;
+      stack = [];
+      depth = 0;
+      proc_of = build_proc_of prog;
+      hooks = Array.make (Array.length prog.code) None;
+      entry_hooks = Array.make (Array.length prog.procs) None;
+      return_hooks = Array.make (Array.length prog.procs) None }
+  in
+  init_regs t.regs;
+  load_data t;
+  t
+
+let reset t =
+  init_regs t.regs;
+  Memory.clear t.mem;
+  load_data t;
+  t.pc <- t.prog.entry;
+  t.halted <- false;
+  t.icount <- 0;
+  Array.fill t.exec_counts 0 (Array.length t.exec_counts) 0;
+  t.stack <- [];
+  t.depth <- 0
+
+let program t = t.prog
+let reg t r = t.regs.(r)
+
+let set_reg t r v = if r <> Isa.zero_reg then t.regs.(r) <- v
+
+let memory t = t.mem
+let pc t = t.pc
+let halted t = t.halted
+let icount t = t.icount
+let exec_count t pc = t.exec_counts.(pc)
+let call_depth t = t.depth
+
+let caller_pc t =
+  match t.stack with
+  | [] -> None
+  | frame :: _ -> Some (frame.return_pc - 1)
+let set_hook t pc h = t.hooks.(pc) <- Some h
+let clear_hook t pc = t.hooks.(pc) <- None
+let clear_all_hooks t = Array.fill t.hooks 0 (Array.length t.hooks) None
+let set_proc_entry_hook t i h = t.entry_hooks.(i) <- Some h
+let set_proc_return_hook t i h = t.return_hooks.(i) <- Some h
+
+let eval_binop op pc a b =
+  match op with
+  | Isa.Add -> Int64.add a b
+  | Isa.Sub -> Int64.sub a b
+  | Isa.Mul -> Int64.mul a b
+  | Isa.Div -> if Int64.equal b 0L then raise (Trap (Div_by_zero pc)) else Int64.div a b
+  | Isa.Rem -> if Int64.equal b 0L then raise (Trap (Div_by_zero pc)) else Int64.rem a b
+  | Isa.And -> Int64.logand a b
+  | Isa.Or -> Int64.logor a b
+  | Isa.Xor -> Int64.logxor a b
+  | Isa.Sll -> Int64.shift_left a (Int64.to_int b land 63)
+  | Isa.Srl -> Int64.shift_right_logical a (Int64.to_int b land 63)
+  | Isa.Sra -> Int64.shift_right a (Int64.to_int b land 63)
+  | Isa.Cmpeq -> if Int64.equal a b then 1L else 0L
+  | Isa.Cmplt -> if Int64.compare a b < 0 then 1L else 0L
+  | Isa.Cmple -> if Int64.compare a b <= 0 then 1L else 0L
+  | Isa.Cmpult -> if Int64.unsigned_compare a b < 0 then 1L else 0L
+
+let cond_holds c v =
+  let s = Int64.compare v 0L in
+  match c with
+  | Isa.Eq -> s = 0
+  | Isa.Ne -> s <> 0
+  | Isa.Lt -> s < 0
+  | Isa.Le -> s <= 0
+  | Isa.Gt -> s > 0
+  | Isa.Ge -> s >= 0
+
+let check_pc t pc =
+  if pc < 0 || pc >= Array.length t.prog.code then raise (Trap (Invalid_pc pc))
+
+let enter_proc t target =
+  check_pc t target;
+  let callee = t.proc_of.(target) in
+  if t.depth >= max_call_depth then raise (Trap (Call_depth_exceeded max_call_depth));
+  t.stack <- { return_pc = t.pc + 1; frame_proc = callee } :: t.stack;
+  t.depth <- t.depth + 1;
+  t.pc <- target;
+  if callee >= 0 then
+    match t.entry_hooks.(callee) with None -> () | Some h -> h t
+
+let step t =
+  if t.halted then ()
+  else begin
+    let pc = t.pc in
+    check_pc t pc;
+    let instr = t.prog.code.(pc) in
+    t.exec_counts.(pc) <- t.exec_counts.(pc) + 1;
+    t.icount <- t.icount + 1;
+    (* [value]/[addr] feed the per-pc hook; see the interface. *)
+    let value = ref 0L and addr = ref 0L in
+    (match instr with
+     | Isa.Op (op, ra, ob, rc) ->
+       let b = match ob with Isa.Reg r -> t.regs.(r) | Isa.Imm v -> v in
+       let v = eval_binop op pc t.regs.(ra) b in
+       if rc <> Isa.zero_reg then t.regs.(rc) <- v;
+       value := v;
+       t.pc <- pc + 1
+     | Isa.Ldi (rd, v) ->
+       if rd <> Isa.zero_reg then t.regs.(rd) <- v;
+       value := v;
+       t.pc <- pc + 1
+     | Isa.Ld (rd, rb, off) ->
+       let a = Int64.add t.regs.(rb) (Int64.of_int off) in
+       let v = Memory.read t.mem a in
+       if rd <> Isa.zero_reg then t.regs.(rd) <- v;
+       value := v;
+       addr := a;
+       t.pc <- pc + 1
+     | Isa.St (ra, rb, off) ->
+       let a = Int64.add t.regs.(rb) (Int64.of_int off) in
+       let v = t.regs.(ra) in
+       Memory.write t.mem a v;
+       value := v;
+       addr := a;
+       t.pc <- pc + 1
+     | Isa.Br (c, ra, target) ->
+       let taken = cond_holds c t.regs.(ra) in
+       value := (if taken then 1L else 0L);
+       t.pc <- (if taken then target else pc + 1)
+     | Isa.Jmp target -> t.pc <- target
+     | Isa.Jsr target -> enter_proc t target
+     | Isa.Jsr_ind r ->
+       let target = Int64.to_int t.regs.(r) in
+       enter_proc t target
+     | Isa.Ret ->
+       let v = t.regs.(Isa.v0) in
+       value := v;
+       (match t.stack with
+        | [] -> t.halted <- true
+        | frame :: rest ->
+          (if frame.frame_proc >= 0 then
+             match t.return_hooks.(frame.frame_proc) with
+             | None -> ()
+             | Some h -> h t v);
+          t.stack <- rest;
+          t.depth <- t.depth - 1;
+          t.pc <- frame.return_pc)
+     | Isa.Halt -> t.halted <- true
+     | Isa.Nop -> t.pc <- pc + 1);
+    match t.hooks.(pc) with None -> () | Some h -> h !value !addr
+  end
+
+let run ?(fuel = 500_000_000) t =
+  let budget = ref fuel in
+  while not t.halted do
+    if !budget <= 0 then raise (Trap (Fuel_exhausted fuel));
+    step t;
+    decr budget
+  done;
+  t.icount
+
+let execute ?fuel prog =
+  let t = create prog in
+  ignore (run ?fuel t);
+  t

@@ -1,0 +1,90 @@
+(** The virtual machine: executes an assembled {!Vp_asm.Asm.program} and
+    exposes the instrumentation points the ATOM-like layer builds on.
+
+    Instrumentation model (mirroring what ATOM's analysis routines could
+    observe on the Alpha):
+    - a per-PC {e after-execution} hook receiving the value the instruction
+      produced (ALU result, loaded word, or stored word) and, for memory
+      instructions, the effective address;
+    - a per-procedure {e entry} hook, fired when a call lands on the
+      procedure, with the machine visible so argument registers can be read;
+    - a per-procedure {e return} hook, fired at [Ret], with the value of
+      [v0].
+
+    Uninstrumented execution pays only an array lookup per instruction. *)
+
+type trap =
+  | Div_by_zero of int  (** pc *)
+  | Invalid_pc of int
+  | Call_depth_exceeded of int  (** depth limit *)
+  | Fuel_exhausted of int  (** fuel that was granted *)
+
+exception Trap of trap
+
+val string_of_trap : trap -> string
+
+type t
+
+(** Per-PC hook: [f value addr]. [value] is the produced value (0 for
+    instructions that produce none), [addr] the effective address of a
+    load/store (0 otherwise). *)
+type hook = int64 -> int64 -> unit
+
+(** Initial value of the stack pointer register on [create]/[reset];
+    workload stacks grow downward from here. *)
+val stack_base : int64
+
+(** Maximum call-stack depth before [Call_depth_exceeded]. *)
+val max_call_depth : int
+
+(** Fresh machine with data segments loaded, registers zeroed (except
+    [sp]), and [pc] at the program entry. *)
+val create : Asm.program -> t
+
+(** Return to the post-[create] state: registers, memory, counters, and pc
+    reset. Hooks are {e kept} (profilers reset themselves). *)
+val reset : t -> unit
+
+val program : t -> Asm.program
+val reg : t -> Isa.reg -> int64
+val set_reg : t -> Isa.reg -> int64 -> unit
+val memory : t -> Memory.t
+
+val pc : t -> int
+val halted : t -> bool
+
+(** Dynamic instructions executed since the last [create]/[reset]. *)
+val icount : t -> int
+
+(** Times the instruction at a given pc has executed. *)
+val exec_count : t -> int -> int
+
+(** Current nesting depth of the machine-managed call stack. *)
+val call_depth : t -> int
+
+(** PC of the call instruction that created the current frame, if any —
+    available inside procedure-entry hooks, where it identifies the call
+    site (context-sensitive profiling uses it). *)
+val caller_pc : t -> int option
+
+val set_hook : t -> int -> hook -> unit
+val clear_hook : t -> int -> unit
+val clear_all_hooks : t -> unit
+val set_proc_entry_hook : t -> int -> (t -> unit) -> unit
+
+(** Hook invoked as [f machine return_value] whenever the given procedure
+    executes [Ret]. *)
+val set_proc_return_hook : t -> int -> (t -> int64 -> unit) -> unit
+
+(** Execute one instruction. Raises {!Trap}; no-op once halted. *)
+val step : t -> unit
+
+(** [run ?fuel t] steps until the program halts (via [Halt] or a [Ret]
+    with an empty call stack), returning the total {!icount}. Raises
+    [Trap (Fuel_exhausted _)] after [fuel] instructions (default
+    [500_000_000]). *)
+val run : ?fuel:int -> t -> int
+
+(** Convenience: [create], [run], and return the machine (for examples and
+    tests). *)
+val execute : ?fuel:int -> Asm.program -> t

@@ -1,0 +1,42 @@
+let page_words = 4096
+
+type t = { pages : (int, int64 array) Hashtbl.t }
+
+let create () = { pages = Hashtbl.create 64 }
+
+let page_of addr = Int64.to_int (Int64.div addr (Int64.of_int page_words))
+
+let offset_of addr = Int64.to_int (Int64.rem addr (Int64.of_int page_words))
+
+let read t addr =
+  if Int64.compare addr 0L < 0 then invalid_arg "Memory.read: negative address";
+  match Hashtbl.find_opt t.pages (page_of addr) with
+  | None -> 0L
+  | Some page -> page.(offset_of addr)
+
+let write t addr v =
+  if Int64.compare addr 0L < 0 then invalid_arg "Memory.write: negative address";
+  let key = page_of addr in
+  let page =
+    match Hashtbl.find_opt t.pages key with
+    | Some page -> page
+    | None ->
+      let page = Array.make page_words 0L in
+      Hashtbl.replace t.pages key page;
+      page
+  in
+  page.(offset_of addr) <- v
+
+let load_segment t base words =
+  Array.iteri (fun i v -> write t (Int64.add base (Int64.of_int i)) v) words
+
+let pages_allocated t = Hashtbl.length t.pages
+
+let iter_touched t f =
+  Hashtbl.iter
+    (fun key page ->
+      let base = Int64.mul (Int64.of_int key) (Int64.of_int page_words) in
+      Array.iteri (fun i v -> f (Int64.add base (Int64.of_int i)) v) page)
+    t.pages
+
+let clear t = Hashtbl.reset t.pages

@@ -1,0 +1,1 @@
+lib/specialize/body.ml: Array Asm Isa Printf

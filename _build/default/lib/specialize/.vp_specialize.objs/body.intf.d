@@ -1,0 +1,1 @@
+lib/specialize/body.mli: Asm Isa

@@ -1,0 +1,1 @@
+lib/specialize/constfold.ml: Array Body Int64 Isa List Queue

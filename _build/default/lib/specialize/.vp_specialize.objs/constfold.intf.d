@@ -1,0 +1,1 @@
+lib/specialize/constfold.mli: Body Isa

@@ -1,0 +1,1 @@
+lib/specialize/liveness.ml: Array Body Isa List

@@ -1,0 +1,1 @@
+lib/specialize/liveness.mli: Body

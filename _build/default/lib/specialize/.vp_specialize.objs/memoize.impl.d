@@ -1,0 +1,1 @@
+lib/specialize/memoize.ml: Array Asm Body Int64 Isa List Machine Memory

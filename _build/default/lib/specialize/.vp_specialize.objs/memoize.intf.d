@@ -1,0 +1,1 @@
+lib/specialize/memoize.mli: Asm

@@ -1,0 +1,1 @@
+lib/specialize/specialize.ml: Array Asm Body Constfold Int64 Isa List Liveness Machine Memory Metrics Procprof

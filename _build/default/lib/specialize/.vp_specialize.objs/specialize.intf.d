@@ -1,0 +1,1 @@
+lib/specialize/specialize.mli: Asm Isa Procprof

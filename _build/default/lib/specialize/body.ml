@@ -1,0 +1,100 @@
+type target = Local of int | Global of int
+
+type binstr =
+  | BOp of Isa.binop * Isa.reg * Isa.operand * Isa.reg
+  | BLdi of Isa.reg * int64
+  | BLd of Isa.reg * Isa.reg * int
+  | BSt of Isa.reg * Isa.reg * int
+  | BBr of Isa.cond * Isa.reg * target
+  | BJmp of target
+  | BJsr of target
+  | BJsr_ind of Isa.reg
+  | BRet
+  | BHalt
+  | BNop
+
+type t = binstr array
+
+exception Unsupported of string
+
+let extract (prog : Asm.program) (proc : Asm.proc) =
+  let lo = proc.pentry and len = proc.plength in
+  let classify_jump t =
+    if t >= lo && t < lo + len then Local (t - lo)
+    else
+      raise
+        (Unsupported
+           (Printf.sprintf "%s: branch leaves the procedure (target %d)"
+              proc.pname t))
+  in
+  Array.init len (fun i ->
+      match prog.code.(lo + i) with
+      | Isa.Op (op, ra, ob, rc) -> BOp (op, ra, ob, rc)
+      | Isa.Ldi (rd, v) -> BLdi (rd, v)
+      | Isa.Ld (rd, rb, off) -> BLd (rd, rb, off)
+      | Isa.St (ra, rb, off) -> BSt (ra, rb, off)
+      | Isa.Br (c, r, t) -> BBr (c, r, classify_jump t)
+      | Isa.Jmp t -> BJmp (classify_jump t)
+      | Isa.Jsr t ->
+        (* Calls may target any procedure, including this one (recursion). *)
+        if t >= lo && t < lo + len then BJsr (Local (t - lo)) else BJsr (Global t)
+      | Isa.Jsr_ind r -> BJsr_ind r
+      | Isa.Ret -> BRet
+      | Isa.Halt -> BHalt
+      | Isa.Nop -> BNop)
+
+let relocate body ~base =
+  let resolve = function Local i -> base + i | Global t -> t in
+  Array.map
+    (function
+      | BOp (op, ra, ob, rc) -> Isa.Op (op, ra, ob, rc)
+      | BLdi (rd, v) -> Isa.Ldi (rd, v)
+      | BLd (rd, rb, off) -> Isa.Ld (rd, rb, off)
+      | BSt (ra, rb, off) -> Isa.St (ra, rb, off)
+      | BBr (c, r, t) -> Isa.Br (c, r, resolve t)
+      | BJmp t -> Isa.Jmp (resolve t)
+      | BJsr t -> Isa.Jsr (resolve t)
+      | BJsr_ind r -> Isa.Jsr_ind r
+      | BRet -> Isa.Ret
+      | BHalt -> Isa.Halt
+      | BNop -> Isa.Nop)
+    body
+
+let callee_saved r =
+  r = Isa.sp || r = Isa.zero_reg || (r >= Isa.s0 && r <= Isa.s5)
+
+let call_uses = [ Isa.a0; Isa.a1; Isa.a2; Isa.a3; Isa.a4; Isa.a5; Isa.sp ]
+
+let saved_regs = [ Isa.s0; Isa.s1; Isa.s2; Isa.s3; Isa.s4; Isa.s5 ]
+
+let uses = function
+  | BOp (_, ra, Isa.Reg rb, _) -> [ ra; rb ]
+  | BOp (_, ra, Isa.Imm _, _) -> [ ra ]
+  | BLdi _ -> []
+  | BLd (_, rb, _) -> [ rb ]
+  | BSt (ra, rb, _) -> [ ra; rb ]
+  | BBr (_, r, _) -> [ r ]
+  | BJmp _ -> []
+  | BJsr _ -> call_uses
+  | BJsr_ind r -> r :: call_uses
+  | BRet -> Isa.v0 :: Isa.sp :: saved_regs
+  | BHalt | BNop -> []
+
+let defines = function
+  | BOp (_, _, _, rc) -> if rc = Isa.zero_reg then None else Some rc
+  | BLdi (rd, _) | BLd (rd, _, _) -> if rd = Isa.zero_reg then None else Some rd
+  | BSt _ | BBr _ | BJmp _ | BJsr _ | BJsr_ind _ | BRet | BHalt | BNop -> None
+
+let is_call = function
+  | BJsr _ | BJsr_ind _ -> true
+  | BOp _ | BLdi _ | BLd _ | BSt _ | BBr _ | BJmp _ | BRet | BHalt | BNop -> false
+
+let successors body i =
+  let fall = if i + 1 < Array.length body then [ i + 1 ] else [] in
+  match body.(i) with
+  | BRet | BHalt -> []
+  | BJmp (Local t) -> [ t ]
+  | BJmp (Global _) -> []
+  | BBr (_, _, Local t) -> t :: fall
+  | BBr (_, _, Global _) -> fall
+  | BOp _ | BLdi _ | BLd _ | BSt _ | BJsr _ | BJsr_ind _ | BNop -> fall

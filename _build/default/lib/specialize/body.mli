@@ -1,0 +1,66 @@
+(** Procedure bodies in a form the optimization passes can transform.
+
+    A body is the instruction sequence of one procedure with control-flow
+    targets split into [Local] (within the body, expressed as an offset)
+    and [Global] (absolute code indices elsewhere — only direct calls may
+    leave a body). Extraction fails on procedures whose branches jump
+    outside their own body. *)
+
+type target = Local of int | Global of int
+
+type binstr =
+  | BOp of Isa.binop * Isa.reg * Isa.operand * Isa.reg
+  | BLdi of Isa.reg * int64
+  | BLd of Isa.reg * Isa.reg * int
+  | BSt of Isa.reg * Isa.reg * int
+  | BBr of Isa.cond * Isa.reg * target
+  | BJmp of target
+  | BJsr of target
+  | BJsr_ind of Isa.reg
+  | BRet
+  | BHalt
+  | BNop
+
+type t = binstr array
+
+exception Unsupported of string
+
+(** [extract prog proc] — raises {!Unsupported} when a branch or jump exits
+    the procedure. *)
+val extract : Asm.program -> Asm.proc -> t
+
+(** [relocate body ~base] converts back to ISA instructions, resolving
+    [Local i] to [base + i]. *)
+val relocate : t -> base:int -> Isa.instr array
+
+(** The calling convention the analyses assume (workload code must follow
+    it; the differential tests check end-to-end):
+    - arguments in [a0..a5], result in [v0];
+    - [s0..s5] and [sp] are callee-saved — a procedure returns them with
+      their values at entry;
+    - every other register may be clobbered by a call;
+    - a caller reads only [v0], [sp], and the callee-saved registers after
+      a call returns;
+    - a procedure never reads a caller-saved register it has not itself
+      written, other than its declared arguments (so its behaviour cannot
+      depend on caller leftovers, and a specialized clone with a smaller
+      register footprint is unobservable). *)
+val callee_saved : Isa.reg -> bool
+
+(** Registers read by an instruction. Calls conservatively read the
+    argument registers and [sp] (indirect calls additionally read the
+    target register); [BRet] reads [v0], [sp], and the callee-saved set
+    (they flow back to the caller). *)
+val uses : binstr -> Isa.reg list
+
+(** Register a body instruction must write, if any ([None] for calls — see
+    {!is_call}). *)
+val defines : binstr -> Isa.reg option
+
+(** True for calls: analyses treat every non-callee-saved register as
+    clobbered across them. *)
+val is_call : binstr -> bool
+
+(** Local successor offsets of the instruction at [i] (fall-through and
+    local branch targets); empty after [BRet]/[BHalt]. *)
+val successors : t -> int -> int list

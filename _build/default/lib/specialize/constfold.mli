@@ -1,0 +1,34 @@
+(** Conditional constant propagation over a procedure body.
+
+    Given entry facts (the specialized parameter is [Const v], everything
+    else unknown), propagates constants through ALU operations, resolves
+    conditional branches whose register is constant (propagating only along
+    the realized edge), and rewrites:
+    - foldable ALU instructions into [BLdi] of their result,
+    - decided branches into [BJmp] or [BNop],
+    - unreachable instructions into [BNop].
+
+    Loads always produce [Nac] (memory contents are not assumed), and calls
+    clobber every non-callee-saved register (see {!Body.callee_saved}). *)
+
+type fact =
+  | Undef  (** no path reaches with a known binding yet *)
+  | Const of int64
+  | Nac  (** not-a-constant *)
+
+val meet : fact -> fact -> fact
+
+(** Entry environment helper: all registers [Nac] (the zero register is
+    pinned to [Const 0]) except the given bindings. *)
+val entry_env : (Isa.reg * int64) list -> fact array
+
+(** In-facts per instruction index; [None] for unreachable instructions. *)
+val analyze : Body.t -> entry:fact array -> fact array option array
+
+type stats = {
+  folded : int;  (** ALU ops rewritten to load-immediate *)
+  branches_resolved : int;
+  unreachable : int;  (** instructions turned into [BNop] as dead paths *)
+}
+
+val fold : Body.t -> entry:fact array -> Body.t * stats

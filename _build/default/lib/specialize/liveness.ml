@@ -1,0 +1,78 @@
+let bitset_union dst src =
+  let changed = ref false in
+  Array.iteri
+    (fun i v ->
+      if v && not dst.(i) then begin
+        dst.(i) <- true;
+        changed := true
+      end)
+    src;
+  !changed
+
+let live_in_of body i out =
+  let live = Array.copy out in
+  (* def kills first, then uses are added (live_in = use ∪ (out \ def)). *)
+  (match Body.defines body.(i) with Some rd -> live.(rd) <- false | None -> ());
+  if Body.is_call body.(i) then
+    (* Every non-callee-saved register is redefined across a call. *)
+    for r = 0 to Isa.num_regs - 1 do
+      if not (Body.callee_saved r) then live.(r) <- false
+    done;
+  List.iter (fun r -> live.(r) <- true) (Body.uses body.(i));
+  live.(Isa.zero_reg) <- false;
+  live
+
+let live_out body =
+  let n = Array.length body in
+  let out = Array.init n (fun _ -> Array.make Isa.num_regs false) in
+  let live_in = Array.init n (fun _ -> Array.make Isa.num_regs false) in
+  (* Fall-through off the end is conservatively all-live. *)
+  let all_live = Array.make Isa.num_regs true in
+  let () = all_live.(Isa.zero_reg) <- false in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      let succs = Body.successors body i in
+      (match (succs, body.(i)) with
+       | [], (Body.BRet | Body.BHalt) -> ()
+       | [], _ -> if bitset_union out.(i) all_live then changed := true
+       | succs, _ ->
+         List.iter
+           (fun s -> if bitset_union out.(i) live_in.(s) then changed := true)
+           succs);
+      let li = live_in_of body i out.(i) in
+      if li <> live_in.(i) then begin
+        live_in.(i) <- li;
+        changed := true
+      end
+    done
+  done;
+  out
+
+let removable = function
+  | Body.BOp _ | Body.BLdi _ | Body.BLd _ -> true
+  | Body.BSt _ | Body.BBr _ | Body.BJmp _ | Body.BJsr _ | Body.BJsr_ind _
+  | Body.BRet | Body.BHalt | Body.BNop -> false
+
+let eliminate_pass body =
+  let out = live_out body in
+  let removed = ref 0 in
+  let body' =
+    Array.mapi
+      (fun i instr ->
+        match Body.defines instr with
+        | Some rd when removable instr && not out.(i).(rd) ->
+          incr removed;
+          Body.BNop
+        | Some _ | None -> instr)
+      body
+  in
+  (body', !removed)
+
+let eliminate_dead body =
+  let rec loop body total =
+    let body', removed = eliminate_pass body in
+    if removed = 0 then (body', total) else loop body' (total + removed)
+  in
+  loop body 0

@@ -1,0 +1,16 @@
+(** Backward liveness analysis and dead-code elimination over a body.
+
+    The calling convention the analyses rely on (documented in DESIGN.md
+    and enforced by the differential tests): across a call only [v0], [sp]
+    and memory survive; a procedure's caller reads only [v0] and [sp] after
+    return. A fall-through off the end of a body (no [BRet]/[BHalt]) is
+    treated as all-registers-live, which is the conservative answer. *)
+
+(** [live_out body] — per instruction, the set of registers (indexed by
+    register number) that may be read after it executes. *)
+val live_out : Body.t -> bool array array
+
+(** Replace pure instructions whose destination is dead with [BNop],
+    iterating to a fixpoint. Returns the new body and the number of
+    instructions eliminated. Stores and control flow are never removed. *)
+val eliminate_dead : Body.t -> Body.t * int

@@ -1,0 +1,133 @@
+type policy = Lfu_clear | Lfu | Lru
+
+type t = {
+  pol : policy;
+  cap : int;
+  interval : int;
+  values : int64 array;
+  counts : int array; (* count 0 = empty slot *)
+  stamps : int array; (* last-touch tick, for LRU *)
+  mutable tick : int;
+  mutable total : int;
+  mutable since_clear : int;
+}
+
+let create ?(policy = Lfu_clear) ?(clear_interval = 2000) ~capacity () =
+  if capacity <= 0 then invalid_arg "Tnv.create: capacity must be positive";
+  if clear_interval <= 0 then invalid_arg "Tnv.create: clear_interval must be positive";
+  { pol = policy; cap = capacity; interval = clear_interval;
+    values = Array.make capacity 0L;
+    counts = Array.make capacity 0;
+    stamps = Array.make capacity 0;
+    tick = 0; total = 0; since_clear = 0 }
+
+let policy t = t.pol
+let capacity t = t.cap
+let clear_interval t = t.interval
+
+(* Number of top entries immune to the periodic clearing. *)
+let steady t = t.cap / 2
+
+(* Clear every slot that is not among the [steady] highest-counted ones. *)
+let periodic_clear t =
+  let order = Array.init t.cap (fun i -> i) in
+  Array.sort (fun a b -> compare t.counts.(b) t.counts.(a)) order;
+  for rank = steady t to t.cap - 1 do
+    let i = order.(rank) in
+    t.counts.(i) <- 0;
+    t.values.(i) <- 0L;
+    t.stamps.(i) <- 0
+  done
+
+let find_value t v =
+  let rec loop i =
+    if i >= t.cap then -1
+    else if t.counts.(i) > 0 && Int64.equal t.values.(i) v then i
+    else loop (i + 1)
+  in
+  loop 0
+
+let find_empty t =
+  let rec loop i =
+    if i >= t.cap then -1 else if t.counts.(i) = 0 then i else loop (i + 1)
+  in
+  loop 0
+
+let index_of_min t key =
+  let best = ref 0 in
+  for i = 1 to t.cap - 1 do
+    if key i < key !best then best := i
+  done;
+  !best
+
+let add t v =
+  t.total <- t.total + 1;
+  t.tick <- t.tick + 1;
+  let hit = find_value t v in
+  if hit >= 0 then begin
+    t.counts.(hit) <- t.counts.(hit) + 1;
+    t.stamps.(hit) <- t.tick
+  end
+  else begin
+    let empty = find_empty t in
+    if empty >= 0 then begin
+      t.values.(empty) <- v;
+      t.counts.(empty) <- 1;
+      t.stamps.(empty) <- t.tick
+    end
+    else
+      match t.pol with
+      | Lfu_clear -> () (* dropped; the periodic clear will make room *)
+      | Lfu ->
+        let i = index_of_min t (fun i -> t.counts.(i)) in
+        t.values.(i) <- v;
+        t.counts.(i) <- 1;
+        t.stamps.(i) <- t.tick
+      | Lru ->
+        let i = index_of_min t (fun i -> t.stamps.(i)) in
+        t.values.(i) <- v;
+        t.counts.(i) <- 1;
+        t.stamps.(i) <- t.tick
+  end;
+  if t.pol = Lfu_clear then begin
+    t.since_clear <- t.since_clear + 1;
+    if t.since_clear >= t.interval then begin
+      t.since_clear <- 0;
+      periodic_clear t
+    end
+  end
+
+let total t = t.total
+
+let covered t = Array.fold_left ( + ) 0 t.counts
+
+let entries t =
+  let occupied = ref [] in
+  for i = t.cap - 1 downto 0 do
+    if t.counts.(i) > 0 then occupied := (t.values.(i), t.counts.(i)) :: !occupied
+  done;
+  let arr = Array.of_list !occupied in
+  Array.sort (fun (_, a) (_, b) -> compare b a) arr;
+  arr
+
+let top t =
+  let e = entries t in
+  if Array.length e = 0 then None else Some e.(0)
+
+let inv_top t =
+  if t.total = 0 then 0.
+  else
+    match top t with
+    | None -> 0.
+    | Some (_, c) -> float_of_int c /. float_of_int t.total
+
+let inv_all t =
+  if t.total = 0 then 0. else float_of_int (covered t) /. float_of_int t.total
+
+let reset t =
+  Array.fill t.values 0 t.cap 0L;
+  Array.fill t.counts 0 t.cap 0;
+  Array.fill t.stamps 0 t.cap 0;
+  t.tick <- 0;
+  t.total <- 0;
+  t.since_clear <- 0

@@ -1,0 +1,58 @@
+(** The Top-N-Value (TNV) table, the paper's central data structure.
+
+    A TNV table tracks the N most frequent values an instruction (or memory
+    location) produces, with occurrence counts. The paper's replacement
+    policy ({!Lfu_clear}) is least-frequently-used with periodic clearing:
+    the table is conceptually split into a {e steady} top half and a
+    {e replacement} bottom half; every [clear_interval] recorded values the
+    entries outside the steady half are evicted so that newly hot values can
+    climb in, while established top values keep their counts. Pure {!Lfu}
+    and {!Lru} replacement are provided for the ablation experiment (E08).
+
+    Counts in the table are occurrences observed {e while the value held a
+    slot}; the [total] includes values that were dropped because the table
+    was full, so [covered t <= total t] always holds, and the invariance
+    metrics are conservative. *)
+
+type policy =
+  | Lfu_clear  (** the paper's policy: LFU with periodic clearing *)
+  | Lfu  (** replace the least-counted entry on every miss *)
+  | Lru  (** replace the least-recently-seen entry on every miss *)
+
+type t
+
+(** [create ~capacity ()] makes an empty table. [capacity] must be
+    positive. [clear_interval] (default [2000]) is the period, counted in
+    {!add} calls to this table, of the {!Lfu_clear} clearing step; ignored
+    by the other policies. *)
+val create : ?policy:policy -> ?clear_interval:int -> capacity:int -> unit -> t
+
+val policy : t -> policy
+val capacity : t -> int
+val clear_interval : t -> int
+
+(** Record one occurrence of [v]. *)
+val add : t -> int64 -> unit
+
+(** Occurrences recorded in total (hits and drops). *)
+val total : t -> int
+
+(** Sum of in-table counts. *)
+val covered : t -> int
+
+(** Occupied entries, most frequent first (ties broken arbitrarily but
+    deterministically). *)
+val entries : t -> (int64 * int) array
+
+(** Most frequent entry, when any value has been recorded. *)
+val top : t -> (int64 * int) option
+
+(** Fraction of all occurrences belonging to the top value — the paper's
+    Inv-Top metric. 0 before any [add]. *)
+val inv_top : t -> float
+
+(** Fraction of all occurrences belonging to any in-table value — Inv-All. *)
+val inv_all : t -> float
+
+(** Forget everything (capacity and policy retained). *)
+val reset : t -> unit

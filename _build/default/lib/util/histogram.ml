@@ -1,0 +1,42 @@
+type t = {
+  lo : float;
+  hi : float;
+  width : float;
+  weights : float array;
+}
+
+let create ~buckets ~lo ~hi =
+  if buckets <= 0 then invalid_arg "Histogram.create: buckets must be positive";
+  if hi <= lo then invalid_arg "Histogram.create: hi must exceed lo";
+  { lo; hi; width = (hi -. lo) /. float_of_int buckets;
+    weights = Array.make buckets 0. }
+
+let bucket_count t = Array.length t.weights
+
+let index_of t x =
+  let n = bucket_count t in
+  if x <= t.lo then 0
+  else if x >= t.hi then n - 1
+  else begin
+    let i = int_of_float ((x -. t.lo) /. t.width) in
+    if i >= n then n - 1 else i
+  end
+
+let add t x ~weight = t.weights.(index_of t x) <- t.weights.(index_of t x) +. weight
+
+let bounds t i =
+  if i < 0 || i >= bucket_count t then invalid_arg "Histogram.bounds";
+  let lo = t.lo +. (float_of_int i *. t.width) in
+  (lo, lo +. t.width)
+
+let weight t i =
+  if i < 0 || i >= bucket_count t then invalid_arg "Histogram.weight";
+  t.weights.(i)
+
+let total_weight t = Array.fold_left ( +. ) 0. t.weights
+
+let fraction t i =
+  let total = total_weight t in
+  if total = 0. then 0. else weight t i /. total
+
+let fractions t = Array.init (bucket_count t) (fraction t)

@@ -1,0 +1,61 @@
+(* SplitMix64: Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators" (OOPSLA 2014). Chosen because it is tiny, fast, splittable
+   and has well-understood statistical quality. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free modulo; bias is negligible for bounds << 2^62. The
+     mask keeps the value within OCaml's 63-bit native int. *)
+  let v = Int64.to_int (Int64.logand (next t) 0x3FFF_FFFF_FFFF_FFFFL) in
+  v mod bound
+
+let int64_range t lo hi =
+  if Int64.compare lo hi > 0 then invalid_arg "Rng.int64_range: lo > hi";
+  let span = Int64.add (Int64.sub hi lo) 1L in
+  if Int64.equal span 0L then next t (* full 2^64 range *)
+  else
+    let v = Int64.rem (Int64.shift_right_logical (next t) 1) span in
+    Int64.add lo v
+
+let float t =
+  let v = Int64.shift_right_logical (next t) 11 in
+  Int64.to_float v *. (1.0 /. 9007199254740992.0)
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choose: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let split t = { state = mix (next t) }
+
+let skewed t ~n ~s =
+  if n <= 0 then invalid_arg "Rng.skewed: n must be positive";
+  (* Inverse-transform of a power-law density over [0,1): u^s concentrates
+     mass near 0 for s > 1. Cheap and monotone; exact Zipf is unnecessary. *)
+  let u = float t in
+  let idx = int_of_float (float_of_int n *. (u ** s)) in
+  if idx >= n then n - 1 else idx

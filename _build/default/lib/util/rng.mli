@@ -1,0 +1,41 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    Everything in this repository that needs randomness — workload input
+    generation, property tests' auxiliary data, synthetic traces — goes
+    through this module so that runs are reproducible bit-for-bit. *)
+
+type t
+
+(** [create seed] returns an independent generator. Equal seeds give equal
+    streams. *)
+val create : int64 -> t
+
+(** Next raw 64-bit value. *)
+val next : t -> int64
+
+(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument] if
+    [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [int64_range t lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+val int64_range : t -> int64 -> int64 -> int64
+
+(** Uniform float in [\[0, 1)]. *)
+val float : t -> float
+
+(** [bool t] is a fair coin. *)
+val bool : t -> bool
+
+(** [choose t arr] picks a uniform element. Raises on empty array. *)
+val choose : t -> 'a array -> 'a
+
+(** [shuffle t arr] permutes [arr] in place (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [split t] derives a new independent generator from [t]'s stream. *)
+val split : t -> t
+
+(** Geometric-ish "zipf-like" pick in [\[0, n)]: small indices much more
+    likely than large ones, with skew [s] (s >= 1.0; larger is more skewed).
+    Used to synthesize the skewed value distributions real programs show. *)
+val skewed : t -> n:int -> s:float -> int

@@ -1,0 +1,106 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.
+  else Array.fold_left ( +. ) 0. xs /. float_of_int n
+
+let weighted_mean values weights =
+  let n = Array.length values in
+  if n <> Array.length weights then
+    invalid_arg "Stats.weighted_mean: length mismatch";
+  let num = ref 0. and den = ref 0. in
+  for i = 0 to n - 1 do
+    num := !num +. (values.(i) *. weights.(i));
+    den := !den +. weights.(i)
+  done;
+  if !den = 0. then 0. else !num /. !den
+
+let geomean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.
+  else begin
+    let acc = ref 0. in
+    Array.iter
+      (fun x ->
+        if x <= 0. then invalid_arg "Stats.geomean: non-positive entry";
+        acc := !acc +. log x)
+      xs;
+    exp (!acc /. float_of_int n)
+  end
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else begin
+    let m = mean xs in
+    let acc = ref 0. in
+    Array.iter (fun x -> acc := !acc +. ((x -. m) ** 2.)) xs;
+    sqrt (!acc /. float_of_int n)
+  end
+
+let percentile p xs =
+  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min_max: empty";
+  Array.fold_left
+    (fun (lo, hi) x -> ((if x < lo then x else lo), if x > hi then x else hi))
+    (xs.(0), xs.(0))
+    xs
+
+let pearson xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Stats.pearson: length mismatch";
+  if n < 2 then invalid_arg "Stats.pearson: need at least two points";
+  let mx = mean xs and my = mean ys in
+  let sxy = ref 0. and sxx = ref 0. and syy = ref 0. in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+    sxy := !sxy +. (dx *. dy);
+    sxx := !sxx +. (dx *. dx);
+    syy := !syy +. (dy *. dy)
+  done;
+  let den = sqrt (!sxx *. !syy) in
+  if den = 0. then nan else !sxy /. den
+
+(* Average ranks so that ties are handled the standard way. *)
+let ranks xs =
+  let n = Array.length xs in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare xs.(a) xs.(b)) order;
+  let r = Array.make n 0. in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && xs.(order.(!j + 1)) = xs.(order.(!i)) do incr j done;
+    let avg = float_of_int (!i + !j) /. 2. +. 1. in
+    for k = !i to !j do
+      r.(order.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  r
+
+let spearman xs ys = pearson (ranks xs) (ranks ys)
+
+let mae a b =
+  let n = Array.length a in
+  if n <> Array.length b then invalid_arg "Stats.mae: length mismatch";
+  if n = 0 then 0.
+  else begin
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      acc := !acc +. abs_float (a.(i) -. b.(i))
+    done;
+    !acc /. float_of_int n
+  end

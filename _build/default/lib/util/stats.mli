@@ -1,0 +1,30 @@
+(** Descriptive statistics used throughout the experiment harness. *)
+
+(** Arithmetic mean; 0. on empty input. *)
+val mean : float array -> float
+
+(** [weighted_mean values weights] with ordinary weights; 0. when the total
+    weight is 0. Raises [Invalid_argument] on length mismatch. *)
+val weighted_mean : float array -> float array -> float
+
+(** Geometric mean of strictly positive entries; entries [<= 0.] raise. *)
+val geomean : float array -> float
+
+(** Population standard deviation; 0. on fewer than two samples. *)
+val stddev : float array -> float
+
+(** [percentile p xs] for [p] in [\[0,100\]], linear interpolation between
+    order statistics. Raises on empty input or [p] out of range. *)
+val percentile : float -> float array -> float
+
+val min_max : float array -> float * float
+
+(** Pearson product-moment correlation; [nan] when either side is
+    constant. Raises on length mismatch or fewer than two points. *)
+val pearson : float array -> float array -> float
+
+(** Spearman rank correlation (Pearson over average ranks). *)
+val spearman : float array -> float array -> float
+
+(** [mae a b] mean absolute error between paired samples. *)
+val mae : float array -> float array -> float

@@ -1,0 +1,111 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  title : string;
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?aligns ~title headers =
+  let aligns =
+    match aligns with
+    | Some a ->
+      if List.length a <> List.length headers then
+        invalid_arg "Table.create: aligns/headers length mismatch";
+      a
+    | None ->
+      (match headers with
+       | [] -> []
+       | _ :: rest -> Left :: List.map (fun _ -> Right) rest)
+  in
+  { title; headers; aligns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- Cells cells :: t.rows
+
+let add_sep t = t.rows <- Separator :: t.rows
+
+let rows_in_order t = List.rev t.rows
+
+let column_widths t =
+  let n = List.length t.headers in
+  let widths = Array.make n 0 in
+  let feed cells =
+    List.iteri
+      (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c)
+      cells
+  in
+  feed t.headers;
+  List.iter (function Cells c -> feed c | Separator -> ()) (rows_in_order t);
+  widths
+
+let pad align width s =
+  let gap = width - String.length s in
+  if gap <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ s
+
+let render t =
+  let widths = column_widths t in
+  let buf = Buffer.create 1024 in
+  let line ch =
+    Array.iter (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) ch)) widths;
+    Buffer.add_string buf "+\n"
+  in
+  let row cells =
+    List.iteri
+      (fun i c ->
+        let align = List.nth t.aligns i in
+        Buffer.add_string buf ("| " ^ pad align widths.(i) c ^ " "))
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  if t.title <> "" then Buffer.add_string buf (t.title ^ "\n");
+  line '-';
+  row t.headers;
+  line '=';
+  List.iter
+    (function Cells c -> row c | Separator -> line '-')
+    (rows_in_order t);
+  line '-';
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  let row cells =
+    Buffer.add_string buf (String.concat "," (List.map csv_escape cells));
+    Buffer.add_char buf '\n'
+  in
+  row t.headers;
+  List.iter (function Cells c -> row c | Separator -> ()) (rows_in_order t);
+  Buffer.contents buf
+
+let pct x = Printf.sprintf "%.1f%%" (100. *. x)
+
+let fixed ~digits x = Printf.sprintf "%.*f" digits x
+
+let count n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3)) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf

@@ -1,0 +1,37 @@
+(** Column-aligned ASCII tables, the output format for every experiment.
+
+    Cells are strings; helpers format the common cases (percentages, counts)
+    consistently so the reproduced tables read like the thesis's. *)
+
+type align = Left | Right
+
+type t
+
+(** [create ~title headers] starts a table; every subsequent row must have
+    [List.length headers] cells. Columns align [Right] except the first. *)
+val create : ?aligns:align list -> title:string -> string list -> t
+
+val add_row : t -> string list -> unit
+
+(** Add a horizontal separator before the next row. *)
+val add_sep : t -> unit
+
+(** Render with box-drawing rules to a string (trailing newline included). *)
+val render : t -> string
+
+(** Print [render] to stdout. *)
+val print : t -> unit
+
+(** Comma-separated rendering (header row first, no title). *)
+val to_csv : t -> string
+
+(** Format helpers. *)
+
+(** [pct x] formats a ratio in [\[0,1\]] as e.g. ["87.3%"]. *)
+val pct : float -> string
+
+(** [fixed ~digits x] plain fixed-point formatting. *)
+val fixed : digits:int -> float -> string
+
+(** [count n] renders with thousands separators, e.g. ["1,234,567"]. *)
+val count : int -> string

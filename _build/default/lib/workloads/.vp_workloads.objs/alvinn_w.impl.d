@@ -1,0 +1,1 @@
+lib/workloads/alvinn_w.ml: Array Asm Int64 Isa Rng Workload

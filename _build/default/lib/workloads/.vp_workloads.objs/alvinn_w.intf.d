@@ -1,0 +1,1 @@
+lib/workloads/alvinn_w.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/cc_w.mli: Workload

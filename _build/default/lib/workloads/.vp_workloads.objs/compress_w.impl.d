@@ -1,0 +1,1 @@
+lib/workloads/compress_w.ml: Array Asm Int64 Isa Rng Workload

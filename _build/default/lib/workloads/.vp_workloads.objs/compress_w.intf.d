@@ -1,0 +1,1 @@
+lib/workloads/compress_w.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/fpppp_w.ml: Array Asm Int64 Isa Rng Workload

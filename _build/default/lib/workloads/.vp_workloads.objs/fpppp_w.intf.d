@@ -1,0 +1,1 @@
+lib/workloads/fpppp_w.mli: Workload

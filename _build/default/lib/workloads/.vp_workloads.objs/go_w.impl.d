@@ -1,0 +1,1 @@
+lib/workloads/go_w.ml: Array Asm Int64 Isa Rng Workload

@@ -1,0 +1,1 @@
+lib/workloads/go_w.mli: Workload

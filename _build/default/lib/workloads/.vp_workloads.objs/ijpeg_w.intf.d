@@ -1,0 +1,1 @@
+lib/workloads/ijpeg_w.mli: Workload

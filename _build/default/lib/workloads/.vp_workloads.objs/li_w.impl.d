@@ -1,0 +1,1 @@
+lib/workloads/li_w.ml: Asm Int64 Isa Workload

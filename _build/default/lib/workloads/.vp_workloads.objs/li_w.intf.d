@@ -1,0 +1,1 @@
+lib/workloads/li_w.mli: Workload

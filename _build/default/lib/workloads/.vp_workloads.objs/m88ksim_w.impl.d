@@ -1,0 +1,1 @@
+lib/workloads/m88ksim_w.ml: Asm Int64 Isa Workload

@@ -1,0 +1,1 @@
+lib/workloads/m88ksim_w.mli: Workload

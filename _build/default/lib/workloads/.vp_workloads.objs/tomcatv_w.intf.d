@@ -1,0 +1,1 @@
+lib/workloads/tomcatv_w.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/vortex_w.ml: Array Asm Fun Int64 Isa List Rng Workload

@@ -1,0 +1,1 @@
+lib/workloads/vortex_w.mli: Workload

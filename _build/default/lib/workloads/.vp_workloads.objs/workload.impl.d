@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Asm Hashtbl Int64 Printf Rng

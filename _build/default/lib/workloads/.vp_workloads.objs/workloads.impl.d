@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Alvinn_w Cc_w Compress_w Fpppp_w Go_w Ijpeg_w Li_w List M88ksim_w Perl_w Swim_w Tomcatv_w Vortex_w Workload

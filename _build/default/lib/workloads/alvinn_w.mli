@@ -1,0 +1,3 @@
+(** Neural-network workload, modeled on 104.alvinn. *)
+
+val workload : Workload.t

@@ -1,0 +1,3 @@
+(** Token-dispatch workload, modeled on 126.gcc. *)
+
+val workload : Workload.t

@@ -1,0 +1,3 @@
+(** LZW-style compression workload, modeled on 129.compress. *)
+
+val workload : Workload.t

@@ -1,0 +1,3 @@
+(** Dense linear-algebra workload, modeled on 145.fpppp. *)
+
+val workload : Workload.t

@@ -1,0 +1,3 @@
+(** Board-evaluation workload, modeled on 099.go. *)
+
+val workload : Workload.t

@@ -1,0 +1,3 @@
+(** Image-transform workload, modeled on 132.ijpeg. *)
+
+val workload : Workload.t

@@ -1,0 +1,3 @@
+(** Bytecode-interpreter workload, modeled on 130.li. *)
+
+val workload : Workload.t

@@ -1,0 +1,3 @@
+(** CPU-simulator workload, modeled on 124.m88ksim. *)
+
+val workload : Workload.t

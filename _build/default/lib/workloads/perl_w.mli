@@ -1,0 +1,3 @@
+(** String-hashing workload, modeled on 134.perl. *)
+
+val workload : Workload.t

@@ -1,0 +1,3 @@
+(** Stencil-relaxation workload, modeled on 102.swim. *)
+
+val workload : Workload.t

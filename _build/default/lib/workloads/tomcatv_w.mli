@@ -1,0 +1,3 @@
+(** Mesh-relaxation workload, modeled on 101.tomcatv. *)
+
+val workload : Workload.t

@@ -1,0 +1,3 @@
+(** Object-database workload, modeled on 147.vortex. *)
+
+val workload : Workload.t

@@ -1,0 +1,20 @@
+let all =
+  [ Compress_w.workload;
+    Cc_w.workload;
+    Go_w.workload;
+    Ijpeg_w.workload;
+    Li_w.workload;
+    Perl_w.workload;
+    M88ksim_w.workload;
+    Vortex_w.workload;
+    Alvinn_w.workload;
+    Swim_w.workload;
+    Tomcatv_w.workload;
+    Fpppp_w.workload ]
+
+let find name =
+  match List.find_opt (fun w -> w.Workload.wname = name) all with
+  | Some w -> w
+  | None -> raise Not_found
+
+let names = List.map (fun w -> w.Workload.wname) all

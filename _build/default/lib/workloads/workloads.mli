@@ -1,0 +1,9 @@
+(** Registry of all workloads, in the fixed order the experiment tables
+    use. *)
+
+val all : Workload.t list
+
+(** Look a workload up by name; raises [Not_found]. *)
+val find : string -> Workload.t
+
+val names : string list

@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Array Asm Astring_contains Int64 Isa List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_atom.ml: Alcotest Asm Atom Isa List Machine Option

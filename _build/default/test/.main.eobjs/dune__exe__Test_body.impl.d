@@ -1,0 +1,1 @@
+test/test_body.ml: Alcotest Array Asm Body Isa List Printf

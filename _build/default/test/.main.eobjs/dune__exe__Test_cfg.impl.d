@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array Asm Cfg Isa List Machine Workload Workloads

@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Astring_contains Filename Fun List Printf Sys

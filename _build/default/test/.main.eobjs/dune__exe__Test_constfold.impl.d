@@ -1,0 +1,1 @@
+test/test_constfold.ml: Alcotest Array Body Constfold Int64 Isa QCheck QCheck_alcotest

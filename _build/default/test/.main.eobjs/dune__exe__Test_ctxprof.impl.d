@@ -1,0 +1,1 @@
+test/test_ctxprof.ml: Alcotest Array Asm Ctxprof Int64 Isa List Metrics Procprof

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Cfg E02_bb_quantile E12_specialization Experiments Harness List Memprof Metrics Predictor Printf Profile Sampler Stats String Table Workload Workloads

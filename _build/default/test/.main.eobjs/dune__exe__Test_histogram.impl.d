@@ -1,0 +1,1 @@
+test/test_histogram.ml: Alcotest Array Gen Histogram List QCheck QCheck_alcotest

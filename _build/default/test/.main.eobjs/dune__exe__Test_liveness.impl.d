@@ -1,0 +1,1 @@
+test/test_liveness.ml: Alcotest Array Body Fun Isa Liveness

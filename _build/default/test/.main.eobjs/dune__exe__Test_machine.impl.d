@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Asm Int64 Isa List Machine Memory Printf Workload Workloads

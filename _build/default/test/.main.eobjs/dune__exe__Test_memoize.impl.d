@@ -1,0 +1,1 @@
+test/test_memoize.ml: Alcotest Array Asm Body Int64 Isa List Memoize Printf QCheck QCheck_alcotest Workload Workloads

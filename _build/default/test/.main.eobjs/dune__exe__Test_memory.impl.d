@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Hashtbl Int64 List Memory Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_memprof.ml: Alcotest Array Asm Int64 Isa Memprof Metrics

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array Astring_contains Gen Int64 List Metrics Oracle QCheck QCheck_alcotest Rng Vstate

@@ -1,0 +1,1 @@
+test/test_optim_props.ml: Array Asm Body Constfold Hashtbl Int64 Isa List Liveness Machine Option QCheck QCheck_alcotest Rng

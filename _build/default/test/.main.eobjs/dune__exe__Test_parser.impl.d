@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Array Asm Filename Fun Int64 Isa List Machine Memory Parser Printf QCheck QCheck_alcotest Sys Workload Workloads

@@ -1,0 +1,1 @@
+test/test_phaseprof.ml: Alcotest Array Asm Int64 Isa List Phaseprof

@@ -1,0 +1,1 @@
+test/test_predictor.ml: Alcotest Array Int64 Isa List Metrics Predictor Profile Workload Workloads

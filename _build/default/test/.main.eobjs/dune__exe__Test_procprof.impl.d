@@ -1,0 +1,1 @@
+test/test_procprof.ml: Alcotest Array Asm Int64 Isa Metrics Procprof

@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Array Asm Atom Int64 Isa List Machine Metrics Option Oracle Profile Vstate

@@ -1,0 +1,1 @@
+test/test_profile_io.ml: Alcotest Array Asm Filename Fun Int64 Isa Metrics Predictor Printf Profile Profile_io Sys

@@ -1,0 +1,1 @@
+test/test_regprof.ml: Alcotest Array Asm Int64 Isa Metrics Regprof

@@ -1,0 +1,1 @@
+test/test_sampler.ml: Alcotest Array Asm Int64 Isa Metrics Profile Sampler

@@ -1,0 +1,1 @@
+test/test_specialize.ml: Alcotest Array Asm Body Gen Int64 Isa List Machine Printf Procprof QCheck QCheck_alcotest Specialize Workload Workloads

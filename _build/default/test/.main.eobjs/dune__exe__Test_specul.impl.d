@@ -1,0 +1,1 @@
+test/test_specul.ml: Alcotest Array Asm Atom Int64 Isa List Specul

@@ -1,0 +1,1 @@
+test/test_tnv.ml: Alcotest Array Int64 List QCheck QCheck_alcotest Rng Tnv

@@ -1,0 +1,1 @@
+test/test_trivprof.ml: Alcotest Asm Isa List Trivprof

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Asm Astring_contains Isa List Machine Printf Profile Workload Workloads

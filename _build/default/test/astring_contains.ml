@@ -1,0 +1,13 @@
+(* Substring search helper for the test suite (the stdlib has none). *)
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  if nl = 0 then true
+  else begin
+    let rec at i =
+      if i + nl > hl then false
+      else if String.sub haystack i nl = needle then true
+      else at (i + 1)
+    in
+    at 0
+  end

@@ -1,0 +1,35 @@
+let () =
+  Alcotest.run "vprof"
+    [ ("rng", Test_rng.suite);
+      ("stats", Test_stats.suite);
+      ("histogram", Test_histogram.suite);
+      ("table", Test_table.suite);
+      ("isa", Test_isa.suite);
+      ("asm", Test_asm.suite);
+      ("parser", Test_parser.suite);
+      ("memory", Test_memory.suite);
+      ("machine", Test_machine.suite);
+      ("cfg", Test_cfg.suite);
+      ("atom", Test_atom.suite);
+      ("tnv", Test_tnv.suite);
+      ("metrics", Test_metrics.suite);
+      ("profile", Test_profile.suite);
+      ("profile_io", Test_profile_io.suite);
+      ("sampler", Test_sampler.suite);
+      ("memprof", Test_memprof.suite);
+      ("procprof", Test_procprof.suite);
+      ("regprof", Test_regprof.suite);
+      ("ctxprof", Test_ctxprof.suite);
+      ("trivprof", Test_trivprof.suite);
+      ("specul", Test_specul.suite);
+      ("phaseprof", Test_phaseprof.suite);
+      ("predictor", Test_predictor.suite);
+      ("body", Test_body.suite);
+      ("constfold", Test_constfold.suite);
+      ("liveness", Test_liveness.suite);
+      ("optim-props", Test_optim_props.suite);
+      ("specialize", Test_specialize.suite);
+      ("memoize", Test_memoize.suite);
+      ("workloads", Test_workloads.suite);
+      ("experiments", Test_experiments.suite);
+      ("cli", Test_cli.suite) ]

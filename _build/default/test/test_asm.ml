@@ -1,0 +1,167 @@
+open Isa
+
+let small_program () =
+  let b = Asm.create () in
+  let base = Asm.data b [| 10L; 20L; 30L |] in
+  Asm.proc b "helper" (fun b ->
+      Asm.addi b ~dst:v0 a0 1L;
+      Asm.ret b);
+  Asm.proc b "main" (fun b ->
+      Asm.ldi b a0 base;
+      Asm.ld b ~dst:a0 ~base:a0 ~off:1;
+      Asm.call b "helper";
+      Asm.halt b);
+  Asm.assemble b ~entry:"main"
+
+let test_basic_assembly () =
+  let prog = small_program () in
+  Alcotest.(check int) "code length" 6 (Array.length prog.Asm.code);
+  Alcotest.(check int) "two procs" 2 (Array.length prog.Asm.procs);
+  Alcotest.(check int) "entry at main" 2 prog.Asm.entry;
+  (match prog.Asm.code.(4) with
+   | Isa.Jsr 0 -> ()
+   | other -> Alcotest.failf "expected jsr @0, got %s" (Isa.to_string other))
+
+let test_data_layout () =
+  let b = Asm.create () in
+  let first = Asm.data b [| 1L; 2L |] in
+  let second = Asm.reserve b 5 in
+  let third = Asm.data b [| 9L |] in
+  Alcotest.(check int64) "first at base" 0x1_0000L first;
+  Alcotest.(check int64) "second follows" 0x1_0002L second;
+  Alcotest.(check int64) "third follows reserve" 0x1_0007L third
+
+let test_duplicate_label () =
+  let b = Asm.create () in
+  Asm.proc b "p" (fun b -> Asm.ret b);
+  Alcotest.check_raises "dup" (Failure "Asm: duplicate label \"p\"") (fun () ->
+      Asm.proc b "p" (fun b -> Asm.ret b))
+
+let test_undefined_label () =
+  let b = Asm.create () in
+  Asm.proc b "main" (fun b ->
+      Asm.jmp b "nowhere";
+      Asm.halt b);
+  Alcotest.check_raises "undef" (Failure "Asm: undefined label \"nowhere\"")
+    (fun () -> ignore (Asm.assemble b ~entry:"main"))
+
+let test_empty_proc () =
+  let b = Asm.create () in
+  Alcotest.check_raises "empty" (Failure "Asm: empty procedure \"e\"")
+    (fun () -> Asm.proc b "e" (fun _ -> ()))
+
+let test_emit_outside_proc () =
+  let b = Asm.create () in
+  Alcotest.check_raises "outside"
+    (Failure "Asm: instruction emitted outside a procedure") (fun () ->
+      Asm.nop b)
+
+let test_entry_not_proc () =
+  let b = Asm.create () in
+  Asm.proc b "main" (fun b ->
+      Asm.nop b;
+      Asm.label b "inner";
+      Asm.halt b);
+  Alcotest.check_raises "entry is a label, not a proc"
+    (Failure "Asm: entry \"inner\" is not a procedure") (fun () ->
+      ignore (Asm.assemble b ~entry:"inner"))
+
+let test_proc_of_pc () =
+  let prog = small_program () in
+  Alcotest.(check string) "helper" "helper" (Asm.proc_of_pc prog 0).Asm.pname;
+  Alcotest.(check string) "main" "main" (Asm.proc_of_pc prog 5).Asm.pname;
+  Alcotest.check_raises "outside" Not_found (fun () ->
+      ignore (Asm.proc_of_pc prog 99))
+
+let test_find_proc () =
+  let prog = small_program () in
+  Alcotest.(check int) "helper entry" 0 (Asm.find_proc prog "helper").Asm.pentry;
+  Alcotest.check_raises "missing" Not_found (fun () ->
+      ignore (Asm.find_proc prog "nope"))
+
+let test_disassemble () =
+  let s = Asm.disassemble (small_program ()) in
+  Alcotest.(check bool) "has helper" true (Astring_contains.contains s "helper:");
+  Alcotest.(check bool) "has main" true (Astring_contains.contains s "main:");
+  Alcotest.(check bool) "has jsr" true (Astring_contains.contains s "jsr")
+
+let test_code_addr_of () =
+  let b = Asm.create () in
+  Asm.proc b "target" (fun b -> Asm.ret b);
+  Asm.proc b "main" (fun b ->
+      Asm.code_addr_of b ~dst:t0 "target";
+      Asm.call_ind b t0;
+      Asm.halt b);
+  let prog = Asm.assemble b ~entry:"main" in
+  (match prog.Asm.code.(1) with
+   | Isa.Ldi (r, v) ->
+     Alcotest.(check int) "dst reg" t0 r;
+     Alcotest.(check int64) "resolves to target entry" 0L v
+   | other -> Alcotest.failf "expected ldi, got %s" (Isa.to_string other))
+
+let test_label_branches () =
+  let b = Asm.create () in
+  Asm.proc b "main" (fun b ->
+      Asm.ldi b t0 3L;
+      Asm.label b "loop";
+      Asm.subi b ~dst:t0 t0 1L;
+      Asm.br b Gt t0 "loop";
+      Asm.halt b);
+  let prog = Asm.assemble b ~entry:"main" in
+  (match prog.Asm.code.(2) with
+   | Isa.Br (Isa.Gt, r, 1) -> Alcotest.(check int) "reg" t0 r
+   | other -> Alcotest.failf "expected bgt @1, got %s" (Isa.to_string other))
+
+let qcheck_straightline_roundtrip =
+  (* Random straight-line ALU programs assemble to exactly the emitted
+     instructions, in order. *)
+  let gen_instr =
+    QCheck.Gen.(
+      oneof
+        [ map3
+            (fun op r imm -> `Bin (op, r, imm))
+            (oneofl [ Isa.Add; Isa.Sub; Isa.Mul; Isa.And; Isa.Or; Isa.Xor ])
+            (int_range 1 8)
+            (map Int64.of_int (int_range 0 1000));
+          map2 (fun r imm -> `Ldi (r, Int64.of_int imm)) (int_range 1 8)
+            (int_range 0 1000) ])
+  in
+  QCheck.Test.make ~name:"assembler preserves straight-line programs"
+    ~count:200
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 40) gen_instr))
+    (fun instrs ->
+      let b = Asm.create () in
+      Asm.proc b "main" (fun b ->
+          List.iter
+            (function
+              | `Bin (op, r, imm) -> Asm.bin b op ~dst:r r (Isa.Imm imm)
+              | `Ldi (r, imm) -> Asm.ldi b r imm)
+            instrs;
+          Asm.halt b);
+      let prog = Asm.assemble b ~entry:"main" in
+      Array.length prog.Asm.code = List.length instrs + 1
+      && List.for_all2
+           (fun emitted assembled ->
+             match (emitted, assembled) with
+             | `Bin (op, r, imm), Isa.Op (op', ra, Isa.Imm imm', rc) ->
+               op = op' && ra = r && rc = r && Int64.equal imm imm'
+             | `Ldi (r, imm), Isa.Ldi (r', imm') ->
+               r = r' && Int64.equal imm imm'
+             | _ -> false)
+           instrs
+           (Array.to_list (Array.sub prog.Asm.code 0 (List.length instrs))))
+
+let suite =
+  [ Alcotest.test_case "basic assembly" `Quick test_basic_assembly;
+    Alcotest.test_case "data layout" `Quick test_data_layout;
+    Alcotest.test_case "duplicate label" `Quick test_duplicate_label;
+    Alcotest.test_case "undefined label" `Quick test_undefined_label;
+    Alcotest.test_case "empty proc" `Quick test_empty_proc;
+    Alcotest.test_case "emit outside proc" `Quick test_emit_outside_proc;
+    Alcotest.test_case "entry must be a proc" `Quick test_entry_not_proc;
+    Alcotest.test_case "proc_of_pc" `Quick test_proc_of_pc;
+    Alcotest.test_case "find_proc" `Quick test_find_proc;
+    Alcotest.test_case "disassemble" `Quick test_disassemble;
+    Alcotest.test_case "code_addr_of" `Quick test_code_addr_of;
+    Alcotest.test_case "label branches" `Quick test_label_branches;
+    QCheck_alcotest.to_alcotest qcheck_straightline_roundtrip ]

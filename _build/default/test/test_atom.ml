@@ -1,0 +1,80 @@
+open Isa
+
+let program () =
+  let b = Asm.create () in
+  Asm.proc b "main" (fun b ->
+      Asm.ldi b t0 100L; (* 0: alu *)
+      Asm.ld b ~dst:t1 ~base:t0 ~off:0; (* 1: load *)
+      Asm.st b ~src:t1 ~base:t0 ~off:1; (* 2: store *)
+      Asm.add b ~dst:zero_reg t0 t1; (* 3: alu writing zero -> no dest *)
+      Asm.halt b (* 4 *));
+  Asm.assemble b ~entry:"main"
+
+let test_select_all () =
+  Alcotest.(check (list int)) "value producers" [ 0; 1 ]
+    (Atom.select (program ()) `All)
+
+let test_select_loads () =
+  Alcotest.(check (list int)) "loads" [ 1 ] (Atom.select (program ()) `Loads)
+
+let test_select_alu () =
+  Alcotest.(check (list int)) "alu" [ 0 ] (Atom.select (program ()) `Alu)
+
+let test_select_stores () =
+  Alcotest.(check (list int)) "stores" [ 2 ] (Atom.select (program ()) `Stores)
+
+let test_select_pcs () =
+  Alcotest.(check (list int)) "explicit, deduped, sorted" [ 1; 2; 4 ]
+    (Atom.select (program ()) (`Pcs [ 4; 1; 2; 1 ]))
+
+let test_instrument_and_dynamic_events () =
+  let prog = program () in
+  let m = Machine.create prog in
+  let hits = ref 0 in
+  let n = Atom.instrument m (Atom.select prog `All) (fun _pc _v _a -> incr hits) in
+  Alcotest.(check int) "two points" 2 n;
+  ignore (Machine.run m);
+  Alcotest.(check int) "two events" 2 !hits;
+  Alcotest.(check int) "dynamic_events agrees" 2
+    (Atom.dynamic_events m (Atom.select prog `All))
+
+let test_proc_instrumentation () =
+  let b = Asm.create () in
+  Asm.proc b "f" (fun b ->
+      Asm.ldi b v0 1L;
+      Asm.ret b);
+  Asm.proc b "main" (fun b ->
+      Asm.call b "f";
+      Asm.call b "f";
+      Asm.halt b);
+  let prog = Asm.assemble b ~entry:"main" in
+  let m = Machine.create prog in
+  let entries = ref [] and returns = ref [] in
+  Atom.instrument_proc_entries m prog (fun p _m ->
+      entries := p.Asm.pname :: !entries);
+  Atom.instrument_proc_returns m prog (fun p _m v ->
+      returns := (p.Asm.pname, v) :: !returns);
+  ignore (Machine.run m);
+  Alcotest.(check (list string)) "entries" [ "f"; "f" ] !entries;
+  Alcotest.(check (list (pair string int64))) "returns"
+    [ ("f", 1L); ("f", 1L) ]
+    !returns
+
+let test_category_census () =
+  let census = Atom.category_census (program ()) in
+  let get c = Option.value ~default:0 (List.assoc_opt c census) in
+  Alcotest.(check int) "alu" 2 (get Isa.Alu);
+  Alcotest.(check int) "load" 1 (get Isa.Load);
+  Alcotest.(check int) "store" 1 (get Isa.Store);
+  Alcotest.(check int) "other" 1 (get Isa.Other)
+
+let suite =
+  [ Alcotest.test_case "select all" `Quick test_select_all;
+    Alcotest.test_case "select loads" `Quick test_select_loads;
+    Alcotest.test_case "select alu" `Quick test_select_alu;
+    Alcotest.test_case "select stores" `Quick test_select_stores;
+    Alcotest.test_case "select pcs" `Quick test_select_pcs;
+    Alcotest.test_case "instrument + dynamic events" `Quick
+      test_instrument_and_dynamic_events;
+    Alcotest.test_case "proc instrumentation" `Quick test_proc_instrumentation;
+    Alcotest.test_case "category census" `Quick test_category_census ]

@@ -1,0 +1,113 @@
+open Isa
+
+let sample_program () =
+  let b = Asm.create () in
+  Asm.proc b "callee" (fun b ->
+      Asm.ldi b v0 1L;
+      Asm.ret b);
+  Asm.proc b "p" (fun b ->
+      Asm.ldi b t0 3L;
+      Asm.label b "loop";
+      Asm.subi b ~dst:t0 t0 1L;
+      Asm.br b Gt t0 "loop";
+      Asm.call b "callee";
+      Asm.ret b);
+  Asm.assemble b ~entry:"p"
+
+let test_extract_localizes_targets () =
+  let prog = sample_program () in
+  let body = Body.extract prog (Asm.find_proc prog "p") in
+  Alcotest.(check int) "length" 5 (Array.length body);
+  (match body.(2) with
+   | Body.BBr (Isa.Gt, r, Body.Local 1) -> Alcotest.(check int) "reg" t0 r
+   | _ -> Alcotest.fail "expected local branch to offset 1");
+  (match body.(3) with
+   | Body.BJsr (Body.Global 0) -> ()
+   | _ -> Alcotest.fail "expected global call to callee")
+
+let test_relocate_roundtrip () =
+  let prog = sample_program () in
+  let p = Asm.find_proc prog "p" in
+  let body = Body.extract prog p in
+  let code = Body.relocate body ~base:p.Asm.pentry in
+  Array.iteri
+    (fun i instr ->
+      Alcotest.(check string)
+        (Printf.sprintf "instr %d" i)
+        (Isa.to_string prog.Asm.code.(p.Asm.pentry + i))
+        (Isa.to_string instr))
+    code
+
+let test_extract_rejects_escaping_branch () =
+  let b = Asm.create () in
+  Asm.proc b "first" (fun b ->
+      Asm.label b "out";
+      Asm.halt b);
+  Asm.proc b "escapes" (fun b ->
+      Asm.jmp b "out";
+      Asm.ret b);
+  let prog = Asm.assemble b ~entry:"first" in
+  (match Body.extract prog (Asm.find_proc prog "escapes") with
+   | exception Body.Unsupported _ -> ()
+   | _ -> Alcotest.fail "expected Unsupported")
+
+let test_recursive_call_is_local () =
+  let b = Asm.create () in
+  Asm.proc b "rec" (fun b ->
+      Asm.call b "rec";
+      Asm.ret b);
+  let prog = Asm.assemble b ~entry:"rec" in
+  let body = Body.extract prog (Asm.find_proc prog "rec") in
+  (match body.(0) with
+   | Body.BJsr (Body.Local 0) -> ()
+   | _ -> Alcotest.fail "self-call should be local")
+
+let test_uses_defines () =
+  Alcotest.(check (list int)) "op rr" [ t0; t1 ]
+    (Body.uses (Body.BOp (Isa.Add, t0, Isa.Reg t1, t2)));
+  Alcotest.(check (list int)) "op ri" [ t0 ]
+    (Body.uses (Body.BOp (Isa.Add, t0, Isa.Imm 1L, t2)));
+  Alcotest.(check (list int)) "store" [ t0; t1 ]
+    (Body.uses (Body.BSt (t0, t1, 0)));
+  Alcotest.(check (option int)) "op defines" (Some t2)
+    (Body.defines (Body.BOp (Isa.Add, t0, Isa.Imm 1L, t2)));
+  Alcotest.(check (option int)) "zero dest is none" None
+    (Body.defines (Body.BOp (Isa.Add, t0, Isa.Imm 1L, zero_reg)));
+  Alcotest.(check bool) "ret uses v0" true
+    (List.mem v0 (Body.uses Body.BRet));
+  Alcotest.(check bool) "ret uses saved regs" true
+    (List.mem s0 (Body.uses Body.BRet))
+
+let test_calling_convention () =
+  Alcotest.(check bool) "sp saved" true (Body.callee_saved sp);
+  Alcotest.(check bool) "s3 saved" true (Body.callee_saved s3);
+  Alcotest.(check bool) "t0 clobbered" false (Body.callee_saved t0);
+  Alcotest.(check bool) "a0 clobbered" false (Body.callee_saved a0);
+  Alcotest.(check bool) "v0 clobbered" false (Body.callee_saved v0);
+  Alcotest.(check bool) "jsr is call" true (Body.is_call (Body.BJsr (Body.Global 0)));
+  Alcotest.(check bool) "jsr_ind is call" true (Body.is_call (Body.BJsr_ind t0));
+  Alcotest.(check bool) "add is not" false
+    (Body.is_call (Body.BOp (Isa.Add, t0, Isa.Imm 1L, t1)))
+
+let test_successors () =
+  let body =
+    [| Body.BOp (Isa.Add, t0, Isa.Imm 1L, t0); (* 0 *)
+       Body.BBr (Isa.Gt, t0, Body.Local 0); (* 1 *)
+       Body.BJmp (Body.Local 0); (* 2 *)
+       Body.BRet (* 3 *) |]
+  in
+  Alcotest.(check (list int)) "fallthrough" [ 1 ] (Body.successors body 0);
+  Alcotest.(check (list int)) "branch both" [ 0; 2 ] (Body.successors body 1);
+  Alcotest.(check (list int)) "jmp one" [ 0 ] (Body.successors body 2);
+  Alcotest.(check (list int)) "ret none" [] (Body.successors body 3)
+
+let suite =
+  [ Alcotest.test_case "extract localizes targets" `Quick
+      test_extract_localizes_targets;
+    Alcotest.test_case "relocate roundtrip" `Quick test_relocate_roundtrip;
+    Alcotest.test_case "escaping branch rejected" `Quick
+      test_extract_rejects_escaping_branch;
+    Alcotest.test_case "recursive call local" `Quick test_recursive_call_is_local;
+    Alcotest.test_case "uses/defines" `Quick test_uses_defines;
+    Alcotest.test_case "calling convention" `Quick test_calling_convention;
+    Alcotest.test_case "successors" `Quick test_successors ]

@@ -1,0 +1,96 @@
+open Isa
+
+let program_with_blocks () =
+  let b = Asm.create () in
+  Asm.proc b "main" (fun b ->
+      Asm.ldi b t0 3L; (* 0: block A *)
+      Asm.label b "loop";
+      Asm.subi b ~dst:t0 t0 1L; (* 1: block B (branch target) *)
+      Asm.br b Gt t0 "loop"; (* 2: ends block B *)
+      Asm.ldi b t1 9L; (* 3: block C *)
+      Asm.halt b (* 4: ends block C *));
+  Asm.assemble b ~entry:"main"
+
+let test_block_structure () =
+  let prog = program_with_blocks () in
+  let blocks = Cfg.build prog in
+  Alcotest.(check int) "three blocks" 3 (Array.length blocks);
+  Alcotest.(check (pair int int)) "block A" (0, 0)
+    (blocks.(0).Cfg.bfirst, blocks.(0).Cfg.blast);
+  Alcotest.(check (pair int int)) "block B" (1, 2)
+    (blocks.(1).Cfg.bfirst, blocks.(1).Cfg.blast);
+  Alcotest.(check (pair int int)) "block C" (3, 4)
+    (blocks.(2).Cfg.bfirst, blocks.(2).Cfg.blast)
+
+let test_block_of_pc () =
+  let prog = program_with_blocks () in
+  let blocks = Cfg.build prog in
+  Alcotest.(check int) "pc 2 in block B" 1 (Cfg.block_of_pc blocks 2).Cfg.bindex;
+  Alcotest.(check int) "pc 4 in block C" 2 (Cfg.block_of_pc blocks 4).Cfg.bindex;
+  Alcotest.check_raises "outside" Not_found (fun () ->
+      ignore (Cfg.block_of_pc blocks 99))
+
+let test_dynamic_counts () =
+  let prog = program_with_blocks () in
+  let m = Machine.execute prog in
+  let blocks = Cfg.build prog in
+  let counts = Cfg.dynamic_counts m blocks in
+  Alcotest.(check (array int)) "counts" [| 1; 3; 1 |] counts
+
+let test_proc_boundaries_split_blocks () =
+  let b = Asm.create () in
+  Asm.proc b "p1" (fun b ->
+      Asm.nop b;
+      Asm.nop b);
+  Asm.proc b "p2" (fun b ->
+      Asm.nop b;
+      Asm.halt b);
+  let prog = Asm.assemble b ~entry:"p2" in
+  let blocks = Cfg.build prog in
+  Alcotest.(check int) "split at proc boundary" 2 (Array.length blocks);
+  Alcotest.(check int) "p1 block proc" 0 blocks.(0).Cfg.bproc;
+  Alcotest.(check int) "p2 block proc" 1 blocks.(1).Cfg.bproc
+
+let test_call_does_not_split_target_callers_block () =
+  (* A jsr ends its own block; the instruction after it starts a new one. *)
+  let b = Asm.create () in
+  Asm.proc b "callee" (fun b -> Asm.ret b);
+  Asm.proc b "main" (fun b ->
+      Asm.nop b;
+      Asm.call b "callee";
+      Asm.nop b;
+      Asm.halt b);
+  let prog = Asm.assemble b ~entry:"main" in
+  let blocks = Cfg.build prog in
+  (* callee ret | nop+jsr | nop+halt *)
+  Alcotest.(check int) "three blocks" 3 (Array.length blocks)
+
+let test_workload_blocks_consistent () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let prog = w.wbuild Workload.Test in
+      let blocks = Cfg.build prog in
+      (* blocks tile the code exactly *)
+      let covered = ref 0 in
+      Array.iteri
+        (fun i blk ->
+          covered := !covered + (blk.Cfg.blast - blk.Cfg.bfirst + 1);
+          if i > 0 then
+            Alcotest.(check int)
+              (w.wname ^ ": contiguous")
+              (blocks.(i - 1).Cfg.blast + 1)
+              blk.Cfg.bfirst)
+        blocks;
+      Alcotest.(check int) (w.wname ^ ": full tiling")
+        (Array.length prog.Asm.code) !covered)
+    Workloads.all
+
+let suite =
+  [ Alcotest.test_case "block structure" `Quick test_block_structure;
+    Alcotest.test_case "block_of_pc" `Quick test_block_of_pc;
+    Alcotest.test_case "dynamic counts" `Quick test_dynamic_counts;
+    Alcotest.test_case "proc boundaries" `Quick test_proc_boundaries_split_blocks;
+    Alcotest.test_case "call block splits" `Quick
+      test_call_does_not_split_target_callers_block;
+    Alcotest.test_case "workload blocks tile code" `Quick
+      test_workload_blocks_consistent ]

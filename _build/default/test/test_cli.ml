@@ -1,0 +1,102 @@
+(* End-to-end tests of the vprof binary: each subcommand runs against the
+   real executable (declared as a dune dependency) and its output is
+   checked for the expected shape. *)
+
+let vprof = "../bin/vprof.exe"
+
+(* Runs the binary, returns (exit_code, combined output). *)
+let run_cli args =
+  let out = Filename.temp_file "vprof_cli" ".out" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+    (fun () ->
+      let cmd =
+        Printf.sprintf "%s %s > %s 2>&1" (Filename.quote vprof) args
+          (Filename.quote out)
+      in
+      let code = Sys.command cmd in
+      let ic = open_in out in
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      close_in ic;
+      (code, text))
+
+let check_ok name args expectations =
+  let code, out = run_cli args in
+  Alcotest.(check int) (name ^ ": exit code") 0 code;
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: output mentions %S" name needle)
+        true
+        (Astring_contains.contains out needle))
+    expectations
+
+let test_binary_present () =
+  Alcotest.(check bool) "vprof.exe built" true (Sys.file_exists vprof)
+
+let test_list () =
+  check_ok "list" "list" [ "compress"; "m88ksim"; "fpppp"; "SPEC95" ]
+
+let test_run () = check_ok "run" "run -w li" [ "li"; "dynamic instructions" ]
+
+let test_profile () =
+  check_ok "profile" "profile -w go -s loads -t 3"
+    [ "Inv-Top"; "LVP"; "predictor"; "eval" ]
+
+let test_memory () =
+  check_ok "memory" "memory -w alvinn -t 2" [ "locations"; "invariant" ]
+
+let test_procs () = check_ok "procs" "procs -w m88ksim" [ "execute"; "calls" ]
+
+let test_specialize () =
+  check_ok "specialize" "specialize -w m88ksim"
+    [ "execute"; "results identical" ]
+
+let test_memoize () =
+  check_ok "memoize" "memoize -w vortex -p find -a 2"
+    [ "memoized find/2"; "results identical" ]
+
+let test_experiment () =
+  check_ok "experiment" "experiment e01" [ "Table III.1"; "compress" ]
+
+let test_diff () = check_ok "diff" "diff -w cc -t 3" [ "correlation" ]
+
+let test_emit_roundtrip () =
+  let code, out = run_cli "emit -w perl" in
+  Alcotest.(check int) "emit exit" 0 code;
+  let path = Filename.temp_file "vprof_cli" ".vasm" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc out;
+      close_out oc;
+      check_ok "run emitted file"
+        (Printf.sprintf "run -w %s" (Filename.quote path))
+        [ "dynamic instructions" ])
+
+let test_unknown_workload_fails () =
+  let code, out = run_cli "run -w doom" in
+  Alcotest.(check bool) "nonzero exit" true (code <> 0);
+  Alcotest.(check bool) "helpful message" true
+    (Astring_contains.contains out "unknown workload")
+
+let test_unknown_experiment_fails () =
+  let code, _ = run_cli "experiment e99" in
+  Alcotest.(check bool) "nonzero exit" true (code <> 0)
+
+let suite =
+  [ Alcotest.test_case "binary present" `Quick test_binary_present;
+    Alcotest.test_case "list" `Slow test_list;
+    Alcotest.test_case "run" `Slow test_run;
+    Alcotest.test_case "profile" `Slow test_profile;
+    Alcotest.test_case "memory" `Slow test_memory;
+    Alcotest.test_case "procs" `Slow test_procs;
+    Alcotest.test_case "specialize" `Slow test_specialize;
+    Alcotest.test_case "memoize" `Slow test_memoize;
+    Alcotest.test_case "experiment" `Slow test_experiment;
+    Alcotest.test_case "diff" `Slow test_diff;
+    Alcotest.test_case "emit roundtrip" `Slow test_emit_roundtrip;
+    Alcotest.test_case "unknown workload" `Quick test_unknown_workload_fails;
+    Alcotest.test_case "unknown experiment" `Quick test_unknown_experiment_fails ]

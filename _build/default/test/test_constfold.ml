@@ -1,0 +1,180 @@
+open Isa
+
+let test_meet_lattice () =
+  let open Constfold in
+  Alcotest.(check bool) "undef identity" true (meet Undef (Const 3L) = Const 3L);
+  Alcotest.(check bool) "equal consts" true (meet (Const 3L) (Const 3L) = Const 3L);
+  Alcotest.(check bool) "conflicting consts" true (meet (Const 3L) (Const 4L) = Nac);
+  Alcotest.(check bool) "nac absorbs" true (meet Nac (Const 3L) = Nac);
+  Alcotest.(check bool) "nac undef" true (meet Nac Undef = Nac)
+
+let qcheck_meet_properties =
+  let fact_gen =
+    QCheck.Gen.(
+      oneof
+        [ return Constfold.Undef;
+          return Constfold.Nac;
+          map (fun i -> Constfold.Const (Int64.of_int i)) (int_range 0 3) ])
+  in
+  QCheck.Test.make ~name:"meet is commutative, idempotent, associative"
+    ~count:500
+    (QCheck.make QCheck.Gen.(triple fact_gen fact_gen fact_gen))
+    (fun (a, b, c) ->
+      let open Constfold in
+      meet a b = meet b a
+      && meet a a = a
+      && meet (meet a b) c = meet a (meet b c))
+
+let test_entry_env () =
+  let env = Constfold.entry_env [ (a0, 5L) ] in
+  Alcotest.(check bool) "bound param" true (env.(a0) = Constfold.Const 5L);
+  Alcotest.(check bool) "zero pinned" true (env.(zero_reg) = Constfold.Const 0L);
+  Alcotest.(check bool) "others nac" true (env.(t0) = Constfold.Nac);
+  Alcotest.check_raises "zero not bindable"
+    (Invalid_argument "Constfold: cannot bind the zero register") (fun () ->
+      ignore (Constfold.entry_env [ (zero_reg, 1L) ]))
+
+let test_fold_arithmetic () =
+  let body =
+    [| Body.BLdi (t0, 10L);
+       Body.BOp (Isa.Add, t0, Isa.Imm 5L, t1);
+       Body.BOp (Isa.Mul, t1, Isa.Reg t0, t2);
+       Body.BRet |]
+  in
+  let folded, stats = Constfold.fold body ~entry:(Constfold.entry_env []) in
+  Alcotest.(check int) "two folds" 2 stats.Constfold.folded;
+  (match folded.(1) with
+   | Body.BLdi (r, 15L) -> Alcotest.(check int) "t1" t1 r
+   | _ -> Alcotest.fail "expected fold to 15");
+  (match folded.(2) with
+   | Body.BLdi (r, 150L) -> Alcotest.(check int) "t2" t2 r
+   | _ -> Alcotest.fail "expected fold to 150")
+
+let test_fold_uses_param () =
+  let body =
+    [| Body.BOp (Isa.Mul, a0, Isa.Imm 3L, t0);
+       Body.BRet |]
+  in
+  let folded, stats =
+    Constfold.fold body ~entry:(Constfold.entry_env [ (a0, 7L) ])
+  in
+  Alcotest.(check int) "folded" 1 stats.Constfold.folded;
+  (match folded.(0) with
+   | Body.BLdi (_, 21L) -> ()
+   | _ -> Alcotest.fail "expected 21")
+
+let test_branch_resolution_and_unreachable () =
+  (* if a0 == 1 (true under entry env) skip the else-branch *)
+  let body =
+    [| Body.BOp (Isa.Cmpeq, a0, Isa.Imm 1L, t0); (* 0: t0 = 1 *)
+       Body.BBr (Isa.Ne, t0, Body.Local 3); (* 1: taken *)
+       Body.BLdi (t1, 111L); (* 2: unreachable *)
+       Body.BLdi (t1, 222L); (* 3: reached *)
+       Body.BRet |]
+  in
+  let folded, stats =
+    Constfold.fold body ~entry:(Constfold.entry_env [ (a0, 1L) ])
+  in
+  Alcotest.(check int) "branch resolved" 1 stats.Constfold.branches_resolved;
+  Alcotest.(check int) "one unreachable" 1 stats.Constfold.unreachable;
+  (match folded.(1) with
+   | Body.BJmp (Body.Local 3) -> ()
+   | _ -> Alcotest.fail "expected resolved jump");
+  Alcotest.(check bool) "unreachable is nop" true (folded.(2) = Body.BNop)
+
+let test_untaken_branch_becomes_nop () =
+  let body =
+    [| Body.BOp (Isa.Cmpeq, a0, Isa.Imm 1L, t0);
+       Body.BBr (Isa.Ne, t0, Body.Local 2);
+       Body.BRet |]
+  in
+  let folded, stats =
+    Constfold.fold body ~entry:(Constfold.entry_env [ (a0, 9L) ])
+  in
+  Alcotest.(check int) "resolved" 1 stats.Constfold.branches_resolved;
+  Alcotest.(check bool) "untaken branch removed" true (folded.(1) = Body.BNop)
+
+let test_load_produces_nac () =
+  let body =
+    [| Body.BLd (t0, a0, 0);
+       Body.BOp (Isa.Add, t0, Isa.Imm 1L, t1);
+       Body.BRet |]
+  in
+  let _, stats =
+    Constfold.fold body ~entry:(Constfold.entry_env [ (a0, 100L) ])
+  in
+  Alcotest.(check int) "nothing folds through a load" 0 stats.Constfold.folded
+
+let test_call_clobbers_temporaries_not_saved () =
+  let body =
+    [| Body.BLdi (t0, 5L); (* temp: dies at the call *)
+       Body.BLdi (s0, 6L); (* saved: survives *)
+       Body.BJsr (Body.Global 0);
+       Body.BOp (Isa.Add, t0, Isa.Imm 1L, t1); (* must not fold *)
+       Body.BOp (Isa.Add, s0, Isa.Imm 1L, t2); (* folds to 7 *)
+       Body.BRet |]
+  in
+  let folded, stats = Constfold.fold body ~entry:(Constfold.entry_env []) in
+  Alcotest.(check int) "only saved-reg use folds" 1 stats.Constfold.folded;
+  (match folded.(4) with
+   | Body.BLdi (_, 7L) -> ()
+   | _ -> Alcotest.fail "expected s0+1 to fold to 7");
+  (match folded.(3) with
+   | Body.BOp _ -> ()
+   | _ -> Alcotest.fail "t0+1 must not fold across the call")
+
+let test_division_by_zero_not_folded () =
+  let body =
+    [| Body.BOp (Isa.Div, a0, Isa.Imm 0L, t0);
+       Body.BRet |]
+  in
+  let folded, stats =
+    Constfold.fold body ~entry:(Constfold.entry_env [ (a0, 5L) ])
+  in
+  Alcotest.(check int) "no fold" 0 stats.Constfold.folded;
+  (match folded.(0) with
+   | Body.BOp (Isa.Div, _, _, _) -> ()
+   | _ -> Alcotest.fail "division kept so it still traps")
+
+let test_loop_carried_value_not_constant () =
+  (* t0 starts constant but changes around the loop: the merge at the loop
+     head must be Nac, so nothing folds inside. *)
+  let body =
+    [| Body.BLdi (t0, 3L); (* 0 *)
+       Body.BOp (Isa.Sub, t0, Isa.Imm 1L, t0); (* 1: loop head *)
+       Body.BBr (Isa.Gt, t0, Body.Local 1); (* 2 *)
+       Body.BRet |]
+  in
+  let folded, stats = Constfold.fold body ~entry:(Constfold.entry_env []) in
+  Alcotest.(check int) "no branch resolved" 0 stats.Constfold.branches_resolved;
+  (match folded.(1) with
+   | Body.BOp (Isa.Sub, _, _, _) -> ()
+   | _ -> Alcotest.fail "loop-carried subtraction must not fold")
+
+let test_analyze_unreachable_none () =
+  let body =
+    [| Body.BJmp (Body.Local 2);
+       Body.BLdi (t0, 1L); (* unreachable *)
+       Body.BRet |]
+  in
+  let facts = Constfold.analyze body ~entry:(Constfold.entry_env []) in
+  Alcotest.(check bool) "entry reached" true (facts.(0) <> None);
+  Alcotest.(check bool) "dead instr unreached" true (facts.(1) = None);
+  Alcotest.(check bool) "target reached" true (facts.(2) <> None)
+
+let suite =
+  [ Alcotest.test_case "meet lattice" `Quick test_meet_lattice;
+    Alcotest.test_case "entry env" `Quick test_entry_env;
+    Alcotest.test_case "fold arithmetic" `Quick test_fold_arithmetic;
+    Alcotest.test_case "fold uses param" `Quick test_fold_uses_param;
+    Alcotest.test_case "branch resolution" `Quick
+      test_branch_resolution_and_unreachable;
+    Alcotest.test_case "untaken branch" `Quick test_untaken_branch_becomes_nop;
+    Alcotest.test_case "loads are nac" `Quick test_load_produces_nac;
+    Alcotest.test_case "call clobber semantics" `Quick
+      test_call_clobbers_temporaries_not_saved;
+    Alcotest.test_case "div by zero kept" `Quick test_division_by_zero_not_folded;
+    Alcotest.test_case "loop-carried not constant" `Quick
+      test_loop_carried_value_not_constant;
+    Alcotest.test_case "unreachable analysis" `Quick test_analyze_unreachable_none;
+    QCheck_alcotest.to_alcotest qcheck_meet_properties ]

@@ -1,0 +1,91 @@
+open Isa
+
+(* f is called from two sites, each with its own constant argument: the
+   aggregate profile sees a 50/50 split, the per-site profile sees two
+   invariant parameters. *)
+let program n =
+  let b = Asm.create () in
+  Asm.proc b "f" (fun b ->
+      Asm.add b ~dst:v0 a0 a0;
+      Asm.ret b);
+  Asm.proc b "main" (fun b ->
+      Asm.ldi b s0 0L;
+      Asm.label b "loop";
+      Asm.cmplti b ~dst:t0 s0 (Int64.of_int n);
+      Asm.br b Eq t0 "done";
+      Asm.ldi b a0 111L;
+      Asm.call b "f"; (* site A *)
+      Asm.ldi b a0 222L;
+      Asm.call b "f"; (* site B *)
+      Asm.addi b ~dst:s0 s0 1L;
+      Asm.jmp b "loop";
+      Asm.label b "done";
+      Asm.halt b);
+  Asm.assemble b ~entry:"main"
+
+let config = { Ctxprof.default_config with arities = [ ("f", 1) ] }
+
+let test_sites_split () =
+  let t = Ctxprof.run ~config (program 40) in
+  let f_contexts =
+    Array.to_list t.Ctxprof.contexts
+    |> List.filter (fun (c : Ctxprof.context_report) -> c.c_proc = "f")
+  in
+  Alcotest.(check int) "two sites" 2 (List.length f_contexts);
+  List.iter
+    (fun (c : Ctxprof.context_report) ->
+      Alcotest.(check int) "forty calls each" 40 c.c_calls;
+      Alcotest.(check (float 1e-9)) "invariant per site" 1.0
+        c.c_params.(0).Metrics.inv_top)
+    f_contexts
+
+let test_sites_are_call_pcs () =
+  let prog = program 5 in
+  let t = Ctxprof.run ~config prog in
+  Array.iter
+    (fun (c : Ctxprof.context_report) ->
+      match prog.Asm.code.(c.c_site) with
+      | Isa.Jsr _ -> ()
+      | other ->
+        Alcotest.failf "site %d is %s, not a call" c.c_site
+          (Isa.to_string other))
+    t.Ctxprof.contexts
+
+let test_context_gain () =
+  let prog = program 40 in
+  let t = Ctxprof.run ~config prog in
+  let flat =
+    Procprof.run
+      ~config:{ Procprof.default_config with arities = [ ("f", 1) ] }
+      prog
+  in
+  (match Ctxprof.context_gain t flat with
+   | [ ("f", flat_inv, ctx_inv) ] ->
+     Alcotest.(check (float 1e-9)) "aggregate 50%" 0.5 flat_inv;
+     Alcotest.(check (float 1e-9)) "per-site 100%" 1.0 ctx_inv
+   | other -> Alcotest.failf "unexpected gain shape (%d entries)" (List.length other))
+
+let test_weighted_param_invariance () =
+  let t = Ctxprof.run ~config (program 40) in
+  Alcotest.(check (float 1e-9)) "all contexts invariant" 1.0
+    (Ctxprof.weighted_param_invariance t)
+
+let test_max_contexts_cap () =
+  let cfg = { config with Ctxprof.max_contexts = 1 } in
+  let t = Ctxprof.run ~config:cfg (program 40) in
+  Alcotest.(check int) "one context tracked" 1 (Array.length t.Ctxprof.contexts);
+  Alcotest.(check int) "other site's calls counted as untracked" 40
+    t.Ctxprof.untracked_calls
+
+let test_no_arity_no_contexts () =
+  let t = Ctxprof.run (program 10) in
+  Alcotest.(check int) "nothing tracked" 0 (Array.length t.Ctxprof.contexts)
+
+let suite =
+  [ Alcotest.test_case "sites split" `Quick test_sites_split;
+    Alcotest.test_case "sites are call pcs" `Quick test_sites_are_call_pcs;
+    Alcotest.test_case "context gain" `Quick test_context_gain;
+    Alcotest.test_case "weighted invariance" `Quick
+      test_weighted_param_invariance;
+    Alcotest.test_case "max contexts cap" `Quick test_max_contexts_cap;
+    Alcotest.test_case "no arity, no contexts" `Quick test_no_arity_no_contexts ]

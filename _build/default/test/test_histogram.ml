@@ -1,0 +1,60 @@
+let feq = Alcotest.float 1e-9
+
+let test_bucketing () =
+  let h = Histogram.create ~buckets:10 ~lo:0. ~hi:1. in
+  Histogram.add h 0.05 ~weight:1.;
+  Histogram.add h 0.15 ~weight:2.;
+  Histogram.add h 0.95 ~weight:3.;
+  Alcotest.check feq "bucket 0" 1. (Histogram.weight h 0);
+  Alcotest.check feq "bucket 1" 2. (Histogram.weight h 1);
+  Alcotest.check feq "bucket 9" 3. (Histogram.weight h 9);
+  Alcotest.check feq "total" 6. (Histogram.total_weight h)
+
+let test_clamping () =
+  let h = Histogram.create ~buckets:4 ~lo:0. ~hi:1. in
+  Histogram.add h (-5.) ~weight:1.;
+  Histogram.add h 7. ~weight:1.;
+  Histogram.add h 1.0 ~weight:1.;
+  Alcotest.check feq "low clamps" 1. (Histogram.weight h 0);
+  Alcotest.check feq "high clamps" 2. (Histogram.weight h 3)
+
+let test_bounds () =
+  let h = Histogram.create ~buckets:4 ~lo:0. ~hi:2. in
+  let lo, hi = Histogram.bounds h 1 in
+  Alcotest.check feq "lo" 0.5 lo;
+  Alcotest.check feq "hi" 1.0 hi;
+  Alcotest.check_raises "out of range" (Invalid_argument "Histogram.bounds")
+    (fun () -> ignore (Histogram.bounds h 4))
+
+let test_fractions () =
+  let h = Histogram.create ~buckets:2 ~lo:0. ~hi:1. in
+  Alcotest.check feq "empty fraction" 0. (Histogram.fraction h 0);
+  Histogram.add h 0.1 ~weight:1.;
+  Histogram.add h 0.9 ~weight:3.;
+  Alcotest.check feq "fraction 0" 0.25 (Histogram.fraction h 0);
+  Alcotest.check feq "fraction 1" 0.75 (Histogram.fraction h 1)
+
+let test_create_invalid () =
+  Alcotest.check_raises "no buckets"
+    (Invalid_argument "Histogram.create: buckets must be positive") (fun () ->
+      ignore (Histogram.create ~buckets:0 ~lo:0. ~hi:1.));
+  Alcotest.check_raises "inverted range"
+    (Invalid_argument "Histogram.create: hi must exceed lo") (fun () ->
+      ignore (Histogram.create ~buckets:2 ~lo:1. ~hi:1.))
+
+let qcheck_fractions_sum =
+  QCheck.Test.make ~name:"fractions sum to 1 when non-empty" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-2.) 3.))
+    (fun samples ->
+      let h = Histogram.create ~buckets:7 ~lo:0. ~hi:1. in
+      List.iter (fun x -> Histogram.add h x ~weight:1.) samples;
+      let sum = Array.fold_left ( +. ) 0. (Histogram.fractions h) in
+      abs_float (sum -. 1.) < 1e-9)
+
+let suite =
+  [ Alcotest.test_case "bucketing" `Quick test_bucketing;
+    Alcotest.test_case "clamping" `Quick test_clamping;
+    Alcotest.test_case "bounds" `Quick test_bounds;
+    Alcotest.test_case "fractions" `Quick test_fractions;
+    Alcotest.test_case "invalid create" `Quick test_create_invalid;
+    QCheck_alcotest.to_alcotest qcheck_fractions_sum ]

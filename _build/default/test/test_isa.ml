@@ -1,0 +1,76 @@
+open Isa
+
+let test_dest_reg () =
+  Alcotest.(check (option int)) "alu dest" (Some t1)
+    (dest_reg (Op (Add, t0, Imm 1L, t1)));
+  Alcotest.(check (option int)) "write to zero is none" None
+    (dest_reg (Op (Add, t0, Imm 1L, zero_reg)));
+  Alcotest.(check (option int)) "ldi" (Some t0) (dest_reg (Ldi (t0, 5L)));
+  Alcotest.(check (option int)) "load" (Some t2) (dest_reg (Ld (t2, t0, 0)));
+  Alcotest.(check (option int)) "store" None (dest_reg (St (t0, t1, 0)));
+  Alcotest.(check (option int)) "branch" None (dest_reg (Br (Eq, t0, 3)));
+  Alcotest.(check (option int)) "ret" None (dest_reg Ret)
+
+let test_category () =
+  let check name instr expect =
+    Alcotest.(check bool) name true (category instr = expect)
+  in
+  check "op is alu" (Op (Mul, t0, Reg t1, t2)) Alu;
+  check "ldi is alu" (Ldi (t0, 0L)) Alu;
+  check "ld" (Ld (t0, t1, 0)) Load;
+  check "st" (St (t0, t1, 0)) Store;
+  check "br" (Br (Ne, t0, 0)) Branch;
+  check "jmp" (Jmp 0) Branch;
+  check "jsr" (Jsr 0) Call;
+  check "jsr_ind" (Jsr_ind t0) Call;
+  check "ret" Ret Return;
+  check "halt" Halt Other;
+  check "nop" Nop Other
+
+let test_is_control () =
+  Alcotest.(check bool) "br" true (is_control (Br (Eq, t0, 0)));
+  Alcotest.(check bool) "halt" true (is_control Halt);
+  Alcotest.(check bool) "op" false (is_control (Op (Add, t0, Imm 0L, t1)));
+  Alcotest.(check bool) "st" false (is_control (St (t0, t1, 0)))
+
+let test_targets () =
+  Alcotest.(check (list int)) "br" [ 7 ] (targets (Br (Eq, t0, 7)));
+  Alcotest.(check (list int)) "jmp" [ 3 ] (targets (Jmp 3));
+  Alcotest.(check (list int)) "jsr" [ 9 ] (targets (Jsr 9));
+  Alcotest.(check (list int)) "indirect" [] (targets (Jsr_ind t0));
+  Alcotest.(check (list int)) "alu" [] (targets (Ldi (t0, 0L)))
+
+let test_reg_names () =
+  Alcotest.(check string) "zero" "zero" (string_of_reg zero_reg);
+  Alcotest.(check string) "sp" "sp" (string_of_reg sp);
+  Alcotest.(check string) "v0" "v0" (string_of_reg v0);
+  Alcotest.(check string) "a0" "a0" (string_of_reg a0);
+  Alcotest.(check string) "t3" "t3" (string_of_reg t3);
+  Alcotest.(check string) "s5" "s5" (string_of_reg s5);
+  Alcotest.(check string) "raw" "r15" (string_of_reg 15)
+
+let test_pretty_printing () =
+  Alcotest.(check string) "op" "add t0, #1 -> t1"
+    (to_string (Op (Add, t0, Imm 1L, t1)));
+  Alcotest.(check string) "ld" "ld [t0+4] -> t1" (to_string (Ld (t1, t0, 4)));
+  Alcotest.(check string) "st" "st t1 -> [t0-2]" (to_string (St (t1, t0, -2)));
+  Alcotest.(check string) "br" "beq t0, @9" (to_string (Br (Eq, t0, 9)));
+  Alcotest.(check string) "ret" "ret" (to_string Ret)
+
+let test_register_conventions () =
+  Alcotest.(check int) "32 registers" 32 num_regs;
+  Alcotest.(check int) "zero is r31" 31 zero_reg;
+  Alcotest.(check bool) "args contiguous" true
+    (a1 = a0 + 1 && a2 = a1 + 1 && a3 = a2 + 1 && a4 = a3 + 1 && a5 = a4 + 1);
+  Alcotest.(check bool) "temps contiguous" true
+    (t1 = t0 + 1 && t7 = t0 + 7);
+  Alcotest.(check bool) "saved contiguous" true (s5 = s0 + 5)
+
+let suite =
+  [ Alcotest.test_case "dest_reg" `Quick test_dest_reg;
+    Alcotest.test_case "category" `Quick test_category;
+    Alcotest.test_case "is_control" `Quick test_is_control;
+    Alcotest.test_case "targets" `Quick test_targets;
+    Alcotest.test_case "register names" `Quick test_reg_names;
+    Alcotest.test_case "pretty printing" `Quick test_pretty_printing;
+    Alcotest.test_case "register conventions" `Quick test_register_conventions ]

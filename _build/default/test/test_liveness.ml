@@ -1,0 +1,114 @@
+open Isa
+
+let test_dead_def_removed () =
+  let body =
+    [| Body.BLdi (t0, 5L); (* dead: never read *)
+       Body.BLdi (v0, 1L);
+       Body.BRet |]
+  in
+  let cleaned, removed = Liveness.eliminate_dead body in
+  Alcotest.(check int) "one removed" 1 removed;
+  Alcotest.(check bool) "replaced by nop" true (cleaned.(0) = Body.BNop);
+  Alcotest.(check bool) "live def kept" true (cleaned.(1) <> Body.BNop)
+
+let test_chain_of_dead_defs () =
+  (* t1 depends on t0; once t1 is dead, t0 becomes dead too — requires
+     the fixpoint iteration. *)
+  let body =
+    [| Body.BLdi (t0, 5L);
+       Body.BOp (Isa.Add, t0, Isa.Imm 1L, t1);
+       Body.BLdi (v0, 9L);
+       Body.BRet |]
+  in
+  let _, removed = Liveness.eliminate_dead body in
+  Alcotest.(check int) "both removed" 2 removed
+
+let test_live_through_branch () =
+  (* t0 is read on one branch path only — still live, nothing removed. *)
+  let body =
+    [| Body.BLdi (t0, 5L);
+       Body.BBr (Isa.Gt, a0, Body.Local 3);
+       Body.BOp (Isa.Add, t0, Isa.Imm 0L, v0);
+       Body.BRet |]
+  in
+  let _, removed = Liveness.eliminate_dead body in
+  Alcotest.(check int) "nothing removed" 0 removed
+
+let test_store_never_removed () =
+  let body =
+    [| Body.BLdi (t0, 5L);
+       Body.BSt (t0, sp, 0); (* side effect: keeps t0 alive too *)
+       Body.BRet |]
+  in
+  let _, removed = Liveness.eliminate_dead body in
+  Alcotest.(check int) "nothing removed" 0 removed
+
+let test_dead_load_removed () =
+  let body =
+    [| Body.BLd (t0, sp, 0); (* loads have no side effect here *)
+       Body.BLdi (v0, 1L);
+       Body.BRet |]
+  in
+  let cleaned, removed = Liveness.eliminate_dead body in
+  Alcotest.(check int) "load removed" 1 removed;
+  Alcotest.(check bool) "nop" true (cleaned.(0) = Body.BNop)
+
+let test_value_for_call_kept () =
+  (* a0 feeds the call: live. t0 written before the call and read after
+     would violate the convention, so the analysis treats it as dead. *)
+  let body =
+    [| Body.BLdi (a0, 5L);
+       Body.BLdi (t0, 6L); (* dead across the call *)
+       Body.BJsr (Body.Global 0);
+       Body.BRet |]
+  in
+  let cleaned, removed = Liveness.eliminate_dead body in
+  Alcotest.(check int) "t0 removed, a0 kept" 1 removed;
+  Alcotest.(check bool) "a0 load kept" true (cleaned.(0) <> Body.BNop);
+  Alcotest.(check bool) "t0 load dropped" true (cleaned.(1) = Body.BNop)
+
+let test_saved_reg_live_through_call () =
+  let body =
+    [| Body.BLdi (s0, 5L);
+       Body.BJsr (Body.Global 0);
+       Body.BOp (Isa.Add, s0, Isa.Imm 1L, v0);
+       Body.BRet |]
+  in
+  let _, removed = Liveness.eliminate_dead body in
+  Alcotest.(check int) "s0 survives the call, kept" 0 removed
+
+let test_v0_live_at_ret () =
+  let body = [| Body.BLdi (v0, 7L); Body.BRet |] in
+  let _, removed = Liveness.eliminate_dead body in
+  Alcotest.(check int) "return value kept" 0 removed
+
+let test_live_out_shape () =
+  let body = [| Body.BLdi (v0, 7L); Body.BRet |] in
+  let out = Liveness.live_out body in
+  Alcotest.(check bool) "v0 live after its def" true out.(0).(v0);
+  Alcotest.(check bool) "nothing live after ret" false
+    (Array.exists Fun.id out.(1))
+
+let test_loop_keeps_induction_variable () =
+  let body =
+    [| Body.BLdi (t0, 3L);
+       Body.BOp (Isa.Sub, t0, Isa.Imm 1L, t0);
+       Body.BBr (Isa.Gt, t0, Body.Local 1);
+       Body.BRet |]
+  in
+  let _, removed = Liveness.eliminate_dead body in
+  Alcotest.(check int) "loop counter kept" 0 removed
+
+let suite =
+  [ Alcotest.test_case "dead def removed" `Quick test_dead_def_removed;
+    Alcotest.test_case "dead chain (fixpoint)" `Quick test_chain_of_dead_defs;
+    Alcotest.test_case "live through branch" `Quick test_live_through_branch;
+    Alcotest.test_case "stores never removed" `Quick test_store_never_removed;
+    Alcotest.test_case "dead load removed" `Quick test_dead_load_removed;
+    Alcotest.test_case "call argument kept" `Quick test_value_for_call_kept;
+    Alcotest.test_case "saved reg through call" `Quick
+      test_saved_reg_live_through_call;
+    Alcotest.test_case "v0 live at ret" `Quick test_v0_live_at_ret;
+    Alcotest.test_case "live_out shape" `Quick test_live_out_shape;
+    Alcotest.test_case "loop induction kept" `Quick
+      test_loop_keeps_induction_variable ]

@@ -1,0 +1,202 @@
+open Isa
+
+(* An expensive pure procedure called with heavily repeating arguments:
+   memoization must preserve results and cut dynamic instructions. *)
+let program ?(calls = 200) ?(distinct = 4) () =
+  let b = Asm.create () in
+  let out = Asm.reserve b 1 in
+  (* slow_poly(x=a0, y=a1) -> v0, pure, ~60 instructions per call *)
+  Asm.proc b "slow_poly" (fun b ->
+      Asm.ldi b t0 0L;
+      Asm.ldi b t1 0L;
+      Asm.label b "poly_loop";
+      Asm.cmplti b ~dst:t2 t1 20L;
+      Asm.br b Eq t2 "poly_done";
+      Asm.mul b ~dst:t3 a0 t1;
+      Asm.add b ~dst:t3 t3 a1;
+      Asm.xor b ~dst:t0 t0 t3;
+      Asm.addi b ~dst:t1 t1 1L;
+      Asm.jmp b "poly_loop";
+      Asm.label b "poly_done";
+      Asm.mov b ~dst:v0 t0;
+      Asm.ret b);
+  Asm.proc b "main" (fun b ->
+      Asm.ldi b s0 0L;
+      Asm.ldi b s1 0L;
+      Asm.label b "loop";
+      Asm.cmplti b ~dst:t0 s0 (Int64.of_int calls);
+      Asm.br b Eq t0 "done";
+      (* arguments cycle through a few distinct tuples *)
+      Asm.remi b ~dst:a0 s0 (Int64.of_int distinct);
+      Asm.addi b ~dst:a1 a0 7L;
+      Asm.call b "slow_poly";
+      Asm.add b ~dst:s1 s1 v0;
+      Asm.addi b ~dst:s0 s0 1L;
+      Asm.jmp b "loop";
+      Asm.label b "done";
+      Asm.ldi b t0 out;
+      Asm.st b ~src:s1 ~base:t0 ~off:0;
+      Asm.mov b ~dst:v0 s1;
+      Asm.halt b);
+  Asm.assemble b ~entry:"main"
+
+let test_preserves_results_and_speeds_up () =
+  let prog = program () in
+  let report = Memoize.memoize prog ~proc:"slow_poly" ~arity:2 in
+  let equal, before, after = Memoize.differential prog report in
+  Alcotest.(check bool) "same results" true equal;
+  Alcotest.(check bool) "fewer dynamic instructions" true (after < before);
+  (* 4 distinct tuples over 200 calls: nearly every call should hit *)
+  Alcotest.(check bool) "substantial win" true
+    (float_of_int after < 0.6 *. float_of_int before)
+
+let test_all_distinct_arguments_slow_down () =
+  (* every tuple fresh: the cache never hits, the wrapper is pure cost —
+     the honest negative result (cf. li's arith in E23) *)
+  let prog = program ~calls:100 ~distinct:100 () in
+  let report = Memoize.memoize prog ~proc:"slow_poly" ~arity:2 in
+  let equal, before, after = Memoize.differential prog report in
+  Alcotest.(check bool) "still correct" true equal;
+  Alcotest.(check bool) "overhead shows" true (after > before)
+
+let test_wrapper_proc_registered () =
+  let prog = program () in
+  let report = Memoize.memoize prog ~proc:"slow_poly" ~arity:2 in
+  let sp = report.Memoize.m_program in
+  Alcotest.(check bool) "memo proc exists" true
+    (match Asm.find_proc sp "slow_poly__memo" with _ -> true);
+  (match sp.Asm.code.((Asm.find_proc sp "slow_poly").Asm.pentry) with
+   | Isa.Jmp t ->
+     Alcotest.(check int) "entry jumps to wrapper" report.Memoize.m_wrapper_entry t
+   | other -> Alcotest.failf "expected jmp, got %s" (Isa.to_string other))
+
+let test_cache_region_is_fresh_memory () =
+  let prog = program () in
+  let report = Memoize.memoize prog ~proc:"slow_poly" ~arity:2 in
+  List.iter
+    (fun (base, words) ->
+      let past = Int64.add base (Int64.of_int (Array.length words)) in
+      Alcotest.(check bool) "no overlap with existing data" true
+        (Int64.compare past report.Memoize.m_table_base <= 0
+         || Int64.compare base report.Memoize.m_table_base >= 0))
+    prog.Asm.data
+
+let test_invalid_arguments () =
+  let prog = program () in
+  Alcotest.check_raises "arity" (Invalid_argument "Memoize: arity out of range")
+    (fun () -> ignore (Memoize.memoize prog ~proc:"slow_poly" ~arity:0));
+  Alcotest.check_raises "entries"
+    (Invalid_argument "Memoize: entries must be a power of two") (fun () ->
+      ignore (Memoize.memoize ~entries:100 prog ~proc:"slow_poly" ~arity:2))
+
+let test_unsupported_entry_branch_target () =
+  let b = Asm.create () in
+  Asm.proc b "looper" (fun b ->
+      Asm.subi b ~dst:a0 a0 1L;
+      Asm.br b Gt a0 "looper";
+      Asm.mov b ~dst:v0 a0;
+      Asm.ret b);
+  Asm.proc b "main" (fun b ->
+      Asm.ldi b a0 3L;
+      Asm.call b "looper";
+      Asm.halt b);
+  let prog = Asm.assemble b ~entry:"main" in
+  (match Memoize.memoize prog ~proc:"looper" ~arity:1 with
+   | exception Body.Unsupported _ -> ()
+   | _ -> Alcotest.fail "expected Unsupported")
+
+let test_perl_hash_word_memoizes () =
+  (* the bundled workload case E23 reports: hash_word is pure modulo the
+     read-only vocabulary *)
+  let w = Workloads.find "perl" in
+  let prog = w.Workload.wbuild Workload.Test in
+  let report = Memoize.memoize prog ~proc:"hash_word" ~arity:2 in
+  let equal, before, after = Memoize.differential prog report in
+  Alcotest.(check bool) "perl results preserved" true equal;
+  Alcotest.(check bool) "perl speeds up" true (after < before)
+
+(* Random pure procedures (register arithmetic on the arguments only, no
+   loads/stores, forward branches) memoize without changing results, for
+   any argument stream. *)
+let qcheck_memoize_preserves_pure_procedures =
+  let open QCheck.Gen in
+  let scratch = [| t0; t1; t2; t3; t4; t5 |] in
+  let reg = map (fun i -> scratch.(i)) (int_range 0 5) in
+  let src = oneof [ reg; return a0; return a1 ] in
+  let instr =
+    frequency
+      [ (6,
+         map3
+           (fun op (d, s) operand -> `Op (op, d, s, operand))
+           (oneofl [ Isa.Add; Isa.Sub; Isa.Mul; Isa.And; Isa.Or; Isa.Xor;
+                     Isa.Cmpeq; Isa.Cmplt ])
+           (pair reg src)
+           (oneof
+              [ map (fun r -> `R r) src;
+                map (fun i -> `I (Int64.of_int i)) (int_range (-9) 9) ]));
+        (2,
+         map3 (fun c r dist -> `Br (c, r, dist))
+           (oneofl [ Isa.Eq; Isa.Ne; Isa.Lt; Isa.Gt ])
+           src (int_range 1 5)) ]
+  in
+  let gen =
+    pair
+      (list_size (int_range 2 20) instr)
+      (list_size (int_range 1 12) (pair (int_range (-3) 3) (int_range (-3) 3)))
+  in
+  QCheck.Test.make ~name:"memoize preserves pure procedures" ~count:200
+    (QCheck.make gen)
+    (fun (instrs, arg_stream) ->
+      let b = Asm.create () in
+      let out = Asm.reserve b 16 in
+      let n = List.length instrs in
+      Asm.proc b "f" (fun b ->
+          (* initialize scratch from the arguments: pure by construction *)
+          Asm.mov b ~dst:t0 a0;
+          Asm.mov b ~dst:t1 a1;
+          Asm.xor b ~dst:t2 a0 a1;
+          Asm.addi b ~dst:t3 a0 5L;
+          Asm.muli b ~dst:t4 a1 3L;
+          Asm.ldi b t5 9L;
+          List.iteri
+            (fun i instr ->
+              Asm.label b (Printf.sprintf "f_l%d" i);
+              match instr with
+              | `Op (op, d, s, `R r) -> Asm.bin b op ~dst:d s (Isa.Reg r)
+              | `Op (op, d, s, `I v) -> Asm.bin b op ~dst:d s (Isa.Imm v)
+              | `Br (c, r, dist) ->
+                Asm.br b c r (Printf.sprintf "f_l%d" (min n (i + dist))))
+            instrs;
+          Asm.label b (Printf.sprintf "f_l%d" n);
+          Asm.mov b ~dst:v0 t0;
+          Asm.ret b);
+      Asm.proc b "main" (fun b ->
+          List.iteri
+            (fun i (x, y) ->
+              Asm.ldi b a0 (Int64.of_int x);
+              Asm.ldi b a1 (Int64.of_int y);
+              Asm.call b "f";
+              Asm.ldi b t1 out;
+              Asm.st b ~src:v0 ~base:t1 ~off:(i land 15))
+            arg_stream;
+          Asm.halt b);
+      let prog = Asm.assemble b ~entry:"main" in
+      match Memoize.memoize ~entries:8 prog ~proc:"f" ~arity:2 with
+      | report ->
+        let equal, _, _ = Memoize.differential prog report in
+        equal
+      | exception Body.Unsupported _ -> QCheck.assume_fail ())
+
+let suite =
+  [ Alcotest.test_case "preserves results, speeds up" `Quick
+      test_preserves_results_and_speeds_up;
+    QCheck_alcotest.to_alcotest qcheck_memoize_preserves_pure_procedures;
+    Alcotest.test_case "all-distinct arguments slow down" `Quick
+      test_all_distinct_arguments_slow_down;
+    Alcotest.test_case "wrapper registered" `Quick test_wrapper_proc_registered;
+    Alcotest.test_case "cache region fresh" `Quick
+      test_cache_region_is_fresh_memory;
+    Alcotest.test_case "invalid arguments" `Quick test_invalid_arguments;
+    Alcotest.test_case "entry branch target unsupported" `Quick
+      test_unsupported_entry_branch_target;
+    Alcotest.test_case "perl hash_word" `Slow test_perl_hash_word_memoizes ]

@@ -1,0 +1,95 @@
+open Isa
+
+(* Writes a constant to one address repeatedly, a varying value to
+   another: the first location profiles invariant, the second variant. *)
+let program n =
+  let b = Asm.create () in
+  Asm.proc b "main" (fun b ->
+      Asm.ldi b t0 0L;
+      Asm.ldi b t1 2000L;
+      Asm.label b "loop";
+      Asm.cmplti b ~dst:t2 t0 (Int64.of_int n);
+      Asm.br b Eq t2 "done";
+      Asm.ldi b t3 42L;
+      Asm.st b ~src:t3 ~base:t1 ~off:0; (* invariant location 2000 *)
+      Asm.st b ~src:t0 ~base:t1 ~off:1; (* variant location 2001 *)
+      Asm.ld b ~dst:t4 ~base:t1 ~off:0;
+      Asm.addi b ~dst:t0 t0 1L;
+      Asm.jmp b "loop";
+      Asm.label b "done";
+      Asm.halt b);
+  Asm.assemble b ~entry:"main"
+
+let location r addr =
+  match
+    Array.find_opt
+      (fun (l : Memprof.location) -> Int64.equal l.l_addr addr)
+      r.Memprof.locations
+  with
+  | Some l -> l
+  | None -> Alcotest.failf "location %Ld not tracked" addr
+
+let test_locations_tracked () =
+  let r = Memprof.run (program 50) in
+  Alcotest.(check int) "two locations" 2 (Array.length r.Memprof.locations);
+  (* 50 stores + 50 stores + 50 loads *)
+  Alcotest.(check int) "events" 150 r.Memprof.tracked_events
+
+let test_invariant_location () =
+  let r = Memprof.run (program 50) in
+  let l = location r 2000L in
+  (* location 2000: 50 stores of 42 + 50 loads of 42 = 100 events *)
+  Alcotest.(check int) "events" 100 l.l_metrics.Metrics.total;
+  Alcotest.(check (float 1e-9)) "fully invariant" 1.0 l.l_metrics.Metrics.inv_top
+
+let test_variant_location () =
+  let r = Memprof.run (program 50) in
+  let l = location r 2001L in
+  Alcotest.(check int) "events" 50 l.l_metrics.Metrics.total;
+  Alcotest.(check bool) "variant" true (l.l_metrics.Metrics.inv_top < 0.1);
+  Alcotest.(check int) "all distinct" 50 l.l_metrics.Metrics.distinct
+
+let test_mode_loads_only () =
+  let config = { Memprof.default_config with mode = Memprof.Loads } in
+  let r = Memprof.run ~config (program 50) in
+  Alcotest.(check int) "only the loaded location" 1
+    (Array.length r.Memprof.locations);
+  Alcotest.(check int) "load events only" 50 r.Memprof.tracked_events
+
+let test_mode_stores_only () =
+  let config = { Memprof.default_config with mode = Memprof.Stores } in
+  let r = Memprof.run ~config (program 50) in
+  Alcotest.(check int) "both stored locations" 2
+    (Array.length r.Memprof.locations);
+  Alcotest.(check int) "store events only" 100 r.Memprof.tracked_events
+
+let test_max_locations_cap () =
+  let config = { Memprof.default_config with max_locations = 1 } in
+  let r = Memprof.run ~config (program 50) in
+  Alcotest.(check int) "one tracked" 1 (Array.length r.Memprof.locations);
+  Alcotest.(check bool) "untracked events counted" true
+    (r.Memprof.untracked_events > 0);
+  Alcotest.(check int) "tracked + untracked = all" 150
+    (r.Memprof.tracked_events + r.Memprof.untracked_events)
+
+let test_fraction_invariant () =
+  let r = Memprof.run (program 50) in
+  (* location 2000: 100 invariant events; 2001: 50 variant events *)
+  Alcotest.(check (float 1e-9)) "weighted" (100. /. 150.)
+    (Memprof.fraction_invariant r ~threshold:0.9);
+  Alcotest.(check (float 1e-9)) "unweighted" 0.5
+    (Memprof.fraction_invariant ~weighted:false r ~threshold:0.9)
+
+let test_sorted_by_heat () =
+  let r = Memprof.run (program 50) in
+  Alcotest.(check int64) "hottest first" 2000L r.Memprof.locations.(0).l_addr
+
+let suite =
+  [ Alcotest.test_case "locations tracked" `Quick test_locations_tracked;
+    Alcotest.test_case "invariant location" `Quick test_invariant_location;
+    Alcotest.test_case "variant location" `Quick test_variant_location;
+    Alcotest.test_case "loads-only mode" `Quick test_mode_loads_only;
+    Alcotest.test_case "stores-only mode" `Quick test_mode_stores_only;
+    Alcotest.test_case "max locations cap" `Quick test_max_locations_cap;
+    Alcotest.test_case "fraction invariant" `Quick test_fraction_invariant;
+    Alcotest.test_case "sorted by heat" `Quick test_sorted_by_heat ]

@@ -1,0 +1,182 @@
+(* Vstate + Metrics + Oracle tests. *)
+
+let feq = Alcotest.float 1e-9
+
+let observe_all vs values = List.iter (Vstate.observe vs) values
+
+let test_vstate_lvp () =
+  let vs = Vstate.create () in
+  observe_all vs [ 5L; 5L; 5L; 7L; 7L ];
+  let m = Vstate.metrics vs in
+  (* 4 transitions, 3 repeats: 5->5, 5->5, 7->7 *)
+  Alcotest.check feq "lvp" (3. /. 5.) m.Metrics.lvp;
+  Alcotest.check feq "inv_top" (3. /. 5.) m.Metrics.inv_top;
+  Alcotest.check feq "inv_all" 1.0 m.Metrics.inv_all;
+  Alcotest.(check int) "distinct" 2 m.Metrics.distinct
+
+let test_vstate_zero () =
+  let vs = Vstate.create () in
+  observe_all vs [ 0L; 0L; 1L; 0L ];
+  let m = Vstate.metrics vs in
+  Alcotest.check feq "zero fraction" 0.75 m.Metrics.zero
+
+let test_vstate_empty () =
+  let vs = Vstate.create () in
+  Alcotest.(check bool) "empty metrics" true (Vstate.metrics vs = Metrics.empty)
+
+let test_distinct_cap () =
+  let config = { Vstate.default_config with distinct_cap = 10 } in
+  let vs = Vstate.create ~config () in
+  for i = 1 to 50 do
+    Vstate.observe vs (Int64.of_int i)
+  done;
+  let m = Vstate.metrics vs in
+  Alcotest.(check int) "capped" 10 m.Metrics.distinct;
+  Alcotest.(check bool) "saturated flag" true m.Metrics.distinct_saturated
+
+let test_vstate_reset () =
+  let vs = Vstate.create () in
+  observe_all vs [ 1L; 2L ];
+  Vstate.reset vs;
+  Alcotest.(check int) "total zero" 0 (Vstate.total vs);
+  (* LVP state must not leak: the first value after reset is not a hit *)
+  observe_all vs [ 2L; 2L ];
+  Alcotest.check feq "lvp after reset" 0.5 (Vstate.metrics vs).Metrics.lvp
+
+let test_classify () =
+  let with_inv inv = { Metrics.empty with Metrics.total = 1; inv_top = inv } in
+  Alcotest.(check string) "invariant" "invariant"
+    (Metrics.string_of_classification (Metrics.classify (with_inv 0.95)));
+  Alcotest.(check string) "semi" "semi-invariant"
+    (Metrics.string_of_classification (Metrics.classify (with_inv 0.6)));
+  Alcotest.(check string) "variant" "variant"
+    (Metrics.string_of_classification (Metrics.classify (with_inv 0.1)));
+  Alcotest.(check string) "custom thresholds" "invariant"
+    (Metrics.string_of_classification
+       (Metrics.classify ~invariant_at:0.5 (with_inv 0.6)))
+
+let test_weighted_mean () =
+  let mk total inv = { Metrics.empty with Metrics.total; inv_top = inv } in
+  let points = [ mk 90 1.0; mk 10 0.0 ] in
+  Alcotest.check feq "weighted" 0.9
+    (Metrics.weighted_mean (fun m -> m.Metrics.inv_top) points);
+  Alcotest.check feq "empty" 0.
+    (Metrics.weighted_mean (fun m -> m.Metrics.inv_top) [])
+
+let test_stride_profile () =
+  let vs = Vstate.create () in
+  (* arithmetic sequence: delta 3 dominates transitions *)
+  for i = 0 to 20 do
+    Vstate.observe vs (Int64.of_int (10 + (3 * i)))
+  done;
+  let m = Vstate.metrics vs in
+  Alcotest.(check (option int64)) "top stride" (Some 3L) m.Metrics.top_stride;
+  Alcotest.check feq "all transitions strided" 1.0 m.Metrics.stride_top;
+  Alcotest.(check bool) "classified strided" true
+    (Metrics.predictor_class m = Metrics.Strided)
+
+let test_predictor_class_last_value () =
+  let vs = Vstate.create () in
+  for _ = 1 to 20 do Vstate.observe vs 7L done;
+  Alcotest.(check bool) "constant is last-value" true
+    (Metrics.predictor_class (Vstate.metrics vs) = Metrics.Last_value)
+
+let test_predictor_class_unpredictable () =
+  let vs = Vstate.create () in
+  (* values and deltas both scattered *)
+  let rng = Rng.create 5L in
+  for _ = 1 to 200 do
+    Vstate.observe vs (Rng.next rng)
+  done;
+  Alcotest.(check bool) "random is unpredictable" true
+    (Metrics.predictor_class (Vstate.metrics vs) = Metrics.Unpredictable)
+
+let test_predictor_class_zero_stride_is_last_value () =
+  (* a dominant zero delta must classify as last-value, never strided *)
+  let vs = Vstate.create () in
+  List.iter (Vstate.observe vs)
+    (List.concat (List.init 20 (fun _ -> [ 5L; 5L; 5L; 9L ])));
+  let m = Vstate.metrics vs in
+  Alcotest.(check bool) "not strided" true
+    (Metrics.predictor_class m <> Metrics.Strided)
+
+let test_predictor_class_names () =
+  Alcotest.(check string) "lv" "last-value"
+    (Metrics.string_of_predictor_class Metrics.Last_value);
+  Alcotest.(check string) "st" "strided"
+    (Metrics.string_of_predictor_class Metrics.Strided);
+  Alcotest.(check string) "un" "unpredictable"
+    (Metrics.string_of_predictor_class Metrics.Unpredictable)
+
+let test_metrics_to_string () =
+  let vs = Vstate.create () in
+  observe_all vs [ 1L; 1L ];
+  let s = Metrics.to_string (Vstate.metrics vs) in
+  Alcotest.(check bool) "mentions execs" true
+    (Astring_contains.contains s "execs 2")
+
+let test_oracle_counts () =
+  let o = Oracle.create () in
+  List.iter (Oracle.observe o) [ 1L; 2L; 2L; 3L; 3L; 3L ];
+  Alcotest.(check int) "total" 6 (Oracle.total o);
+  Alcotest.(check int) "distinct" 3 (Oracle.distinct o);
+  Alcotest.(check (option (pair int64 int))) "top" (Some (3L, 3)) (Oracle.top o);
+  Alcotest.check feq "inv_top" 0.5 (Oracle.inv_top o);
+  Alcotest.check feq "inv_all 2" (5. /. 6.) (Oracle.inv_all o ~n:2);
+  Alcotest.check feq "inv_all big n" 1.0 (Oracle.inv_all o ~n:10)
+
+let test_oracle_top_n () =
+  let o = Oracle.create () in
+  List.iter (Oracle.observe o) [ 1L; 2L; 2L; 3L; 3L; 3L ];
+  let top2 = Oracle.top_n o 2 in
+  Alcotest.(check int) "two entries" 2 (Array.length top2);
+  Alcotest.(check int64) "first" 3L (fst top2.(0));
+  Alcotest.(check int64) "second" 2L (fst top2.(1))
+
+let qcheck_vstate_matches_oracle_invariance =
+  (* On streams with few distinct values, the TNV-backed Vstate's Inv-Top
+     equals the oracle's exactly (no eviction pressure). *)
+  QCheck.Test.make ~name:"vstate inv_top matches oracle on small alphabets"
+    ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 500) (int_range 0 5))
+    (fun stream ->
+      let vs = Vstate.create () and o = Oracle.create () in
+      List.iter
+        (fun i ->
+          let v = Int64.of_int i in
+          Vstate.observe vs v;
+          Oracle.observe o v)
+        stream;
+      abs_float ((Vstate.metrics vs).Metrics.inv_top -. Oracle.inv_top o) < 1e-9)
+
+let qcheck_lvp_bounds =
+  QCheck.Test.make ~name:"all metric fractions in [0,1]" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 300) (int_range (-3) 3))
+    (fun stream ->
+      let vs = Vstate.create () in
+      List.iter (fun i -> Vstate.observe vs (Int64.of_int i)) stream;
+      let m = Vstate.metrics vs in
+      let in01 x = x >= 0. && x <= 1. +. 1e-9 in
+      in01 m.Metrics.lvp && in01 m.Metrics.inv_top && in01 m.Metrics.inv_all
+      && in01 m.Metrics.zero)
+
+let suite =
+  [ Alcotest.test_case "vstate lvp" `Quick test_vstate_lvp;
+    Alcotest.test_case "vstate zero" `Quick test_vstate_zero;
+    Alcotest.test_case "vstate empty" `Quick test_vstate_empty;
+    Alcotest.test_case "distinct cap" `Quick test_distinct_cap;
+    Alcotest.test_case "vstate reset" `Quick test_vstate_reset;
+    Alcotest.test_case "classify" `Quick test_classify;
+    Alcotest.test_case "weighted mean" `Quick test_weighted_mean;
+    Alcotest.test_case "stride profile" `Quick test_stride_profile;
+    Alcotest.test_case "class: last-value" `Quick test_predictor_class_last_value;
+    Alcotest.test_case "class: unpredictable" `Quick
+      test_predictor_class_unpredictable;
+    Alcotest.test_case "class: zero stride" `Quick
+      test_predictor_class_zero_stride_is_last_value;
+    Alcotest.test_case "class names" `Quick test_predictor_class_names;
+    Alcotest.test_case "metrics to_string" `Quick test_metrics_to_string;
+    Alcotest.test_case "oracle counts" `Quick test_oracle_counts;
+    Alcotest.test_case "oracle top_n" `Quick test_oracle_top_n;
+    QCheck_alcotest.to_alcotest qcheck_vstate_matches_oracle_invariance;
+    QCheck_alcotest.to_alcotest qcheck_lvp_bounds ]

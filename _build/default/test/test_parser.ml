@@ -1,0 +1,218 @@
+let sample_source =
+  {|
+; a small program: sum a data table
+.entry main
+.data table 10 20 0x2A -7
+.reserve scratch 8
+
+.proc sum
+  ldi  t0, #0
+  ldi  t1, @table
+  ldi  t2, #0
+loop:
+  cmplt t3, t2, #4
+  beq  t3, done
+  add  t4, t1, t2
+  ld   t5, [t4+0]
+  add  t0, t0, t5
+  add  t2, t2, #1
+  jmp  loop
+done:
+  mov  v0, t0
+  ret
+.end
+
+.proc main
+  jsr  sum
+  ldi  t6, @scratch
+  st   v0, [t6+0]
+  halt
+.end
+|}
+
+let test_parse_and_run () =
+  let prog = Parser.parse sample_source in
+  let m = Machine.execute prog in
+  (* 10 + 20 + 42 - 7 = 65 *)
+  Alcotest.(check int64) "computed sum" 65L (Machine.reg m Isa.v0);
+  Alcotest.(check int64) "stored to scratch" 65L
+    (Memory.read (Machine.memory m) 0x1_0004L)
+
+let test_structure () =
+  let prog = Parser.parse sample_source in
+  Alcotest.(check int) "two procs" 2 (Array.length prog.Asm.procs);
+  Alcotest.(check string) "first proc" "sum" prog.Asm.procs.(0).Asm.pname;
+  Alcotest.(check int) "entry at main" (Asm.find_proc prog "main").Asm.pentry
+    prog.Asm.entry;
+  Alcotest.(check int) "data blocks" 2 (List.length prog.Asm.data)
+
+let test_indirect_call_syntax () =
+  let src =
+    {|
+.proc target
+  ldi v0, #7
+  ret
+.end
+.proc main
+  ldi t0, @target
+  jsr (t0)
+  halt
+.end
+|}
+  in
+  let m = Machine.execute (Parser.parse src) in
+  Alcotest.(check int64) "dispatched" 7L (Machine.reg m Isa.v0)
+
+let test_register_aliases () =
+  let src =
+    {|
+.proc main
+  ldi r1, #5
+  mov a0, t0      ; r1 = t0
+  add v0, a0, zero
+  halt
+.end
+|}
+  in
+  let m = Machine.execute (Parser.parse src) in
+  Alcotest.(check int64) "aliases agree" 5L (Machine.reg m Isa.v0)
+
+let expect_error ?line src =
+  match Parser.parse src with
+  | _ -> Alcotest.fail "expected Parse_error"
+  | exception Parser.Parse_error (l, _) ->
+    (match line with
+     | Some expected -> Alcotest.(check int) "error line" expected l
+     | None -> ())
+
+let test_errors () =
+  expect_error ~line:2 ".proc main\nbogus t0, t1\nhalt\n.end";
+  expect_error ~line:1 "add t0, t1, t2\n";
+  expect_error ".proc main\nldi t0, #1\n" (* missing .end *);
+  expect_error ~line:2 ".proc main\nldi qq, #1\nhalt\n.end";
+  expect_error ~line:2 ".proc main\nld t0, t1\nhalt\n.end";
+  expect_error ~line:1 ".data\n";
+  expect_error ~line:2 ".data x 1\n.data x 2\n.proc main\nhalt\n.end";
+  expect_error ~line:1 ".frobnicate\n.proc main\nhalt\n.end"
+
+let test_branch_to_proc_entry () =
+  (* a loop back to the procedure's first instruction round-trips through
+     the proc-name label *)
+  let src =
+    {|
+.proc main
+  add t0, t0, #1
+  cmplt t1, t0, #5
+  bne t1, main
+  halt
+.end
+|}
+  in
+  let m = Machine.execute (Parser.parse src) in
+  Alcotest.(check int64) "looped to 5" 5L (Machine.reg m Isa.t0)
+
+let structurally_equal (a : Asm.program) (b : Asm.program) =
+  a.Asm.code = b.Asm.code && a.Asm.entry = b.Asm.entry
+  && Array.map (fun (p : Asm.proc) -> (p.Asm.pname, p.Asm.pentry, p.Asm.plength)) a.Asm.procs
+     = Array.map (fun (p : Asm.proc) -> (p.Asm.pname, p.Asm.pentry, p.Asm.plength)) b.Asm.procs
+  && a.Asm.data = b.Asm.data
+
+let test_emit_parse_roundtrip_sample () =
+  let prog = Parser.parse sample_source in
+  let prog' = Parser.parse (Parser.emit prog) in
+  Alcotest.(check bool) "round trip" true (structurally_equal prog prog')
+
+let test_emit_parse_roundtrip_all_workloads () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let prog = w.wbuild Workload.Test in
+      let prog' = Parser.parse (Parser.emit prog) in
+      Alcotest.(check bool) (w.wname ^ " round trips") true
+        (structurally_equal prog prog');
+      (* and the reconstruction behaves identically *)
+      let m = Machine.execute prog and m' = Machine.execute prog' in
+      Alcotest.(check int) (w.wname ^ " same icount") (Machine.icount m)
+        (Machine.icount m');
+      Alcotest.(check int64) (w.wname ^ " same result")
+        (Machine.reg m Isa.v0) (Machine.reg m' Isa.v0))
+    Workloads.all
+
+let qcheck_roundtrip_random_programs =
+  (* random multi-proc programs with branches, calls, and data blocks
+     survive emit -> parse structurally intact *)
+  let open QCheck.Gen in
+  let reg = int_range 1 8 in
+  let instr_gen =
+    frequency
+      [ (5,
+         map3
+           (fun op (d, s) imm -> `Op (op, d, s, Int64.of_int imm))
+           (oneofl [ Isa.Add; Isa.Sub; Isa.Mul; Isa.And; Isa.Or; Isa.Xor ])
+           (pair reg reg) (int_range (-100) 100));
+        (2, map2 (fun d v -> `Ldi (d, Int64.of_int v)) reg (int_range (-1000) 1000));
+        (1, map2 (fun d off -> `Ld (d, off)) reg (int_range (-4) 15));
+        (1, map2 (fun s off -> `St (s, off)) reg (int_range (-4) 15));
+        (2,
+         map3 (fun c r dist -> `Br (c, r, dist))
+           (oneofl [ Isa.Eq; Isa.Ne; Isa.Lt; Isa.Ge ])
+           reg (int_range 1 5)) ]
+  in
+  let gen =
+    pair
+      (list_size (int_range 1 3)
+         (list_size (int_range 2 15) instr_gen))
+      (list_size (int_range 0 2) (list_size (int_range 1 6) (int_range (-9) 9)))
+  in
+  QCheck.Test.make ~name:"emit/parse roundtrip on random programs" ~count:200
+    (QCheck.make gen)
+    (fun (procs, datas) ->
+      let b = Asm.create () in
+      List.iter
+        (fun words ->
+          ignore (Asm.data b (Array.of_list (List.map Int64.of_int words))))
+        datas;
+      List.iteri
+        (fun pi instrs ->
+          let n = List.length instrs in
+          Asm.proc b (Printf.sprintf "p%d" pi) (fun b ->
+              List.iteri
+                (fun i instr ->
+                  Asm.label b (Printf.sprintf "p%d_l%d" pi i);
+                  match instr with
+                  | `Op (op, d, s, imm) -> Asm.bin b op ~dst:d s (Isa.Imm imm)
+                  | `Ldi (d, v) -> Asm.ldi b d v
+                  | `Ld (d, off) -> Asm.ld b ~dst:d ~base:Isa.sp ~off
+                  | `St (s, off) -> Asm.st b ~src:s ~base:Isa.sp ~off
+                  | `Br (c, r, dist) ->
+                    Asm.br b c r (Printf.sprintf "p%d_l%d" pi (min n (i + dist))))
+                instrs;
+              Asm.label b (Printf.sprintf "p%d_l%d" pi n);
+              if pi = 0 then Asm.halt b else Asm.ret b))
+        procs;
+      let prog = Asm.assemble b ~entry:"p0" in
+      structurally_equal prog (Parser.parse (Parser.emit prog)))
+
+let test_parse_file () =
+  let path = Filename.temp_file "vprof" ".vasm" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc sample_source;
+      close_out oc;
+      let m = Machine.execute (Parser.parse_file path) in
+      Alcotest.(check int64) "runs from file" 65L (Machine.reg m Isa.v0))
+
+let suite =
+  [ Alcotest.test_case "parse and run" `Quick test_parse_and_run;
+    Alcotest.test_case "structure" `Quick test_structure;
+    Alcotest.test_case "indirect call syntax" `Quick test_indirect_call_syntax;
+    Alcotest.test_case "register aliases" `Quick test_register_aliases;
+    Alcotest.test_case "errors report lines" `Quick test_errors;
+    Alcotest.test_case "branch to proc entry" `Quick test_branch_to_proc_entry;
+    Alcotest.test_case "emit/parse roundtrip (sample)" `Quick
+      test_emit_parse_roundtrip_sample;
+    Alcotest.test_case "emit/parse roundtrip (all workloads)" `Slow
+      test_emit_parse_roundtrip_all_workloads;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip_random_programs;
+    Alcotest.test_case "parse file" `Quick test_parse_file ]

@@ -1,0 +1,87 @@
+open Isa
+
+(* A load whose value flips between program halves: windowed profiling
+   must show high drift while a stationary load shows none. *)
+let phased_program n =
+  let b = Asm.create () in
+  let cells = Asm.data b [| 111L; 222L |] in
+  let constant = Asm.data b [| 7L |] in
+  Asm.proc b "main" (fun b ->
+      Asm.ldi b t0 0L;
+      Asm.ldi b t1 cells;
+      Asm.ldi b t2 constant;
+      Asm.label b "loop";
+      Asm.cmplti b ~dst:t3 t0 (Int64.of_int n);
+      Asm.br b Eq t3 "done";
+      (* index 0 in the first half, 1 in the second *)
+      Asm.cmplti b ~dst:t4 t0 (Int64.of_int (n / 2));
+      Asm.xori b ~dst:t4 t4 1L;
+      Asm.add b ~dst:t5 t1 t4;
+      Asm.ld b ~dst:t6 ~base:t5 ~off:0; (* phased load *)
+      Asm.ld b ~dst:t7 ~base:t2 ~off:0; (* stationary load *)
+      Asm.addi b ~dst:t0 t0 1L;
+      Asm.jmp b "loop";
+      Asm.label b "done";
+      Asm.halt b);
+  Asm.assemble b ~entry:"main"
+
+let points_of prog =
+  let t = Phaseprof.run ~config:{ Phaseprof.default_config with window = 1000 }
+      ~selection:`Loads prog in
+  match Array.to_list t.Phaseprof.points with
+  | [ a; b ] -> (t, a, b)
+  | other -> Alcotest.failf "expected two load points, got %d" (List.length other)
+
+let test_phased_vs_stationary () =
+  let _, phased, stationary = points_of (phased_program 10_000) in
+  (* each window sees a single value -> window Inv-Top 1.0; overall 0.5 *)
+  Alcotest.(check bool) "phased has high drift" true (phased.ph_drift > 0.4);
+  Alcotest.(check (float 1e-9)) "stationary has none" 0. stationary.ph_drift;
+  Alcotest.(check (float 1e-9)) "stationary overall" 1.0 stationary.ph_overall
+
+let test_window_accounting () =
+  let _, phased, _ = points_of (phased_program 10_000) in
+  Alcotest.(check int) "total executions" 10_000 phased.ph_total;
+  (* 10000 executions / 1000-wide windows *)
+  Alcotest.(check int) "window count" 10 (Array.length phased.ph_windows)
+
+let test_partial_trailing_window () =
+  let _, phased, _ = points_of (phased_program 2_500) in
+  Alcotest.(check int) "two full + one partial" 3
+    (Array.length phased.ph_windows);
+  Alcotest.(check int) "all executions counted" 2_500 phased.ph_total
+
+let test_window_cap_merges_tail () =
+  let config =
+    { Phaseprof.default_config with window = 100; max_windows = 5 }
+  in
+  let t = Phaseprof.run ~config ~selection:`Loads (phased_program 10_000) in
+  Array.iter
+    (fun (p : Phaseprof.point) ->
+      Alcotest.(check bool) "at most cap+1 windows" true
+        (Array.length p.ph_windows <= 6);
+      Alcotest.(check int) "nothing lost" 10_000 p.ph_total)
+    t.Phaseprof.points
+
+let test_mean_drift_bounds () =
+  let t, _, _ = points_of (phased_program 10_000) in
+  let d = Phaseprof.mean_drift t in
+  Alcotest.(check bool) "in [0,1]" true (d >= 0. && d <= 1.)
+
+let test_invalid_window () =
+  Alcotest.check_raises "window"
+    (Invalid_argument "Phaseprof: window must be positive") (fun () ->
+      ignore
+        (Phaseprof.run
+           ~config:{ Phaseprof.default_config with window = 0 }
+           (phased_program 100)))
+
+let suite =
+  [ Alcotest.test_case "phased vs stationary" `Quick test_phased_vs_stationary;
+    Alcotest.test_case "window accounting" `Quick test_window_accounting;
+    Alcotest.test_case "partial trailing window" `Quick
+      test_partial_trailing_window;
+    Alcotest.test_case "window cap merges tail" `Quick
+      test_window_cap_merges_tail;
+    Alcotest.test_case "mean drift bounds" `Quick test_mean_drift_bounds;
+    Alcotest.test_case "invalid window" `Quick test_invalid_window ]

@@ -1,0 +1,190 @@
+(* Predictor model tests: drive predictors directly with synthetic
+   streams, then through the simulation harness. *)
+
+let drive p pc stream =
+  let predicted = ref 0 and correct = ref 0 in
+  List.iter
+    (fun v ->
+      (match Predictor.predict p ~pc with
+       | Some guess ->
+         incr predicted;
+         if Int64.equal guess v then incr correct
+       | None -> ());
+      Predictor.update p ~pc v)
+    stream;
+  (!predicted, !correct)
+
+let repeat n v = List.init n (fun _ -> v)
+
+let test_lvp_constant_stream () =
+  let p = Predictor.lvp () in
+  let predicted, correct = drive p 5 (repeat 100 42L) in
+  (* first update trains, second raises confidence; from exec 3 on it
+     predicts and is always right *)
+  Alcotest.(check bool) "predicts most" true (predicted >= 97);
+  Alcotest.(check int) "all correct" predicted correct
+
+let test_lvp_alternating_stream () =
+  let p = Predictor.lvp () in
+  let stream = List.init 100 (fun i -> if i mod 2 = 0 then 1L else 2L) in
+  let _, correct = drive p 5 stream in
+  Alcotest.(check int) "never correct" 0 correct
+
+let test_stride_sequence () =
+  let p = Predictor.stride () in
+  let stream = List.init 100 (fun i -> Int64.of_int (10 + (3 * i))) in
+  let predicted, correct = drive p 5 stream in
+  Alcotest.(check bool) "predicts most" true (predicted >= 95);
+  Alcotest.(check int) "stride always right" predicted correct
+
+let test_stride_zero_is_last_value () =
+  let p = Predictor.stride () in
+  let predicted, correct = drive p 5 (repeat 50 7L) in
+  Alcotest.(check bool) "constant predicted" true (predicted >= 45);
+  Alcotest.(check int) "correct" predicted correct
+
+let test_fcm_periodic_pattern () =
+  let p = Predictor.fcm ~history:2 () in
+  (* period-3 pattern: a 2-value context uniquely determines the next *)
+  let stream = List.init 120 (fun i -> Int64.of_int [| 1; 5; 9 |].(i mod 3)) in
+  let predicted, correct = drive p 5 stream in
+  Alcotest.(check bool) "warms up and predicts" true (predicted >= 100);
+  Alcotest.(check bool) "almost all correct" true
+    (correct >= predicted - 6)
+
+let test_hybrid_picks_better_component () =
+  (* A strided stream defeats LVP but not stride: the hybrid must end up
+     near the stride predictor's accuracy. *)
+  let hybrid = Predictor.hybrid (Predictor.lvp ()) (Predictor.stride ()) in
+  let stream = List.init 200 (fun i -> Int64.of_int (4 * i)) in
+  let predicted, correct = drive hybrid 5 stream in
+  Alcotest.(check bool) "mostly correct" true
+    (predicted > 150 && correct > predicted - 20)
+
+let test_perfect_last_no_aliasing () =
+  let p = Predictor.perfect_last () in
+  (* interleave two pcs that would alias in a tiny table *)
+  let ok = ref true in
+  for i = 1 to 100 do
+    ignore i;
+    List.iter
+      (fun (pc, v) ->
+        (match Predictor.predict p ~pc with
+         | Some guess -> if not (Int64.equal guess v) then ok := false
+         | None -> ());
+        Predictor.update p ~pc v)
+      [ (0, 11L); (1024, 22L) ]
+  done;
+  Alcotest.(check bool) "no interference" true !ok;
+  Alcotest.(check int) "no evictions" 0 (Predictor.evictions p)
+
+let test_small_table_aliasing_evicts () =
+  let p = Predictor.lvp ~bits:1 () in
+  for _ = 1 to 10 do
+    Predictor.update p ~pc:0 1L;
+    Predictor.update p ~pc:2 2L (* same slot as pc 0 in a 2-entry table *)
+  done;
+  Alcotest.(check bool) "evictions counted" true (Predictor.evictions p > 10)
+
+let test_filtered_gates_pcs () =
+  (* fabricate a profile where only pc 0 is invariant *)
+  let point pc inv =
+    { Profile.p_pc = pc; p_instr = Isa.Nop; p_proc = "";
+      p_metrics = { Metrics.empty with Metrics.total = 100; inv_top = inv } }
+  in
+  let profile =
+    { Profile.points = [| point 0 0.9; point 1 0.1 |]; instrumented = 2;
+      profiled_events = 200; dynamic_instructions = 1000 }
+  in
+  let p = Predictor.filtered ~profile ~threshold:0.5 (Predictor.lvp ()) in
+  for _ = 1 to 10 do
+    Predictor.update p ~pc:0 1L;
+    Predictor.update p ~pc:1 2L
+  done;
+  Alcotest.(check bool) "allowed pc predicts" true
+    (Predictor.predict p ~pc:0 <> None);
+  Alcotest.(check (option int64)) "filtered pc silent" None
+    (Predictor.predict p ~pc:1)
+
+let test_routed_dispatches_by_class () =
+  (* pc 0: constant stream (last-value class); pc 1: strided; pc 2:
+     unpredictable. Routing must send each to the right component and
+     silence the third entirely. *)
+  let point pc m = { Profile.p_pc = pc; p_instr = Isa.Nop; p_proc = ""; p_metrics = m } in
+  let lv_metrics =
+    { Metrics.empty with Metrics.total = 100; inv_top = 0.95; lvp = 0.95 }
+  in
+  let strided_metrics =
+    { Metrics.empty with
+      Metrics.total = 100; inv_top = 0.01; stride_top = 0.9;
+      top_stride = Some 4L }
+  in
+  let wild_metrics = { Metrics.empty with Metrics.total = 100; inv_top = 0.01 } in
+  let profile =
+    { Profile.points =
+        [| point 0 lv_metrics; point 1 strided_metrics; point 2 wild_metrics |];
+      instrumented = 3; profiled_events = 300; dynamic_instructions = 1000 }
+  in
+  let routed =
+    Predictor.routed ~profile
+      ~last_value:(Predictor.lvp ())
+      ~strided:(Predictor.stride ())
+      ()
+  in
+  (* constant stream at pc 0 *)
+  let p0, c0 = drive routed 0 (repeat 50 7L) in
+  Alcotest.(check bool) "pc0 predicted via lvp" true (p0 > 40 && c0 = p0);
+  (* strided stream at pc 1 *)
+  let stream = List.init 50 (fun i -> Int64.of_int (4 * i)) in
+  let p1, c1 = drive routed 1 stream in
+  Alcotest.(check bool) "pc1 predicted via stride" true (p1 > 40 && c1 > p1 - 5);
+  (* unpredictable pc 2 never predicts *)
+  let p2, _ = drive routed 2 (repeat 50 7L) in
+  Alcotest.(check int) "pc2 silenced" 0 p2
+
+let test_simulate_counts () =
+  let w = Workloads.find "li" in
+  let prog = w.Workload.wbuild Workload.Test in
+  let results =
+    Predictor.simulate prog [ Predictor.perfect_last (); Predictor.lvp () ]
+  in
+  (match results with
+   | [ perfect; lvp ] ->
+     Alcotest.(check bool) "events seen" true (perfect.Predictor.pr_events > 0);
+     Alcotest.(check int) "same event stream" perfect.Predictor.pr_events
+       lvp.Predictor.pr_events;
+     Alcotest.(check bool) "perfect-last correct-rate >= lvp's" true
+       (perfect.Predictor.pr_correct_rate >= lvp.Predictor.pr_correct_rate -. 1e-9);
+     Alcotest.(check bool) "rates consistent" true
+       (lvp.Predictor.pr_correct <= lvp.Predictor.pr_predicted
+        && lvp.Predictor.pr_predicted <= lvp.Predictor.pr_events)
+   | _ -> Alcotest.fail "expected two results")
+
+let test_simulate_accuracy_definition () =
+  let w = Workloads.find "swim" in
+  let prog = w.Workload.wbuild Workload.Test in
+  (match Predictor.simulate prog [ Predictor.lvp () ] with
+   | [ r ] ->
+     let expect =
+       if r.Predictor.pr_predicted = 0 then 0.
+       else
+         float_of_int r.Predictor.pr_correct
+         /. float_of_int r.Predictor.pr_predicted
+     in
+     Alcotest.(check (float 1e-9)) "accuracy" expect r.Predictor.pr_accuracy
+   | _ -> Alcotest.fail "expected one result")
+
+let suite =
+  [ Alcotest.test_case "lvp constant" `Quick test_lvp_constant_stream;
+    Alcotest.test_case "lvp alternating" `Quick test_lvp_alternating_stream;
+    Alcotest.test_case "stride sequence" `Quick test_stride_sequence;
+    Alcotest.test_case "stride zero = last value" `Quick
+      test_stride_zero_is_last_value;
+    Alcotest.test_case "fcm periodic" `Quick test_fcm_periodic_pattern;
+    Alcotest.test_case "hybrid chooser" `Quick test_hybrid_picks_better_component;
+    Alcotest.test_case "perfect last" `Quick test_perfect_last_no_aliasing;
+    Alcotest.test_case "aliasing evictions" `Quick test_small_table_aliasing_evicts;
+    Alcotest.test_case "filtered gating" `Quick test_filtered_gates_pcs;
+    Alcotest.test_case "routed dispatch" `Quick test_routed_dispatches_by_class;
+    Alcotest.test_case "simulate counts" `Quick test_simulate_counts;
+    Alcotest.test_case "simulate accuracy" `Quick test_simulate_accuracy_definition ]

@@ -1,0 +1,126 @@
+open Isa
+
+(* main calls f(7, i) for i in 0..n-1 and g() once; f returns 7+i. *)
+let program n =
+  let b = Asm.create () in
+  Asm.proc b "f" (fun b ->
+      Asm.add b ~dst:v0 a0 a1;
+      Asm.ret b);
+  Asm.proc b "g" (fun b ->
+      Asm.ldi b v0 99L;
+      Asm.ret b);
+  Asm.proc b "main" (fun b ->
+      Asm.ldi b s0 0L;
+      Asm.label b "loop";
+      Asm.cmplti b ~dst:t0 s0 (Int64.of_int n);
+      Asm.br b Eq t0 "done";
+      Asm.ldi b a0 7L;
+      Asm.mov b ~dst:a1 s0;
+      Asm.call b "f";
+      Asm.addi b ~dst:s0 s0 1L;
+      Asm.jmp b "loop";
+      Asm.label b "done";
+      Asm.call b "g";
+      Asm.halt b);
+  Asm.assemble b ~entry:"main"
+
+let config = { Procprof.default_config with arities = [ ("f", 2) ] }
+
+let report t name =
+  match
+    Array.find_opt (fun (r : Procprof.proc_report) -> r.r_name = name) t.Procprof.procs
+  with
+  | Some r -> r
+  | None -> Alcotest.failf "no report for %s" name
+
+let test_call_counts () =
+  let t = Procprof.run ~config (program 20) in
+  Alcotest.(check int) "f called 20x" 20 (report t "f").r_calls;
+  Alcotest.(check int) "g called once" 1 (report t "g").r_calls;
+  Alcotest.(check int) "main never called" 0 (report t "main").r_calls;
+  Alcotest.(check int) "total" 21 t.Procprof.total_calls
+
+let test_param_metrics () =
+  let t = Procprof.run ~config (program 20) in
+  let f = report t "f" in
+  Alcotest.(check int) "two params" 2 (Array.length f.r_params);
+  Alcotest.(check (float 1e-9)) "arg0 invariant" 1.0
+    f.r_params.(0).Metrics.inv_top;
+  Alcotest.(check bool) "arg1 variant" true
+    (f.r_params.(1).Metrics.inv_top < 0.1);
+  Alcotest.(check int64) "arg0 top value" 7L
+    (fst f.r_params.(0).Metrics.top_values.(0))
+
+let test_return_metrics () =
+  let t = Procprof.run ~config (program 20) in
+  let g = report t "g" in
+  Alcotest.(check (float 1e-9)) "g returns a constant" 1.0
+    g.r_return.Metrics.inv_top;
+  let f = report t "f" in
+  Alcotest.(check int) "f returns 20 distinct" 20 f.r_return.Metrics.distinct
+
+let test_memoization () =
+  let t = Procprof.run ~config (program 20) in
+  (* every (7, i) tuple is fresh -> zero hits *)
+  Alcotest.(check int) "no repeats" 0 (report t "f").r_memo_hits;
+  Alcotest.(check (float 1e-9)) "hit rate" 0. (Procprof.memo_hit_rate t)
+
+let test_memoization_hits () =
+  (* call f(1,2) n times: all but the first are memo hits *)
+  let b = Asm.create () in
+  Asm.proc b "f" (fun b ->
+      Asm.add b ~dst:v0 a0 a1;
+      Asm.ret b);
+  Asm.proc b "main" (fun b ->
+      Asm.ldi b s0 0L;
+      Asm.label b "loop";
+      Asm.cmplti b ~dst:t0 s0 10L;
+      Asm.br b Eq t0 "done";
+      Asm.ldi b a0 1L;
+      Asm.ldi b a1 2L;
+      Asm.call b "f";
+      Asm.addi b ~dst:s0 s0 1L;
+      Asm.jmp b "loop";
+      Asm.label b "done";
+      Asm.halt b);
+  let t = Procprof.run ~config (Asm.assemble b ~entry:"main") in
+  Alcotest.(check int) "nine hits" 9 (report t "f").r_memo_hits;
+  Alcotest.(check (float 1e-9)) "hit rate" 0.9 (Procprof.memo_hit_rate t)
+
+let test_memo_capacity () =
+  let config =
+    { Procprof.default_config with arities = [ ("f", 2) ]; memo_capacity = 5 }
+  in
+  let t = Procprof.run ~config (program 20) in
+  Alcotest.(check bool) "overflow flagged" true
+    (report t "f").r_memo_capacity_exceeded
+
+let test_no_arity_profiles_return_only () =
+  let t = Procprof.run ~config:Procprof.default_config (program 20) in
+  let f = report t "f" in
+  Alcotest.(check int) "no params" 0 (Array.length f.r_params);
+  Alcotest.(check int) "returns profiled" 20 f.r_return.Metrics.total
+
+let test_invalid_arity () =
+  Alcotest.check_raises "arity range"
+    (Invalid_argument "Procprof: arity out of range") (fun () ->
+      ignore
+        (Procprof.run
+           ~config:{ Procprof.default_config with arities = [ ("f", 7) ] }
+           (program 1)))
+
+let test_sorted_by_calls () =
+  let t = Procprof.run ~config (program 20) in
+  Alcotest.(check string) "hottest first" "f" t.Procprof.procs.(0).r_name
+
+let suite =
+  [ Alcotest.test_case "call counts" `Quick test_call_counts;
+    Alcotest.test_case "param metrics" `Quick test_param_metrics;
+    Alcotest.test_case "return metrics" `Quick test_return_metrics;
+    Alcotest.test_case "memoization misses" `Quick test_memoization;
+    Alcotest.test_case "memoization hits" `Quick test_memoization_hits;
+    Alcotest.test_case "memo capacity" `Quick test_memo_capacity;
+    Alcotest.test_case "return-only without arity" `Quick
+      test_no_arity_profiles_return_only;
+    Alcotest.test_case "invalid arity" `Quick test_invalid_arity;
+    Alcotest.test_case "sorted by calls" `Quick test_sorted_by_calls ]

@@ -1,0 +1,104 @@
+open Isa
+
+(* A loop whose load reads a known mostly-constant array, so every metric
+   value is computable by hand. *)
+let program ?(n = 100) () =
+  let b = Asm.create () in
+  let values = Array.init n (fun i -> if i < n - 10 then 7L else Int64.of_int i) in
+  let base = Asm.data b values in
+  Asm.proc b "main" (fun b ->
+      Asm.ldi b t0 0L;
+      Asm.ldi b t1 base;
+      Asm.label b "loop";
+      Asm.cmplti b ~dst:t2 t0 (Int64.of_int n);
+      Asm.br b Eq t2 "done";
+      Asm.add b ~dst:t3 t1 t0;
+      Asm.ld b ~dst:t4 ~base:t3 ~off:0;
+      Asm.addi b ~dst:t0 t0 1L;
+      Asm.jmp b "loop";
+      Asm.label b "done";
+      Asm.halt b);
+  Asm.assemble b ~entry:"main"
+
+let load_point profile =
+  match Profile.points_by_category profile Isa.Load with
+  | [ p ] -> p
+  | other -> Alcotest.failf "expected one load point, got %d" (List.length other)
+
+let test_load_metrics_exact () =
+  let profile = Profile.run ~selection:`Loads (program ()) in
+  let p = load_point profile in
+  let m = p.Profile.p_metrics in
+  Alcotest.(check int) "executions" 100 m.Metrics.total;
+  (* 90 sevens then ten distinct values: top = 7 at 90% *)
+  Alcotest.(check (float 1e-9)) "inv_top" 0.9 m.Metrics.inv_top;
+  (* LVP: 89 repeats of 7 out of 99 transitions *)
+  Alcotest.(check (float 1e-9)) "lvp" (89. /. 100.) m.Metrics.lvp;
+  Alcotest.(check int) "distinct" 11 m.Metrics.distinct;
+  Alcotest.(check int64) "top value" 7L (fst m.Metrics.top_values.(0))
+
+let test_proc_attribution () =
+  let profile = Profile.run ~selection:`Loads (program ()) in
+  Alcotest.(check string) "proc name" "main" (load_point profile).Profile.p_proc
+
+let test_selection_scopes_points () =
+  let prog = program () in
+  let all = Profile.run ~selection:`All prog in
+  let loads = Profile.run ~selection:`Loads prog in
+  Alcotest.(check bool) "all includes more points" true
+    (all.Profile.instrumented > loads.Profile.instrumented);
+  Alcotest.(check int) "loads only one" 1 loads.Profile.instrumented
+
+let test_profiled_events_accounting () =
+  let profile = Profile.run ~selection:`Loads (program ()) in
+  Alcotest.(check int) "events equal load executions" 100
+    profile.Profile.profiled_events;
+  Alcotest.(check bool) "dynamic instructions exceed events" true
+    (profile.Profile.dynamic_instructions > profile.Profile.profiled_events)
+
+let test_point_at () =
+  let profile = Profile.run ~selection:`Loads (program ()) in
+  let p = load_point profile in
+  Alcotest.(check bool) "found" true
+    (Profile.point_at profile p.Profile.p_pc <> None);
+  Alcotest.(check (option reject)) "missing pc" None
+    (Option.map (fun _ -> ()) (Profile.point_at profile 9999))
+
+let test_weighted () =
+  let profile = Profile.run ~selection:`All (program ()) in
+  let points = Array.to_list profile.Profile.points in
+  let w = Profile.weighted points (fun m -> m.Metrics.inv_top) in
+  Alcotest.(check bool) "weighted in [0,1]" true (w >= 0. && w <= 1.)
+
+let test_attach_collect_roundtrip () =
+  let prog = program () in
+  let machine = Machine.create prog in
+  let live = Profile.attach machine `Loads in
+  ignore (Machine.run machine);
+  let collected = Profile.collect live in
+  Alcotest.(check int) "events" 100 collected.Profile.profiled_events
+
+let test_oracle_agreement () =
+  (* The TNV-backed profiling state must agree with an exact oracle fed
+     from the same run (no eviction pressure on this small alphabet). *)
+  let prog = program () in
+  let machine = Machine.create prog in
+  let oracle = Oracle.create () in
+  let vstate = Vstate.create () in
+  let pc = List.hd (Atom.select prog `Loads) in
+  Machine.set_hook machine pc (fun value _ ->
+      Vstate.observe vstate value;
+      Oracle.observe oracle value);
+  ignore (Machine.run machine);
+  Alcotest.(check (float 1e-9)) "inv_top agreement" (Oracle.inv_top oracle)
+    (Vstate.metrics vstate).Metrics.inv_top
+
+let suite =
+  [ Alcotest.test_case "exact load metrics" `Quick test_load_metrics_exact;
+    Alcotest.test_case "proc attribution" `Quick test_proc_attribution;
+    Alcotest.test_case "selection scopes" `Quick test_selection_scopes_points;
+    Alcotest.test_case "event accounting" `Quick test_profiled_events_accounting;
+    Alcotest.test_case "point_at" `Quick test_point_at;
+    Alcotest.test_case "weighted" `Quick test_weighted;
+    Alcotest.test_case "attach/collect" `Quick test_attach_collect_roundtrip;
+    Alcotest.test_case "oracle agreement" `Quick test_oracle_agreement ]

@@ -1,0 +1,118 @@
+open Isa
+
+let program () =
+  let b = Asm.create () in
+  let values = Array.init 64 (fun i -> Int64.of_int (i mod 5)) in
+  let base = Asm.data b values in
+  Asm.proc b "main" (fun b ->
+      Asm.ldi b t0 0L;
+      Asm.ldi b t1 base;
+      Asm.label b "loop";
+      Asm.cmplti b ~dst:t2 t0 64L;
+      Asm.br b Eq t2 "done";
+      Asm.add b ~dst:t3 t1 t0;
+      Asm.ld b ~dst:t4 ~base:t3 ~off:0;
+      Asm.addi b ~dst:t0 t0 1L;
+      Asm.jmp b "loop";
+      Asm.label b "done";
+      Asm.halt b);
+  Asm.assemble b ~entry:"main"
+
+let metrics_equal (a : Metrics.t) (b : Metrics.t) =
+  a.Metrics.total = b.Metrics.total
+  && a.Metrics.lvp = b.Metrics.lvp
+  && a.Metrics.inv_top = b.Metrics.inv_top
+  && a.Metrics.inv_all = b.Metrics.inv_all
+  && a.Metrics.zero = b.Metrics.zero
+  && a.Metrics.distinct = b.Metrics.distinct
+  && a.Metrics.distinct_saturated = b.Metrics.distinct_saturated
+  && a.Metrics.top_values = b.Metrics.top_values
+  && a.Metrics.stride_top = b.Metrics.stride_top
+  && a.Metrics.top_stride = b.Metrics.top_stride
+
+let test_roundtrip () =
+  let prog = program () in
+  let p = Profile.run prog in
+  let p' = Profile_io.of_string ~program:prog (Profile_io.to_string p) in
+  Alcotest.(check int) "instrumented" p.Profile.instrumented p'.Profile.instrumented;
+  Alcotest.(check int) "events" p.Profile.profiled_events p'.Profile.profiled_events;
+  Alcotest.(check int) "dynamic" p.Profile.dynamic_instructions
+    p'.Profile.dynamic_instructions;
+  Alcotest.(check int) "point count" (Array.length p.Profile.points)
+    (Array.length p'.Profile.points);
+  Array.iteri
+    (fun i (a : Profile.point) ->
+      let b = p'.Profile.points.(i) in
+      Alcotest.(check int) "pc" a.p_pc b.Profile.p_pc;
+      Alcotest.(check string) "proc" a.p_proc b.Profile.p_proc;
+      Alcotest.(check string) "instr"
+        (Isa.to_string a.p_instr) (Isa.to_string b.Profile.p_instr);
+      Alcotest.(check bool) "metrics" true
+        (metrics_equal a.p_metrics b.Profile.p_metrics))
+    p.Profile.points
+
+let test_file_roundtrip () =
+  let prog = program () in
+  let p = Profile.run ~selection:`Loads prog in
+  let path = Filename.temp_file "vprof" ".profile" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Profile_io.write_file p path;
+      let p' = Profile_io.read_file ~program:prog path in
+      Alcotest.(check int) "points" (Array.length p.Profile.points)
+        (Array.length p'.Profile.points))
+
+let expect_failure name text =
+  let prog = program () in
+  match Profile_io.of_string ~program:prog text with
+  | _ -> Alcotest.failf "%s: expected Failure" name
+  | exception Failure _ -> ()
+
+let test_rejects_bad_version () =
+  expect_failure "version" "vprof-profile 99\nmeta instrumented=0 events=0 dynamic=0\n"
+
+let test_rejects_missing_meta () =
+  expect_failure "no meta" "vprof-profile 1\n"
+
+let test_rejects_bad_pc () =
+  expect_failure "pc out of range"
+    "vprof-profile 1\nmeta instrumented=1 events=1 dynamic=1\npoint pc=999 proc=- total=1 lvp=0 invtop=0 invall=0 zero=0 distinct=1 saturated=0 stridetop=0 stride=none\n"
+
+let test_rejects_non_value_pc () =
+  (* the final halt produces no value *)
+  let prog = program () in
+  let halt_pc = Array.length prog.Asm.code - 1 in
+  expect_failure "non-value pc"
+    (Printf.sprintf
+       "vprof-profile 1\nmeta instrumented=1 events=1 dynamic=1\npoint pc=%d proc=- total=1 lvp=0 invtop=0 invall=0 zero=0 distinct=1 saturated=0 stridetop=0 stride=none\n"
+       halt_pc)
+
+let test_rejects_orphan_tv () =
+  expect_failure "tv before point"
+    "vprof-profile 1\nmeta instrumented=0 events=0 dynamic=0\ntv 1 2\n"
+
+let test_rejects_garbage () =
+  expect_failure "garbage" "vprof-profile 1\nmeta instrumented=0 events=0 dynamic=0\nwibble\n"
+
+let test_loaded_profile_drives_predictor_filtering () =
+  (* the round-tripped profile is as usable as the fresh one *)
+  let prog = program () in
+  let p = Profile.run prog in
+  let p' = Profile_io.of_string ~program:prog (Profile_io.to_string p) in
+  let fresh = Predictor.filtered ~profile:p ~threshold:0.5 (Predictor.lvp ()) in
+  let loaded = Predictor.filtered ~profile:p' ~threshold:0.5 (Predictor.lvp ()) in
+  Alcotest.(check string) "same construction" (Predictor.name fresh)
+    (Predictor.name loaded)
+
+let suite =
+  [ Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+    Alcotest.test_case "rejects bad version" `Quick test_rejects_bad_version;
+    Alcotest.test_case "rejects missing meta" `Quick test_rejects_missing_meta;
+    Alcotest.test_case "rejects bad pc" `Quick test_rejects_bad_pc;
+    Alcotest.test_case "rejects non-value pc" `Quick test_rejects_non_value_pc;
+    Alcotest.test_case "rejects orphan tv" `Quick test_rejects_orphan_tv;
+    Alcotest.test_case "rejects garbage" `Quick test_rejects_garbage;
+    Alcotest.test_case "loaded profile usable" `Quick
+      test_loaded_profile_drives_predictor_filtering ]

@@ -1,0 +1,64 @@
+open Isa
+
+(* t0 takes a constant in a loop; t1 takes the loop counter. *)
+let program n =
+  let b = Asm.create () in
+  Asm.proc b "main" (fun b ->
+      Asm.ldi b t2 0L;
+      Asm.label b "loop";
+      Asm.cmplti b ~dst:t3 t2 (Int64.of_int n);
+      Asm.br b Eq t3 "done";
+      Asm.ldi b t0 42L;
+      Asm.mov b ~dst:t1 t2;
+      Asm.addi b ~dst:t2 t2 1L;
+      Asm.jmp b "loop";
+      Asm.label b "done";
+      Asm.halt b);
+  Asm.assemble b ~entry:"main"
+
+let report t r =
+  match
+    Array.find_opt (fun (g : Regprof.reg_report) -> g.g_reg = r) t.Regprof.regs
+  with
+  | Some g -> g
+  | None -> Alcotest.failf "register %s not profiled" (Isa.string_of_reg r)
+
+let test_constant_register () =
+  let t = Regprof.run (program 50) in
+  let g = report t t0 in
+  Alcotest.(check int) "writes" 50 g.g_writes;
+  Alcotest.(check (float 1e-9)) "invariant" 1.0 g.g_metrics.Metrics.inv_top
+
+let test_counter_register () =
+  let t = Regprof.run (program 50) in
+  let g = report t t1 in
+  Alcotest.(check bool) "variant" true (g.g_metrics.Metrics.inv_top < 0.1);
+  (* counter advances by 1: the stride profile catches it *)
+  Alcotest.(check (option int64)) "stride 1" (Some 1L)
+    g.g_metrics.Metrics.top_stride;
+  Alcotest.(check bool) "stride dominant" true
+    (g.g_metrics.Metrics.stride_top > 0.9)
+
+let test_only_written_registers_reported () =
+  let t = Regprof.run (program 5) in
+  Alcotest.(check bool) "a0 never written -> absent" true
+    (Array.for_all (fun (g : Regprof.reg_report) -> g.g_reg <> a0) t.Regprof.regs)
+
+let test_totals () =
+  let t = Regprof.run (program 50) in
+  (* per iteration: cmplti(t3), ldi(t0), mov(t1), addi(t2); plus initial
+     ldi(t2) and the final cmplti *)
+  Alcotest.(check int) "total writes" (1 + (50 * 4) + 1) t.Regprof.total_writes
+
+let test_mean_metric_bounds () =
+  let t = Regprof.run (program 50) in
+  let m = Regprof.mean_metric t (fun m -> m.Metrics.inv_top) in
+  Alcotest.(check bool) "in [0,1]" true (m >= 0. && m <= 1.)
+
+let suite =
+  [ Alcotest.test_case "constant register" `Quick test_constant_register;
+    Alcotest.test_case "counter register" `Quick test_counter_register;
+    Alcotest.test_case "unwritten registers absent" `Quick
+      test_only_written_registers_reported;
+    Alcotest.test_case "write totals" `Quick test_totals;
+    Alcotest.test_case "mean metric bounds" `Quick test_mean_metric_bounds ]

@@ -1,0 +1,140 @@
+(* Unit and property tests for the deterministic RNG. *)
+
+let test_determinism () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1L and b = Rng.create 2L in
+  Alcotest.(check bool) "different seeds differ" false
+    (Int64.equal (Rng.next a) (Rng.next b))
+
+let test_int_bounds () =
+  let rng = Rng.create 7L in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in [0,17)" true (v >= 0 && v < 17)
+  done
+
+let test_int_invalid () =
+  let rng = Rng.create 7L in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_int_covers_range () =
+  let rng = Rng.create 3L in
+  let seen = Array.make 8 false in
+  for _ = 1 to 1_000 do
+    seen.(Rng.int rng 8) <- true
+  done;
+  Alcotest.(check bool) "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_float_range () =
+  let rng = Rng.create 11L in
+  for _ = 1 to 10_000 do
+    let f = Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0. && f < 1.)
+  done
+
+let test_int64_range () =
+  let rng = Rng.create 13L in
+  for _ = 1 to 10_000 do
+    let v = Rng.int64_range rng (-5L) 5L in
+    Alcotest.(check bool) "in [-5,5]" true
+      (Int64.compare v (-5L) >= 0 && Int64.compare v 5L <= 0)
+  done
+
+let test_int64_range_invalid () =
+  let rng = Rng.create 13L in
+  Alcotest.check_raises "lo > hi"
+    (Invalid_argument "Rng.int64_range: lo > hi") (fun () ->
+      ignore (Rng.int64_range rng 5L (-5L)))
+
+let test_bool_both () =
+  let rng = Rng.create 17L in
+  let trues = ref 0 in
+  for _ = 1 to 1_000 do
+    if Rng.bool rng then incr trues
+  done;
+  Alcotest.(check bool) "roughly fair" true (!trues > 300 && !trues < 700)
+
+let test_choose () =
+  let rng = Rng.create 19L in
+  let arr = [| "a"; "b"; "c" |] in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "member" true (Array.mem (Rng.choose rng arr) arr)
+  done
+
+let test_choose_empty () =
+  let rng = Rng.create 19L in
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.choose: empty array")
+    (fun () -> ignore (Rng.choose rng ([||] : int array)))
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 23L in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_split_independent () =
+  let a = Rng.create 29L in
+  let b = Rng.split a in
+  Alcotest.(check bool) "streams differ" false
+    (Int64.equal (Rng.next a) (Rng.next b))
+
+let test_skewed_bounds () =
+  let rng = Rng.create 31L in
+  for _ = 1 to 10_000 do
+    let v = Rng.skewed rng ~n:10 ~s:2.0 in
+    Alcotest.(check bool) "in [0,10)" true (v >= 0 && v < 10)
+  done
+
+let test_skewed_is_skewed () =
+  let rng = Rng.create 37L in
+  let counts = Array.make 16 0 in
+  for _ = 1 to 20_000 do
+    let v = Rng.skewed rng ~n:16 ~s:2.0 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Alcotest.(check bool) "index 0 dominates index 15" true
+    (counts.(0) > 4 * (counts.(15) + 1))
+
+let qcheck_int_in_bounds =
+  QCheck.Test.make ~name:"rng int stays in bounds" ~count:500
+    QCheck.(pair int64 (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let qcheck_int64_range =
+  QCheck.Test.make ~name:"rng int64_range stays in range" ~count:500
+    QCheck.(triple int64 int64 int64)
+    (fun (seed, a, b) ->
+      let lo = min a b and hi = max a b in
+      let rng = Rng.create seed in
+      let v = Rng.int64_range rng lo hi in
+      Int64.compare v lo >= 0 && Int64.compare v hi <= 0)
+
+let suite =
+  [ Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int invalid bound" `Quick test_int_invalid;
+    Alcotest.test_case "int covers range" `Quick test_int_covers_range;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "int64_range bounds" `Quick test_int64_range;
+    Alcotest.test_case "int64_range invalid" `Quick test_int64_range_invalid;
+    Alcotest.test_case "bool fairness" `Quick test_bool_both;
+    Alcotest.test_case "choose membership" `Quick test_choose;
+    Alcotest.test_case "choose empty" `Quick test_choose_empty;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "skewed bounds" `Quick test_skewed_bounds;
+    Alcotest.test_case "skewed distribution" `Quick test_skewed_is_skewed;
+    QCheck_alcotest.to_alcotest qcheck_int_in_bounds;
+    QCheck_alcotest.to_alcotest qcheck_int64_range ]

@@ -1,0 +1,151 @@
+open Isa
+
+(* A long loop with a stationary value stream: the sampler must converge
+   and its estimate must match the full profile. *)
+let stationary_program n =
+  let b = Asm.create () in
+  let values = Array.init 64 (fun i -> if i mod 8 = 0 then Int64.of_int i else 3L) in
+  let base = Asm.data b values in
+  Asm.proc b "main" (fun b ->
+      Asm.ldi b t0 0L;
+      Asm.ldi b t1 base;
+      Asm.label b "loop";
+      Asm.cmplti b ~dst:t2 t0 (Int64.of_int n);
+      Asm.br b Eq t2 "done";
+      Asm.andi b ~dst:t3 t0 63L;
+      Asm.add b ~dst:t3 t1 t3;
+      Asm.ld b ~dst:t4 ~base:t3 ~off:0;
+      Asm.addi b ~dst:t0 t0 1L;
+      Asm.jmp b "loop";
+      Asm.label b "done";
+      Asm.halt b);
+  Asm.assemble b ~entry:"main"
+
+let test_no_skip_equals_full () =
+  (* burst-only config with zero skip profiles everything *)
+  let config =
+    { Sampler.default_config with initial_skip = 0; backoff = 1. }
+  in
+  let prog = stationary_program 5_000 in
+  let sampled = Sampler.run ~config ~selection:`Loads prog in
+  Alcotest.(check int) "everything profiled" sampled.Sampler.total_events
+    sampled.Sampler.profiled_events;
+  Alcotest.(check (float 1e-9)) "overhead 100%" 1.0 sampled.Sampler.overhead;
+  let full = Profile.run ~selection:`Loads prog in
+  Alcotest.(check (float 1e-9)) "zero error" 0.
+    (Sampler.invariance_error sampled full)
+
+let test_skipping_reduces_overhead () =
+  let prog = stationary_program 20_000 in
+  let sampled = Sampler.run ~selection:`Loads prog in
+  Alcotest.(check bool) "overhead well below 1" true
+    (sampled.Sampler.overhead < 0.5);
+  Alcotest.(check bool) "but nonzero" true (sampled.Sampler.profiled_events > 0)
+
+let test_convergence_on_stationary_stream () =
+  let prog = stationary_program 50_000 in
+  let sampled = Sampler.run ~selection:`Loads prog in
+  let p =
+    match Array.to_list sampled.Sampler.points with
+    | [ p ] -> p
+    | _ -> Alcotest.fail "expected one load point"
+  in
+  Alcotest.(check bool) "converged" true p.Sampler.s_converged;
+  let full = Profile.run ~selection:`Loads prog in
+  Alcotest.(check bool) "error under 5%" true
+    (Sampler.invariance_error sampled full < 0.05)
+
+let test_events_accounting () =
+  let prog = stationary_program 10_000 in
+  let sampled = Sampler.run ~selection:`Loads prog in
+  let p = sampled.Sampler.points.(0) in
+  Alcotest.(check int) "every execution observed" 10_000 p.Sampler.s_events;
+  Alcotest.(check bool) "profiled <= events" true
+    (p.Sampler.s_profiled <= p.Sampler.s_events);
+  Alcotest.(check int) "metrics total = profiled" p.Sampler.s_profiled
+    p.Sampler.s_metrics.Metrics.total
+
+let test_aggressive_backoff_cheaper () =
+  let prog = stationary_program 50_000 in
+  let eager =
+    Sampler.run
+      ~config:{ Sampler.default_config with backoff = 1. }
+      ~selection:`Loads prog
+  in
+  let aggressive =
+    Sampler.run
+      ~config:{ Sampler.default_config with backoff = 16.; max_skip = 1_000_000 }
+      ~selection:`Loads prog
+  in
+  Alcotest.(check bool) "backoff reduces profiled events" true
+    (aggressive.Sampler.profiled_events < eager.Sampler.profiled_events)
+
+let test_invalid_configs () =
+  let prog = stationary_program 100 in
+  Alcotest.check_raises "bad burst"
+    (Invalid_argument "Sampler: burst must be positive") (fun () ->
+      ignore
+        (Sampler.run ~config:{ Sampler.default_config with burst = 0 } prog));
+  Alcotest.check_raises "bad backoff"
+    (Invalid_argument "Sampler: backoff must be >= 1") (fun () ->
+      ignore
+        (Sampler.run ~config:{ Sampler.default_config with backoff = 0.5 } prog))
+
+let test_top_stability_criterion () =
+  let prog = stationary_program 50_000 in
+  let config =
+    { Sampler.default_config with criterion = Sampler.Top_stability }
+  in
+  let sampled = Sampler.run ~config ~selection:`Loads prog in
+  let p = sampled.Sampler.points.(0) in
+  Alcotest.(check bool) "converges on stable top value" true
+    p.Sampler.s_converged;
+  let full = Profile.run ~selection:`Loads prog in
+  Alcotest.(check bool) "error stays small" true
+    (Sampler.invariance_error sampled full < 0.05)
+
+let test_phase_change_reopens_sampling () =
+  (* A stream that flips its dominant value half-way: the sampler must
+     not stay converged on the stale estimate; its final Inv-Top must
+     land well below the first phase's ~100%. *)
+  let b = Asm.create () in
+  let n = 40_000 in
+  let values = Array.make 2 0L in
+  values.(0) <- 111L;
+  values.(1) <- 222L;
+  let base = Asm.data b values in
+  Asm.proc b "main" (fun b ->
+      Asm.ldi b t0 0L;
+      Asm.ldi b t1 base;
+      Asm.label b "loop";
+      Asm.cmplti b ~dst:t2 t0 (Int64.of_int n);
+      Asm.br b Eq t2 "done";
+      (* index 0 for the first half, 1 for the second *)
+      Asm.cmplti b ~dst:t3 t0 (Int64.of_int (n / 2));
+      Asm.xori b ~dst:t3 t3 1L;
+      Asm.add b ~dst:t4 t1 t3;
+      Asm.ld b ~dst:t5 ~base:t4 ~off:0;
+      Asm.addi b ~dst:t0 t0 1L;
+      Asm.jmp b "loop";
+      Asm.label b "done";
+      Asm.halt b);
+  let prog = Asm.assemble b ~entry:"main" in
+  let sampled = Sampler.run ~selection:`Loads prog in
+  let p = sampled.Sampler.points.(0) in
+  Alcotest.(check bool) "estimate reflects both phases" true
+    (p.Sampler.s_metrics.Metrics.inv_top < 0.9)
+
+let suite =
+  [ Alcotest.test_case "no skip equals full" `Quick test_no_skip_equals_full;
+    Alcotest.test_case "skipping reduces overhead" `Quick
+      test_skipping_reduces_overhead;
+    Alcotest.test_case "converges on stationary stream" `Quick
+      test_convergence_on_stationary_stream;
+    Alcotest.test_case "event accounting" `Quick test_events_accounting;
+    Alcotest.test_case "aggressive backoff cheaper" `Quick
+      test_aggressive_backoff_cheaper;
+    Alcotest.test_case "invalid configs" `Quick test_invalid_configs;
+    Alcotest.test_case "top-stability criterion" `Quick
+      test_top_stability_criterion;
+    Alcotest.test_case "phase change handled" `Quick
+      test_phase_change_reopens_sampling ]

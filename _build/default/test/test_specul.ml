@@ -1,0 +1,125 @@
+open Isa
+
+(* Two loads in a loop: one reads a location no store modifies, the other
+   reads a location rewritten with a fresh value every iteration. *)
+let program n =
+  let b = Asm.create () in
+  let stable = Asm.data b [| 42L |] in
+  let volatile = Asm.reserve b 1 in
+  Asm.proc b "main" (fun b ->
+      Asm.ldi b t0 0L;
+      Asm.ldi b t1 stable;
+      Asm.ldi b t2 volatile;
+      Asm.label b "loop";
+      Asm.cmplti b ~dst:t3 t0 (Int64.of_int n);
+      Asm.br b Eq t3 "done";
+      Asm.st b ~src:t0 ~base:t2 ~off:0; (* fresh value each iteration *)
+      Asm.ld b ~dst:t4 ~base:t1 ~off:0; (* stable load *)
+      Asm.ld b ~dst:t5 ~base:t2 ~off:0; (* conflicting load *)
+      Asm.addi b ~dst:t0 t0 1L;
+      Asm.jmp b "loop";
+      Asm.label b "done";
+      Asm.halt b);
+  Asm.assemble b ~entry:"main"
+
+let load_at t pc =
+  match
+    Array.find_opt (fun (l : Specul.load_report) -> l.sl_pc = pc) t.Specul.loads
+  with
+  | Some l -> l
+  | None -> Alcotest.failf "no load report for pc %d" pc
+
+let find_load_pcs prog =
+  match Atom.select prog `Loads with
+  | [ a; b ] -> (a, b)
+  | other -> Alcotest.failf "expected two loads, got %d" (List.length other)
+
+let test_stable_load_never_conflicts () =
+  let prog = program 50 in
+  let stable_pc, _ = find_load_pcs prog in
+  let t = Specul.run prog in
+  let l = load_at t stable_pc in
+  Alcotest.(check int) "executions" 50 l.sl_executions;
+  Alcotest.(check int) "no conflicts" 0 l.sl_conflicts
+
+let test_volatile_load_conflicts () =
+  let prog = program 50 in
+  let _, volatile_pc = find_load_pcs prog in
+  let t = Specul.run prog in
+  let l = load_at t volatile_pc in
+  (* every iteration after the first sees a modifying store since its
+     previous read *)
+  Alcotest.(check int) "conflicts" 49 l.sl_conflicts;
+  Alcotest.(check bool) "rate near 1" true (l.sl_conflict_rate > 0.9)
+
+let test_silent_stores_do_not_conflict () =
+  (* storing the same value repeatedly passes the value check *)
+  let b = Asm.create () in
+  let cell = Asm.data b [| 9L |] in
+  Asm.proc b "main" (fun b ->
+      Asm.ldi b t0 0L;
+      Asm.ldi b t1 cell;
+      Asm.ldi b t2 9L;
+      Asm.label b "loop";
+      Asm.cmplti b ~dst:t3 t0 30L;
+      Asm.br b Eq t3 "done";
+      Asm.st b ~src:t2 ~base:t1 ~off:0; (* silent: same value *)
+      Asm.ld b ~dst:t4 ~base:t1 ~off:0;
+      Asm.addi b ~dst:t0 t0 1L;
+      Asm.jmp b "loop";
+      Asm.label b "done";
+      Asm.halt b);
+  let t = Specul.run (Asm.assemble b ~entry:"main") in
+  Alcotest.(check int) "no conflicts from silent stores" 0
+    t.Specul.total_conflicts
+
+let test_conflict_rate_selection () =
+  let prog = program 50 in
+  let stable_pc, volatile_pc = find_load_pcs prog in
+  let t = Specul.run prog in
+  Alcotest.(check (float 1e-9)) "stable subset" 0.
+    (Specul.conflict_rate t ~select:(fun l -> l.Specul.sl_pc = stable_pc));
+  Alcotest.(check bool) "volatile subset high" true
+    (Specul.conflict_rate t ~select:(fun l -> l.Specul.sl_pc = volatile_pc)
+     > 0.9);
+  Alcotest.(check (float 1e-9)) "empty subset" 0.
+    (Specul.conflict_rate t ~select:(fun _ -> false))
+
+let test_totals () =
+  let t = Specul.run (program 50) in
+  Alcotest.(check int) "total executions" 100 t.Specul.total_executions;
+  Alcotest.(check int) "total conflicts" 49 t.Specul.total_conflicts
+
+let test_tracking_cap_is_conservative () =
+  (* with a 1-entry map, the second distinct address saturates and counts
+     as a conflict rather than being silently ignored *)
+  let b = Asm.create () in
+  let arr = Asm.data b [| 1L; 2L; 3L; 4L |] in
+  Asm.proc b "main" (fun b ->
+      Asm.ldi b t0 0L;
+      Asm.ldi b t1 arr;
+      Asm.label b "loop";
+      Asm.cmplti b ~dst:t2 t0 4L;
+      Asm.br b Eq t2 "done";
+      Asm.add b ~dst:t3 t1 t0;
+      Asm.ld b ~dst:t4 ~base:t3 ~off:0;
+      Asm.addi b ~dst:t0 t0 1L;
+      Asm.jmp b "loop";
+      Asm.label b "done";
+      Asm.halt b);
+  let t = Specul.run ~max_tracked:1 (Asm.assemble b ~entry:"main") in
+  Alcotest.(check bool) "saturation counted against speculation" true
+    (t.Specul.total_conflicts > 0)
+
+let suite =
+  [ Alcotest.test_case "stable load never conflicts" `Quick
+      test_stable_load_never_conflicts;
+    Alcotest.test_case "volatile load conflicts" `Quick
+      test_volatile_load_conflicts;
+    Alcotest.test_case "silent stores pass" `Quick
+      test_silent_stores_do_not_conflict;
+    Alcotest.test_case "conflict rate selection" `Quick
+      test_conflict_rate_selection;
+    Alcotest.test_case "totals" `Quick test_totals;
+    Alcotest.test_case "tracking cap conservative" `Quick
+      test_tracking_cap_is_conservative ]

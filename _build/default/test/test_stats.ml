@@ -1,0 +1,104 @@
+(* Tests for the statistics helpers. *)
+
+let feq = Alcotest.float 1e-9
+
+let test_mean () =
+  Alcotest.check feq "mean" 2.5 (Stats.mean [| 1.; 2.; 3.; 4. |]);
+  Alcotest.check feq "empty" 0. (Stats.mean [||])
+
+let test_weighted_mean () =
+  Alcotest.check feq "weighted" 3.
+    (Stats.weighted_mean [| 1.; 5. |] [| 1.; 1. |]);
+  Alcotest.check feq "heavy side" 5.
+    (Stats.weighted_mean [| 1.; 5. |] [| 0.; 2. |]);
+  Alcotest.check feq "zero weights" 0.
+    (Stats.weighted_mean [| 1.; 5. |] [| 0.; 0. |]);
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Stats.weighted_mean: length mismatch") (fun () ->
+      ignore (Stats.weighted_mean [| 1. |] [| 1.; 2. |]))
+
+let test_geomean () =
+  Alcotest.check feq "geomean" 4. (Stats.geomean [| 2.; 8. |]);
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Stats.geomean: non-positive entry") (fun () ->
+      ignore (Stats.geomean [| 1.; 0. |]))
+
+let test_stddev () =
+  Alcotest.check feq "constant" 0. (Stats.stddev [| 3.; 3.; 3. |]);
+  Alcotest.check feq "known" 2. (Stats.stddev [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |])
+
+let test_percentile () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  Alcotest.check feq "median" 3. (Stats.percentile 50. xs);
+  Alcotest.check feq "min" 1. (Stats.percentile 0. xs);
+  Alcotest.check feq "max" 5. (Stats.percentile 100. xs);
+  Alcotest.check feq "interpolated" 1.2 (Stats.percentile 5. xs);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty")
+    (fun () -> ignore (Stats.percentile 50. [||]))
+
+let test_min_max () =
+  let lo, hi = Stats.min_max [| 3.; -1.; 7.; 0. |] in
+  Alcotest.check feq "min" (-1.) lo;
+  Alcotest.check feq "max" 7. hi
+
+let test_pearson () =
+  Alcotest.check feq "perfect" 1.
+    (Stats.pearson [| 1.; 2.; 3. |] [| 10.; 20.; 30. |]);
+  Alcotest.check feq "perfect negative" (-1.)
+    (Stats.pearson [| 1.; 2.; 3. |] [| 30.; 20.; 10. |]);
+  Alcotest.(check bool) "constant side is nan" true
+    (Float.is_nan (Stats.pearson [| 1.; 1. |] [| 1.; 2. |]))
+
+let test_spearman () =
+  (* Monotone but non-linear: rank correlation is exactly 1. *)
+  Alcotest.check feq "monotone" 1.
+    (Stats.spearman [| 1.; 2.; 3.; 4. |] [| 1.; 10.; 100.; 1000. |]);
+  Alcotest.check feq "reversed" (-1.)
+    (Stats.spearman [| 1.; 2.; 3.; 4. |] [| 8.; 6.; 4.; 2. |])
+
+let test_mae () =
+  Alcotest.check feq "mae" 1. (Stats.mae [| 1.; 2. |] [| 2.; 1. |]);
+  Alcotest.check feq "empty" 0. (Stats.mae [||] [||])
+
+let finite_floats n =
+  QCheck.(array_of_size (Gen.int_range 2 n) (float_range (-1e6) 1e6))
+
+let qcheck_pearson_bounded =
+  QCheck.Test.make ~name:"pearson in [-1,1] or nan" ~count:300
+    QCheck.(pair (finite_floats 20) (finite_floats 20))
+    (fun (xs, ys) ->
+      let n = min (Array.length xs) (Array.length ys) in
+      QCheck.assume (n >= 2);
+      let xs = Array.sub xs 0 n and ys = Array.sub ys 0 n in
+      let r = Stats.pearson xs ys in
+      Float.is_nan r || (r >= -1.0000001 && r <= 1.0000001))
+
+let qcheck_percentile_bounded =
+  QCheck.Test.make ~name:"percentile between min and max" ~count:300
+    (finite_floats 30)
+    (fun xs ->
+      let lo, hi = Stats.min_max xs in
+      let p = Stats.percentile 37.5 xs in
+      p >= lo -. 1e-9 && p <= hi +. 1e-9)
+
+let qcheck_mean_bounded =
+  QCheck.Test.make ~name:"mean between min and max" ~count:300
+    (finite_floats 30)
+    (fun xs ->
+      let lo, hi = Stats.min_max xs in
+      let m = Stats.mean xs in
+      m >= lo -. 1e-6 && m <= hi +. 1e-6)
+
+let suite =
+  [ Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "weighted mean" `Quick test_weighted_mean;
+    Alcotest.test_case "geomean" `Quick test_geomean;
+    Alcotest.test_case "stddev" `Quick test_stddev;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "min max" `Quick test_min_max;
+    Alcotest.test_case "pearson" `Quick test_pearson;
+    Alcotest.test_case "spearman" `Quick test_spearman;
+    Alcotest.test_case "mae" `Quick test_mae;
+    QCheck_alcotest.to_alcotest qcheck_pearson_bounded;
+    QCheck_alcotest.to_alcotest qcheck_percentile_bounded;
+    QCheck_alcotest.to_alcotest qcheck_mean_bounded ]

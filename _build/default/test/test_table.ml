@@ -1,0 +1,69 @@
+let test_render_contains_cells () =
+  let t = Table.create ~title:"T" [ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "beta"; "22" ];
+  let s = Table.render t in
+  List.iter
+    (fun cell ->
+      Alcotest.(check bool) (cell ^ " present") true
+        (Astring_contains.contains s cell))
+    [ "T"; "name"; "value"; "alpha"; "beta"; "22" ]
+
+let test_row_length_check () =
+  let t = Table.create ~title:"" [ "a"; "b" ] in
+  Alcotest.check_raises "wrong arity"
+    (Invalid_argument "Table.add_row: wrong number of cells") (fun () ->
+      Table.add_row t [ "only one" ])
+
+let test_aligns_check () =
+  Alcotest.check_raises "aligns mismatch"
+    (Invalid_argument "Table.create: aligns/headers length mismatch")
+    (fun () ->
+      ignore (Table.create ~aligns:[ Table.Left ] ~title:"" [ "a"; "b" ]))
+
+let test_csv () =
+  let t = Table.create ~title:"ignored" [ "a"; "b" ] in
+  Table.add_row t [ "x,y"; "plain" ];
+  Table.add_row t [ "with \"quote\""; "2" ];
+  let csv = Table.to_csv t in
+  Alcotest.(check bool) "header" true (Astring_contains.contains csv "a,b");
+  Alcotest.(check bool) "comma escaped" true
+    (Astring_contains.contains csv "\"x,y\"");
+  Alcotest.(check bool) "quote escaped" true
+    (Astring_contains.contains csv "\"with \"\"quote\"\"\"");
+  Alcotest.(check bool) "title absent" false
+    (Astring_contains.contains csv "ignored")
+
+let test_pct () =
+  Alcotest.(check string) "pct" "50.0%" (Table.pct 0.5);
+  Alcotest.(check string) "pct full" "100.0%" (Table.pct 1.0)
+
+let test_fixed () =
+  Alcotest.(check string) "fixed" "3.14" (Table.fixed ~digits:2 3.14159)
+
+let test_count () =
+  Alcotest.(check string) "small" "999" (Table.count 999);
+  Alcotest.(check string) "thousands" "1,234" (Table.count 1234);
+  Alcotest.(check string) "millions" "12,345,678" (Table.count 12345678);
+  Alcotest.(check string) "negative" "-1,000" (Table.count (-1000));
+  Alcotest.(check string) "zero" "0" (Table.count 0)
+
+let test_separator_render () =
+  let t = Table.create ~title:"" [ "a" ] in
+  Table.add_row t [ "1" ];
+  Table.add_sep t;
+  Table.add_row t [ "2" ];
+  (* renders without error and keeps both rows *)
+  let s = Table.render t in
+  Alcotest.(check bool) "both rows" true
+    (Astring_contains.contains s "1" && Astring_contains.contains s "2")
+
+let suite =
+  [ Alcotest.test_case "render cells" `Quick test_render_contains_cells;
+    Alcotest.test_case "row length" `Quick test_row_length_check;
+    Alcotest.test_case "aligns length" `Quick test_aligns_check;
+    Alcotest.test_case "csv escaping" `Quick test_csv;
+    Alcotest.test_case "pct" `Quick test_pct;
+    Alcotest.test_case "fixed" `Quick test_fixed;
+    Alcotest.test_case "count separators" `Quick test_count;
+    Alcotest.test_case "separators" `Quick test_separator_render ]

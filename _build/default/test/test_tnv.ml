@@ -1,0 +1,164 @@
+let feq = Alcotest.float 1e-9
+
+let test_basic_counting () =
+  let t = Tnv.create ~capacity:4 () in
+  List.iter (Tnv.add t) [ 1L; 1L; 2L; 1L; 3L ];
+  Alcotest.(check int) "total" 5 (Tnv.total t);
+  Alcotest.(check int) "covered" 5 (Tnv.covered t);
+  (match Tnv.top t with
+   | Some (v, c) ->
+     Alcotest.(check int64) "top value" 1L v;
+     Alcotest.(check int) "top count" 3 c
+   | None -> Alcotest.fail "expected a top entry");
+  Alcotest.check feq "inv_top" 0.6 (Tnv.inv_top t);
+  Alcotest.check feq "inv_all" 1.0 (Tnv.inv_all t)
+
+let test_empty () =
+  let t = Tnv.create ~capacity:4 () in
+  Alcotest.(check int) "total" 0 (Tnv.total t);
+  Alcotest.(check (option (pair int64 int))) "no top" None (Tnv.top t);
+  Alcotest.check feq "inv_top" 0. (Tnv.inv_top t);
+  Alcotest.check feq "inv_all" 0. (Tnv.inv_all t)
+
+let test_entries_sorted () =
+  let t = Tnv.create ~capacity:8 () in
+  List.iter (Tnv.add t) [ 5L; 6L; 6L; 7L; 7L; 7L ];
+  let e = Tnv.entries t in
+  Alcotest.(check int) "three entries" 3 (Array.length e);
+  Alcotest.(check int64) "first" 7L (fst e.(0));
+  Alcotest.(check int64) "second" 6L (fst e.(1));
+  Alcotest.(check int64) "third" 5L (fst e.(2))
+
+let test_lfu_clear_drops_overflow () =
+  (* Capacity 2, no clearing within this window: the third distinct value
+     is dropped but still counted in total. *)
+  let t = Tnv.create ~capacity:2 ~clear_interval:1000 () in
+  List.iter (Tnv.add t) [ 1L; 2L; 3L; 3L; 3L ];
+  Alcotest.(check int) "total counts drops" 5 (Tnv.total t);
+  Alcotest.(check int) "covered misses drops" 2 (Tnv.covered t);
+  Alcotest.(check bool) "3 not in table" true
+    (Array.for_all (fun (v, _) -> not (Int64.equal v 3L)) (Tnv.entries t))
+
+let test_lfu_clear_admits_new_hot_value () =
+  (* After the periodic clear, the replacement half opens up and the new
+     hot value climbs in. *)
+  let t = Tnv.create ~capacity:2 ~clear_interval:10 () in
+  for _ = 1 to 6 do Tnv.add t 1L done;
+  for _ = 1 to 4 do Tnv.add t 2L done;
+  (* table now full; 10 adds -> clearing has happened at least once *)
+  for _ = 1 to 30 do Tnv.add t 9L done;
+  Alcotest.(check bool) "new value present" true
+    (Array.exists (fun (v, _) -> Int64.equal v 9L) (Tnv.entries t));
+  (match Tnv.top t with
+   | Some (v, _) -> Alcotest.(check int64) "new value dominates" 9L v
+   | None -> Alcotest.fail "expected top")
+
+let test_lfu_replaces_minimum () =
+  let t = Tnv.create ~policy:Tnv.Lfu ~capacity:2 () in
+  List.iter (Tnv.add t) [ 1L; 1L; 2L; 3L ];
+  (* 3 replaced 2 (the least counted) *)
+  let values = Array.map fst (Tnv.entries t) in
+  Alcotest.(check bool) "1 kept" true (Array.mem 1L values);
+  Alcotest.(check bool) "3 inserted" true (Array.mem 3L values);
+  Alcotest.(check bool) "2 evicted" false (Array.mem 2L values)
+
+let test_lru_replaces_oldest () =
+  let t = Tnv.create ~policy:Tnv.Lru ~capacity:2 () in
+  List.iter (Tnv.add t) [ 1L; 2L; 1L; 3L ];
+  (* 2 is least recently seen; 3 replaces it even though counts tie *)
+  let values = Array.map fst (Tnv.entries t) in
+  Alcotest.(check bool) "1 kept" true (Array.mem 1L values);
+  Alcotest.(check bool) "3 inserted" true (Array.mem 3L values);
+  Alcotest.(check bool) "2 evicted" false (Array.mem 2L values)
+
+let test_reset () =
+  let t = Tnv.create ~capacity:4 () in
+  List.iter (Tnv.add t) [ 1L; 2L; 3L ];
+  Tnv.reset t;
+  Alcotest.(check int) "total" 0 (Tnv.total t);
+  Alcotest.(check int) "entries" 0 (Array.length (Tnv.entries t))
+
+let test_create_invalid () =
+  Alcotest.check_raises "capacity"
+    (Invalid_argument "Tnv.create: capacity must be positive") (fun () ->
+      ignore (Tnv.create ~capacity:0 ()));
+  Alcotest.check_raises "interval"
+    (Invalid_argument "Tnv.create: clear_interval must be positive") (fun () ->
+      ignore (Tnv.create ~clear_interval:0 ~capacity:4 ()))
+
+let test_accessors () =
+  let t = Tnv.create ~policy:Tnv.Lru ~clear_interval:123 ~capacity:7 () in
+  Alcotest.(check int) "capacity" 7 (Tnv.capacity t);
+  Alcotest.(check int) "interval" 123 (Tnv.clear_interval t);
+  Alcotest.(check bool) "policy" true (Tnv.policy t = Tnv.Lru)
+
+let value_stream_gen =
+  (* skewed streams over a small alphabet, like real value profiles *)
+  QCheck.Gen.(
+    list_size (int_range 1 2000)
+      (map (fun i -> Int64.of_int (i * i mod 13)) (int_range 0 100)))
+
+let qcheck_conservation =
+  QCheck.Test.make ~name:"covered <= total, inv_all <= 1, inv_top <= inv_all"
+    ~count:200
+    (QCheck.make value_stream_gen)
+    (fun stream ->
+      List.for_all
+        (fun policy ->
+          let t = Tnv.create ~policy ~capacity:4 ~clear_interval:50 () in
+          List.iter (Tnv.add t) stream;
+          Tnv.covered t <= Tnv.total t
+          && Tnv.inv_all t <= 1.0 +. 1e-9
+          && Tnv.inv_top t <= Tnv.inv_all t +. 1e-9)
+        [ Tnv.Lfu_clear; Tnv.Lfu; Tnv.Lru ])
+
+let qcheck_entries_sorted =
+  QCheck.Test.make ~name:"entries are sorted descending" ~count:200
+    (QCheck.make value_stream_gen)
+    (fun stream ->
+      let t = Tnv.create ~capacity:8 () in
+      List.iter (Tnv.add t) stream;
+      let e = Tnv.entries t in
+      let ok = ref true in
+      for i = 0 to Array.length e - 2 do
+        if snd e.(i) < snd e.(i + 1) then ok := false
+      done;
+      !ok)
+
+let qcheck_finds_dominant_value =
+  (* When one value accounts for >= 80% of a long stream, every policy's
+     TNV identifies it as the top value. *)
+  QCheck.Test.make ~name:"dominant value is identified" ~count:100
+    QCheck.(pair (int_range 1 60) int64)
+    (fun (noise_values, seed) ->
+      let rng = Rng.create seed in
+      let dominant = 424242L in
+      let stream =
+        List.init 2000 (fun _ ->
+            if Rng.int rng 10 < 8 then dominant
+            else Int64.of_int (Rng.int rng noise_values))
+      in
+      List.for_all
+        (fun policy ->
+          let t = Tnv.create ~policy ~capacity:8 ~clear_interval:100 () in
+          List.iter (Tnv.add t) stream;
+          match Tnv.top t with
+          | Some (v, _) -> Int64.equal v dominant
+          | None -> false)
+        [ Tnv.Lfu_clear; Tnv.Lfu; Tnv.Lru ])
+
+let suite =
+  [ Alcotest.test_case "basic counting" `Quick test_basic_counting;
+    Alcotest.test_case "empty table" `Quick test_empty;
+    Alcotest.test_case "entries sorted" `Quick test_entries_sorted;
+    Alcotest.test_case "lfu-clear drops overflow" `Quick test_lfu_clear_drops_overflow;
+    Alcotest.test_case "lfu-clear admits new hot value" `Quick
+      test_lfu_clear_admits_new_hot_value;
+    Alcotest.test_case "lfu replaces minimum" `Quick test_lfu_replaces_minimum;
+    Alcotest.test_case "lru replaces oldest" `Quick test_lru_replaces_oldest;
+    Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "invalid create" `Quick test_create_invalid;
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    QCheck_alcotest.to_alcotest qcheck_conservation;
+    QCheck_alcotest.to_alcotest qcheck_entries_sorted;
+    QCheck_alcotest.to_alcotest qcheck_finds_dominant_value ]

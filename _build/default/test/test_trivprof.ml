@@ -1,0 +1,95 @@
+open Isa
+
+let run body =
+  let b = Asm.create () in
+  Asm.proc b "main" (fun b ->
+      body b;
+      Asm.halt b);
+  Trivprof.run (Asm.assemble b ~entry:"main")
+
+let test_immediate_trivial () =
+  let t =
+    run (fun b ->
+        Asm.ldi b t0 5L;
+        Asm.addi b ~dst:t1 t0 0L; (* mov idiom: trivial via immediate *)
+        Asm.muli b ~dst:t2 t0 7L (* not trivial *))
+  in
+  Alcotest.(check int) "alu events" 2 t.Trivprof.alu_events;
+  Alcotest.(check int) "one trivial via immediate" 1 t.Trivprof.trivial_imm;
+  Alcotest.(check int) "none via runtime" 0 t.Trivprof.trivial_dyn
+
+let test_runtime_trivial () =
+  let t =
+    run (fun b ->
+        Asm.ldi b t0 0L;
+        Asm.ldi b t1 9L;
+        Asm.mul b ~dst:t2 t1 t0 (* x * 0: only the profile can see it *))
+  in
+  Alcotest.(check int) "runtime trivial" 1 t.Trivprof.trivial_dyn;
+  Alcotest.(check bool) "kind recorded" true
+    (List.mem_assoc "mul by 0/1" t.Trivprof.by_kind)
+
+let test_each_kind () =
+  let t =
+    run (fun b ->
+        Asm.ldi b t0 5L;
+        Asm.addi b ~dst:t1 t0 0L; (* add/sub 0 *)
+        Asm.muli b ~dst:t1 t0 1L; (* mul by 0/1 *)
+        Asm.divi b ~dst:t1 t0 1L; (* div/rem by 1 *)
+        Asm.andi b ~dst:t1 t0 0L; (* and 0/-1 *)
+        Asm.ori b ~dst:t1 t0 0L; (* or/xor 0 *)
+        Asm.slli b ~dst:t1 t0 0L (* shift by 0 *))
+  in
+  Alcotest.(check int) "all six trivial" 6
+    (t.Trivprof.trivial_imm + t.Trivprof.trivial_dyn);
+  Alcotest.(check int) "six distinct kinds" 6 (List.length t.Trivprof.by_kind)
+
+let test_comparisons_excluded () =
+  let t =
+    run (fun b ->
+        Asm.ldi b t0 5L;
+        Asm.cmpeqi b ~dst:t1 t0 0L)
+  in
+  Alcotest.(check int) "comparisons are not arithmetic" 0 t.Trivprof.alu_events
+
+let test_overwriting_sources_unmeasured () =
+  let t =
+    run (fun b ->
+        Asm.ldi b t0 5L;
+        (* dst = src: operands gone when the hook runs -> unmeasured *)
+        Asm.addi b ~dst:t0 t0 0L)
+  in
+  Alcotest.(check int) "event counted" 1 t.Trivprof.alu_events;
+  Alcotest.(check int) "but not measured" 0 t.Trivprof.measured
+
+let test_fraction () =
+  let t =
+    run (fun b ->
+        Asm.ldi b t0 5L;
+        Asm.addi b ~dst:t1 t0 0L;
+        Asm.addi b ~dst:t2 t0 3L)
+  in
+  Alcotest.(check (float 1e-9)) "half trivial" 0.5 (Trivprof.trivial_fraction t)
+
+let test_nontrivial_cases () =
+  let t =
+    run (fun b ->
+        Asm.ldi b t0 5L;
+        Asm.ldi b t1 2L;
+        Asm.mul b ~dst:t2 t0 t1;
+        Asm.divi b ~dst:t2 t0 3L;
+        Asm.srai b ~dst:t2 t0 2L;
+        Asm.andi b ~dst:t2 t0 6L)
+  in
+  Alcotest.(check int) "nothing trivial" 0
+    (t.Trivprof.trivial_imm + t.Trivprof.trivial_dyn)
+
+let suite =
+  [ Alcotest.test_case "immediate trivial" `Quick test_immediate_trivial;
+    Alcotest.test_case "runtime trivial" `Quick test_runtime_trivial;
+    Alcotest.test_case "each kind" `Quick test_each_kind;
+    Alcotest.test_case "comparisons excluded" `Quick test_comparisons_excluded;
+    Alcotest.test_case "overwritten sources unmeasured" `Quick
+      test_overwriting_sources_unmeasured;
+    Alcotest.test_case "fraction" `Quick test_fraction;
+    Alcotest.test_case "non-trivial cases" `Quick test_nontrivial_cases ]

@@ -1,0 +1,144 @@
+(* Workload-suite integration tests: every workload must build, run to a
+   clean halt on both inputs, be deterministic, and expose correct
+   metadata. *)
+
+let fuel = 20_000_000
+
+let each f =
+  List.iter
+    (fun (w : Workload.t) ->
+      List.iter (fun input -> f w input) [ Workload.Test; Workload.Train ])
+    Workloads.all
+
+let test_registry () =
+  Alcotest.(check int) "twelve workloads" 12 (List.length Workloads.all);
+  Alcotest.(check string) "find" "compress" (Workloads.find "compress").wname;
+  Alcotest.check_raises "missing" Not_found (fun () ->
+      ignore (Workloads.find "doom"));
+  Alcotest.(check int) "names" 12 (List.length Workloads.names)
+
+let test_input_parsing () =
+  Alcotest.(check string) "test" "test"
+    (Workload.string_of_input (Workload.input_of_string "test"));
+  Alcotest.(check string) "train" "train"
+    (Workload.string_of_input (Workload.input_of_string "train"));
+  Alcotest.check_raises "bad"
+    (Invalid_argument "Workload.input_of_string: \"prod\"") (fun () ->
+      ignore (Workload.input_of_string "prod"))
+
+let test_all_run_to_halt () =
+  each (fun w input ->
+      let m = Machine.execute ~fuel (w.wbuild input) in
+      let name =
+        Printf.sprintf "%s/%s" w.wname (Workload.string_of_input input)
+      in
+      Alcotest.(check bool) (name ^ " halted") true (Machine.halted m);
+      Alcotest.(check bool) (name ^ " did work") true
+        (Machine.icount m > 10_000))
+
+let test_deterministic () =
+  each (fun w input ->
+      let m1 = Machine.execute ~fuel (w.wbuild input) in
+      let m2 = Machine.execute ~fuel (w.wbuild input) in
+      let name = w.wname ^ "/" ^ Workload.string_of_input input in
+      Alcotest.(check int) (name ^ " icount") (Machine.icount m1)
+        (Machine.icount m2);
+      Alcotest.(check int64) (name ^ " v0") (Machine.reg m1 Isa.v0)
+        (Machine.reg m2 Isa.v0))
+
+let test_train_larger_than_test () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let t = Machine.icount (Machine.execute ~fuel (w.wbuild Workload.Test)) in
+      let tr = Machine.icount (Machine.execute ~fuel (w.wbuild Workload.Train)) in
+      Alcotest.(check bool) (w.wname ^ ": train larger") true (tr > t))
+    Workloads.all
+
+let test_same_code_shape_across_inputs () =
+  (* the cross-input experiment joins profiles on pc, which requires the
+     code (not the data) to be identical in shape *)
+  List.iter
+    (fun (w : Workload.t) ->
+      let a = w.wbuild Workload.Test and b = w.wbuild Workload.Train in
+      Alcotest.(check int) (w.wname ^ ": same code size")
+        (Array.length a.Asm.code) (Array.length b.Asm.code);
+      Alcotest.(check int) (w.wname ^ ": same procs")
+        (Array.length a.Asm.procs) (Array.length b.Asm.procs);
+      Array.iteri
+        (fun i (p : Asm.proc) ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s proc %d" w.wname i)
+            p.Asm.pname b.Asm.procs.(i).Asm.pname)
+        a.Asm.procs)
+    Workloads.all
+
+let test_arities_name_real_procs () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let prog = w.wbuild Workload.Test in
+      List.iter
+        (fun (name, arity) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %s exists" w.wname name)
+            true
+            (match Asm.find_proc prog name with
+             | _ -> true
+             | exception Not_found -> false);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %s arity sane" w.wname name)
+            true
+            (arity >= 0 && arity <= 6))
+        w.warities)
+    Workloads.all
+
+let test_workloads_use_no_reserved_register () =
+  (* r15 is the specializer's guard scratch *)
+  List.iter
+    (fun (w : Workload.t) ->
+      let prog = w.wbuild Workload.Test in
+      Array.iter
+        (fun instr ->
+          let uses_r15 =
+            match instr with
+            | Isa.Op (_, ra, Isa.Reg rb, rc) -> ra = 15 || rb = 15 || rc = 15
+            | Isa.Op (_, ra, Isa.Imm _, rc) -> ra = 15 || rc = 15
+            | Isa.Ldi (rd, _) -> rd = 15
+            | Isa.Ld (rd, rb, _) -> rd = 15 || rb = 15
+            | Isa.St (ra, rb, _) -> ra = 15 || rb = 15
+            | Isa.Br (_, r, _) | Isa.Jsr_ind r -> r = 15
+            | Isa.Jmp _ | Isa.Jsr _ | Isa.Ret | Isa.Halt | Isa.Nop -> false
+          in
+          Alcotest.(check bool) (w.wname ^ ": r15 unused") false uses_r15)
+        prog.Asm.code)
+    Workloads.all
+
+let test_every_workload_profiles () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let p = Profile.run ~selection:`Loads (w.wbuild Workload.Test) in
+      Alcotest.(check bool) (w.wname ^ ": loads profiled") true
+        (p.Profile.profiled_events > 0))
+    Workloads.all
+
+let test_mimics_mentions_spec () =
+  List.iter
+    (fun (w : Workload.t) ->
+      Alcotest.(check bool) (w.wname ^ ": names its SPEC95 model") true
+        (Astring_contains.contains w.wmimics "SPEC95"))
+    Workloads.all
+
+let suite =
+  [ Alcotest.test_case "registry" `Quick test_registry;
+    Alcotest.test_case "input parsing" `Quick test_input_parsing;
+    Alcotest.test_case "all run to halt" `Slow test_all_run_to_halt;
+    Alcotest.test_case "deterministic" `Slow test_deterministic;
+    Alcotest.test_case "train larger than test" `Slow test_train_larger_than_test;
+    Alcotest.test_case "same code shape across inputs" `Quick
+      test_same_code_shape_across_inputs;
+    Alcotest.test_case "arities name real procs" `Quick
+      test_arities_name_real_procs;
+    Alcotest.test_case "reserved register unused" `Quick
+      test_workloads_use_no_reserved_register;
+    Alcotest.test_case "every workload profiles" `Slow
+      test_every_workload_profiles;
+    Alcotest.test_case "mimics metadata" `Quick test_mimics_mentions_spec ]
