@@ -7,7 +7,11 @@
    Part 2 measures the OCaml profiler itself with Bechamel: the wall-clock
    cost of the virtual machine bare vs. fully instrumented vs. under the
    convergent sampler (the thesis's overhead story), plus the hot data
-   structures (TNV add, oracle add, predictor update). *)
+   structures (TNV add, oracle add, predictor update).
+
+   Part 3 measures the parallel driver: the full multi-workload profiling
+   job set (every workload x test input, full value profile) executed on
+   1 domain vs. the machine's recommended domain count. *)
 
 open Bechamel
 open Toolkit
@@ -124,12 +128,49 @@ let print_bechamel () =
   let results, _ = benchmark () in
   img (window, results) |> eol |> output_image
 
+(* Part 3: the scaling job set — every workload's test input under the
+   full value profiler, scheduled through the driver. *)
+
+let scaling_jobs () =
+  List.map
+    (fun (w : Workload.t) ->
+      Driver.job (module Profile.Profiler) ~finish:ignore w Workload.Test)
+    Workloads.all
+
+let time_wall f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let print_driver_scaling () =
+  let n = Driver.default_jobs () in
+  let serial = time_wall (fun () -> ignore (Driver.run_jobs ~jobs:1 (scaling_jobs ()))) in
+  let parallel =
+    time_wall (fun () -> ignore (Driver.run_jobs ~jobs:n (scaling_jobs ())))
+  in
+  Printf.printf
+    "full-profile job set (%d workloads): 1 domain %.3fs, %d domains %.3fs (%.2fx)\n"
+    (List.length Workloads.all) serial n parallel (serial /. parallel);
+  let exp_serial = time_wall (fun () -> ignore (Experiments.run_all ~jobs:1 ())) in
+  Harness.clear_cache ();
+  let exp_parallel = time_wall (fun () -> ignore (Experiments.run_all ~jobs:n ())) in
+  Printf.printf
+    "experiment suite (e01..e24, cold caches): 1 domain %.3fs, %d domains %.3fs (%.2fx)\n"
+    exp_serial n exp_parallel (exp_serial /. exp_parallel)
+
 let () =
   print_endline "================================================================";
   print_endline " Part 1: paper tables and figures (experiments e01..e24)";
   print_endline "================================================================";
-  Experiments.print_all ();
+  (* parallel across the recommended domain count; the output bytes are
+     identical to a serial run *)
+  Experiments.print_all ~jobs:0 ();
   print_endline "================================================================";
   print_endline " Part 2: profiler wall-clock micro-benchmarks (Bechamel)";
   print_endline "================================================================";
-  print_bechamel ()
+  print_bechamel ();
+  print_endline "================================================================";
+  print_endline " Part 3: parallel driver scaling (1 vs N domains)";
+  print_endline "================================================================";
+  Harness.clear_cache ();
+  print_driver_scaling ()

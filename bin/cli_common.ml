@@ -1,0 +1,91 @@
+(* Cmdliner terms shared by every vprof subcommand: the workload/input
+   converters and the selection / top / fuel / jobs options. Keeping them
+   here means one spelling, one doc string and one default per flag across
+   the whole CLI. *)
+
+open Cmdliner
+
+let workload_conv =
+  let parse s =
+    match Workloads.find s with
+    | w -> Ok w
+    | exception Not_found ->
+      if Sys.file_exists s then
+        (* assembly source files act as pseudo-workloads: same program on
+           both inputs, no declared arities *)
+        match Parser.parse_file s with
+        | prog ->
+          Ok
+            { Workload.wname = Filename.basename s;
+              wmimics = "(file)";
+              wdescr = s;
+              wbuild = (fun _ -> prog);
+              warities = [] }
+        | exception Parser.Parse_error (line, msg) ->
+          Error (`Msg (Printf.sprintf "%s:%d: %s" s line msg))
+      else
+        Error
+          (`Msg
+             (Printf.sprintf "unknown workload %S and no such file (try: %s)" s
+                (String.concat ", " Workloads.names)))
+  in
+  let print ppf (w : Workload.t) = Format.pp_print_string ppf w.wname in
+  Arg.conv (parse, print)
+
+let input_conv =
+  let parse s =
+    match Workload.input_of_string s with
+    | i -> Ok i
+    | exception Invalid_argument _ -> Error (`Msg "input must be test or train")
+  in
+  let print ppf i = Format.pp_print_string ppf (Workload.string_of_input i) in
+  Arg.conv (parse, print)
+
+let workload_arg =
+  Arg.(
+    required
+    & opt (some workload_conv) None
+    & info [ "w"; "workload" ] ~docv:"NAME"
+        ~doc:
+          "Workload to operate on: a built-in name (see $(b,list)) or a \
+           path to a .vasm assembly source file.")
+
+let input_arg =
+  Arg.(
+    value
+    & opt input_conv Workload.Test
+    & info [ "i"; "input" ] ~docv:"INPUT" ~doc:"Data set: test or train.")
+
+let selection_arg =
+  let sel = Arg.enum [ ("all", `All); ("loads", `Loads); ("alu", `Alu) ] in
+  Arg.(
+    value & opt sel `All
+    & info [ "s"; "select" ] ~docv:"CLASS"
+        ~doc:"Instruction class to profile: all, loads, or alu.")
+
+let top_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "t"; "top" ] ~docv:"N" ~doc:"Show the N most-executed points.")
+
+let fuel_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fuel" ] ~docv:"N"
+        ~doc:
+          "Abort (with a trap) any run that executes more than N dynamic \
+           instructions. Default: the machine's built-in budget.")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the profiling driver. Commands that need \
+           several runs (experiments, diff, sample, contexts) execute \
+           them in parallel; output is byte-identical to $(b,-j 1). 0 \
+           means the machine's recommended domain count.")
+
+(* Map the CLI value onto the driver's convention (0 = recommended). *)
+let effective_jobs j = if j <= 0 then Driver.default_jobs () else j

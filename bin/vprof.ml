@@ -1,60 +1,16 @@
 (* vprof: command-line front end for the value profiler.
 
-   Subcommands: list, run, disasm, profile, memory, procs, sample,
-   specialize, experiment. *)
+   Subcommands: list, run, disasm, emit, profile, memory, procs,
+   registers, contexts, phases, trivial, speculate, sample, specialize,
+   memoize, diff, experiment, experiments.
+
+   Shared flags (workload/input selection, --fuel, --jobs) live in
+   Cli_common; any command that needs more than one profiler run pushes
+   the runs through the parallel driver (lib/driver), so -j N parallelizes
+   them while keeping output byte-identical to -j 1. *)
 
 open Cmdliner
-
-let workload_conv =
-  let parse s =
-    match Workloads.find s with
-    | w -> Ok w
-    | exception Not_found ->
-      if Sys.file_exists s then
-        (* assembly source files act as pseudo-workloads: same program on
-           both inputs, no declared arities *)
-        match Parser.parse_file s with
-        | prog ->
-          Ok
-            { Workload.wname = Filename.basename s;
-              wmimics = "(file)";
-              wdescr = s;
-              wbuild = (fun _ -> prog);
-              warities = [] }
-        | exception Parser.Parse_error (line, msg) ->
-          Error (`Msg (Printf.sprintf "%s:%d: %s" s line msg))
-      else
-        Error
-          (`Msg
-             (Printf.sprintf "unknown workload %S and no such file (try: %s)" s
-                (String.concat ", " Workloads.names)))
-  in
-  let print ppf (w : Workload.t) = Format.pp_print_string ppf w.wname in
-  Arg.conv (parse, print)
-
-let input_conv =
-  let parse s =
-    match Workload.input_of_string s with
-    | i -> Ok i
-    | exception Invalid_argument _ -> Error (`Msg "input must be test or train")
-  in
-  let print ppf i = Format.pp_print_string ppf (Workload.string_of_input i) in
-  Arg.conv (parse, print)
-
-let workload_arg =
-  Arg.(
-    required
-    & opt (some workload_conv) None
-    & info [ "w"; "workload" ] ~docv:"NAME"
-        ~doc:
-          "Workload to operate on: a built-in name (see $(b,list)) or a \
-           path to a .vasm assembly source file.")
-
-let input_arg =
-  Arg.(
-    value
-    & opt input_conv Workload.Test
-    & info [ "i"; "input" ] ~docv:"INPUT" ~doc:"Data set: test or train.")
+open Cli_common
 
 (* list *)
 
@@ -75,9 +31,9 @@ let list_cmd =
 (* run *)
 
 let run_cmd =
-  let run (w : Workload.t) input =
+  let run (w : Workload.t) input fuel _jobs =
     let prog = w.wbuild input in
-    let m = Machine.execute prog in
+    let m = Machine.execute ?fuel prog in
     Printf.printf "%s (%s): %s dynamic instructions, v0 = %Ld\n" w.wname
       (Workload.string_of_input input)
       (Table.count (Machine.icount m))
@@ -85,7 +41,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a workload without instrumentation.")
-    Term.(const run $ workload_arg $ input_arg)
+    Term.(const run $ workload_arg $ input_arg $ fuel_arg $ jobs_arg)
 
 (* disasm *)
 
@@ -112,20 +68,6 @@ let emit_cmd =
 
 (* profile *)
 
-let selection_arg =
-  let sel =
-    Arg.enum [ ("all", `All); ("loads", `Loads); ("alu", `Alu) ]
-  in
-  Arg.(
-    value & opt sel `All
-    & info [ "s"; "select" ] ~docv:"CLASS"
-        ~doc:"Instruction class to profile: all, loads, or alu.")
-
-let top_arg =
-  Arg.(
-    value & opt int 20
-    & info [ "t"; "top" ] ~docv:"N" ~doc:"Show the N most-executed points.")
-
 let tnv_size_arg =
   Arg.(
     value & opt int Vstate.default_config.tnv_capacity
@@ -144,12 +86,23 @@ let save_arg =
         ~doc:"Also write the profile to FILE (see Profile_io's format).")
 
 let profile_cmd =
-  let run (w : Workload.t) input selection top tnv_size clear_interval save =
-    let config =
+  let run (w : Workload.t) input selection top tnv_size clear_interval save
+      fuel jobs =
+    let vconfig =
       { Vstate.default_config with
         tnv_capacity = tnv_size; clear_interval }
     in
-    let profile = Profile.run ~config ~selection (w.wbuild input) in
+    let profile =
+      match
+        Driver.run_jobs ~jobs:(effective_jobs jobs)
+          [ Driver.job
+              (module Profile.Profiler)
+              ~config:{ Profile.Profiler.vconfig; selection }
+              ?fuel ~finish:Fun.id w input ]
+      with
+      | [ p ] -> p
+      | _ -> assert false
+    in
     (match save with
      | Some path ->
        Profile_io.write_file profile path;
@@ -198,13 +151,20 @@ let profile_cmd =
     (Cmd.info "profile" ~doc:"Value-profile a workload (full profiling).")
     Term.(
       const run $ workload_arg $ input_arg $ selection_arg $ top_arg
-      $ tnv_size_arg $ clear_interval_arg $ save_arg)
+      $ tnv_size_arg $ clear_interval_arg $ save_arg $ fuel_arg $ jobs_arg)
 
 (* memory *)
 
 let memory_cmd =
-  let run (w : Workload.t) input top =
-    let r = Memprof.run (w.wbuild input) in
+  let run (w : Workload.t) input top fuel jobs =
+    let r =
+      match
+        Driver.run_jobs ~jobs:(effective_jobs jobs)
+          [ Driver.job (module Memprof.Profiler) ?fuel ~finish:Fun.id w input ]
+      with
+      | [ r ] -> r
+      | _ -> assert false
+    in
     Printf.printf
       "%s (%s): %s locations, %s events, %.1f%% of accesses >=90%% invariant\n"
       w.wname
@@ -233,14 +193,23 @@ let memory_cmd =
   in
   Cmd.v
     (Cmd.info "memory" ~doc:"Profile memory locations (Chapter VII).")
-    Term.(const run $ workload_arg $ input_arg $ top_arg)
+    Term.(
+      const run $ workload_arg $ input_arg $ top_arg $ fuel_arg $ jobs_arg)
 
 (* procs *)
 
 let procs_cmd =
-  let run (w : Workload.t) input =
+  let run (w : Workload.t) input fuel jobs =
     let config = { Procprof.default_config with arities = w.warities } in
-    let pp = Procprof.run ~config (w.wbuild input) in
+    let pp =
+      match
+        Driver.run_jobs ~jobs:(effective_jobs jobs)
+          [ Driver.job (module Procprof.Profiler) ~config ?fuel ~finish:Fun.id
+              w input ]
+      with
+      | [ pp ] -> pp
+      | _ -> assert false
+    in
     let table =
       Table.create
         ~title:(Printf.sprintf "%s (%s): procedure profile" w.wname
@@ -267,13 +236,13 @@ let procs_cmd =
   in
   Cmd.v
     (Cmd.info "procs" ~doc:"Profile procedure parameters and returns.")
-    Term.(const run $ workload_arg $ input_arg)
+    Term.(const run $ workload_arg $ input_arg $ fuel_arg $ jobs_arg)
 
 (* registers *)
 
 let registers_cmd =
-  let run (w : Workload.t) input =
-    let r = Regprof.run (w.wbuild input) in
+  let run (w : Workload.t) input fuel _jobs =
+    let r = Regprof.run ?fuel (w.wbuild input) in
     let table =
       Table.create
         ~title:
@@ -300,7 +269,7 @@ let registers_cmd =
   Cmd.v
     (Cmd.info "registers"
        ~doc:"Profile values written per architectural register.")
-    Term.(const run $ workload_arg $ input_arg)
+    Term.(const run $ workload_arg $ input_arg $ fuel_arg $ jobs_arg)
 
 (* sample *)
 
@@ -317,33 +286,44 @@ let sample_cmd =
     Arg.(value & opt float Sampler.default_config.epsilon
          & info [ "epsilon" ] ~docv:"E" ~doc:"Convergence threshold.")
   in
-  let run (w : Workload.t) input burst skip epsilon =
+  let run (w : Workload.t) input burst skip epsilon fuel jobs =
     let config =
       { Sampler.default_config with burst; initial_skip = skip; epsilon }
     in
-    let prog = w.wbuild input in
-    let sampled = Sampler.run ~config prog in
-    let full = Profile.run prog in
-    Printf.printf
-      "%s (%s): overhead %.2f%% (%s of %s events), invariance error %.2f%%\n"
-      w.wname
-      (Workload.string_of_input input)
-      (100. *. sampled.Sampler.overhead)
-      (Table.count sampled.Sampler.profiled_events)
-      (Table.count sampled.Sampler.total_events)
-      (100. *. Sampler.invariance_error sampled full)
+    let sconfig = { Sampler.Profiler.default_config with sampler = config } in
+    (* the sampled run and its full-profile reference are independent
+       machines: run them as two driver jobs *)
+    match
+      Driver.run_jobs ~jobs:(effective_jobs jobs)
+        [ Driver.job (module Sampler.Profiler) ~config:sconfig ?fuel
+            ~finish:(fun s -> `Sampled s) w input;
+          Driver.job (module Profile.Profiler) ?fuel
+            ~finish:(fun p -> `Full p) w input ]
+    with
+    | [ `Sampled sampled; `Full full ] ->
+      Printf.printf
+        "%s (%s): overhead %.2f%% (%s of %s events), invariance error %.2f%%\n"
+        w.wname
+        (Workload.string_of_input input)
+        (100. *. sampled.Sampler.overhead)
+        (Table.count sampled.Sampler.profiled_events)
+        (Table.count sampled.Sampler.total_events)
+        (100. *. Sampler.invariance_error sampled full)
+    | _ -> assert false
   in
   Cmd.v
     (Cmd.info "sample" ~doc:"Convergent (sampled) value profiling.")
-    Term.(const run $ workload_arg $ input_arg $ burst $ skip $ epsilon)
+    Term.(
+      const run $ workload_arg $ input_arg $ burst $ skip $ epsilon $ fuel_arg
+      $ jobs_arg)
 
 (* specialize *)
 
 let specialize_cmd =
-  let run (w : Workload.t) input =
+  let run (w : Workload.t) input fuel _jobs =
     let config = { Procprof.default_config with arities = w.warities } in
     let prog = w.wbuild input in
-    let pp = Procprof.run ~config prog in
+    let pp = Procprof.run ~config ?fuel prog in
     match Specialize.candidates pp ~min_calls:100 ~min_inv:0.5 with
     | [] -> print_endline "no semi-invariant parameter candidates found"
     | (proc, param, value, inv) :: _ ->
@@ -369,13 +349,13 @@ let specialize_cmd =
   Cmd.v
     (Cmd.info "specialize"
        ~doc:"Specialize the best semi-invariant procedure parameter.")
-    Term.(const run $ workload_arg $ input_arg)
+    Term.(const run $ workload_arg $ input_arg $ fuel_arg $ jobs_arg)
 
 (* trivial *)
 
 let trivial_cmd =
-  let run (w : Workload.t) input =
-    let r = Trivprof.run (w.wbuild input) in
+  let run (w : Workload.t) input fuel _jobs =
+    let r = Trivprof.run ?fuel (w.wbuild input) in
     Printf.printf
       "%s (%s): %s ALU events, %s measured, %.1f%% trivial (%s via immediates, %s via run-time values)\n"
       w.wname
@@ -392,14 +372,14 @@ let trivial_cmd =
   Cmd.v
     (Cmd.info "trivial"
        ~doc:"Profile trivial arithmetic operands (Richardson [32]).")
-    Term.(const run $ workload_arg $ input_arg)
+    Term.(const run $ workload_arg $ input_arg $ fuel_arg $ jobs_arg)
 
 (* speculate *)
 
 let speculate_cmd =
-  let run (w : Workload.t) input top =
+  let run (w : Workload.t) input top fuel _jobs =
     let prog = w.wbuild input in
-    let t = Specul.run prog in
+    let t = Specul.run ?fuel prog in
     Printf.printf
       "%s (%s): %s load executions, %.1f%% would fail a hoisted value check\n"
       w.wname
@@ -427,7 +407,8 @@ let speculate_cmd =
        ~doc:
          "Profile speculative-load value-check conflicts (Moudgill & \
           Moreno [29]).")
-    Term.(const run $ workload_arg $ input_arg $ top_arg)
+    Term.(
+      const run $ workload_arg $ input_arg $ top_arg $ fuel_arg $ jobs_arg)
 
 (* phases *)
 
@@ -437,9 +418,9 @@ let phases_cmd =
       value & opt int Phaseprof.default_config.window
       & info [ "window" ] ~docv:"N" ~doc:"Executions per window.")
   in
-  let run (w : Workload.t) input top window =
+  let run (w : Workload.t) input top window fuel _jobs =
     let config = { Phaseprof.default_config with window } in
-    let t = Phaseprof.run ~config ~selection:`Loads (w.wbuild input) in
+    let t = Phaseprof.run ~config ~selection:`Loads ?fuel (w.wbuild input) in
     Printf.printf "%s (%s): mean load-invariance drift %.1f%% (window %d)\n"
       w.wname
       (Workload.string_of_input input)
@@ -473,36 +454,46 @@ let phases_cmd =
   Cmd.v
     (Cmd.info "phases"
        ~doc:"Windowed (phase) profiling of load invariance over time.")
-    Term.(const run $ workload_arg $ input_arg $ top_arg $ window_arg)
+    Term.(
+      const run $ workload_arg $ input_arg $ top_arg $ window_arg $ fuel_arg
+      $ jobs_arg)
 
 (* contexts *)
 
 let contexts_cmd =
-  let run (w : Workload.t) input =
+  let run (w : Workload.t) input fuel jobs =
     let prog = w.wbuild input in
     let config = { Ctxprof.default_config with arities = w.warities } in
-    let ctx = Ctxprof.run ~config prog in
     let flat_config = { Procprof.default_config with arities = w.warities } in
-    let flat = Procprof.run ~config:flat_config prog in
-    let table =
-      Table.create
-        ~title:
-          (Printf.sprintf "%s (%s): parameter invariance by call site" w.wname
-             (Workload.string_of_input input))
-        [ "procedure"; "flat Inv-Top"; "per-site Inv-Top"; "gain" ]
-    in
-    List.iter
-      (fun (name, flat_inv, ctx_inv) ->
-        Table.add_row table
-          [ name; Table.pct flat_inv; Table.pct ctx_inv;
-            Printf.sprintf "%+.1fpp" (100. *. (ctx_inv -. flat_inv)) ])
-      (Ctxprof.context_gain ctx flat);
-    Table.print table
+    (* two independent instrumented runs of the same (immutable) program *)
+    match
+      Driver.map ~jobs:(effective_jobs jobs)
+        (fun run -> run ())
+        [ (fun () -> `Ctx (Ctxprof.run ~config ?fuel prog));
+          (fun () -> `Flat (Procprof.run ~config:flat_config ?fuel prog)) ]
+    with
+    | [ `Ctx ctx; `Flat flat ] ->
+      let table =
+        Table.create
+          ~title:
+            (Printf.sprintf "%s (%s): parameter invariance by call site"
+               w.wname
+               (Workload.string_of_input input))
+          [ "procedure"; "flat Inv-Top"; "per-site Inv-Top"; "gain" ]
+      in
+      List.iter
+        (fun (name, flat_inv, ctx_inv) ->
+          Table.add_row table
+            [ name; Table.pct flat_inv; Table.pct ctx_inv;
+              Printf.sprintf "%+.1fpp" (100. *. (ctx_inv -. flat_inv)) ])
+        (Ctxprof.context_gain ctx flat);
+      Table.print table
+    | _ -> assert false
   in
   Cmd.v
     (Cmd.info "contexts"
        ~doc:"Call-site-sensitive parameter profiling (Young & Smith [40]).")
-    Term.(const run $ workload_arg $ input_arg)
+    Term.(const run $ workload_arg $ input_arg $ fuel_arg $ jobs_arg)
 
 (* memoize *)
 
@@ -522,7 +513,7 @@ let memoize_cmd =
       value & opt int 1
       & info [ "a"; "arity" ] ~docv:"N" ~doc:"Number of arguments (1-6).")
   in
-  let run (w : Workload.t) input proc arity =
+  let run (w : Workload.t) input proc arity _jobs =
     let prog = w.wbuild input in
     match Memoize.memoize prog ~proc ~arity with
     | report ->
@@ -540,14 +531,24 @@ let memoize_cmd =
   Cmd.v
     (Cmd.info "memoize"
        ~doc:"Install a memoization cache on a pure procedure (Richardson [32]).")
-    Term.(const run $ workload_arg $ input_arg $ proc_arg $ arity_arg)
+    Term.(
+      const run $ workload_arg $ input_arg $ proc_arg $ arity_arg $ jobs_arg)
 
 (* diff *)
 
 let diff_cmd =
-  let run (w : Workload.t) top =
-    let pt = Profile.run (w.wbuild Workload.Test) in
-    let ptr = Profile.run (w.wbuild Workload.Train) in
+  let run (w : Workload.t) top fuel jobs =
+    let pt, ptr =
+      match
+        Driver.run_jobs ~jobs:(effective_jobs jobs)
+          [ Driver.job (module Profile.Profiler) ?fuel ~finish:Fun.id w
+              Workload.Test;
+            Driver.job (module Profile.Profiler) ?fuel ~finish:Fun.id w
+              Workload.Train ]
+      with
+      | [ pt; ptr ] -> (pt, ptr)
+      | _ -> assert false
+    in
     let pairs =
       Array.to_list pt.Profile.points
       |> List.filter_map (fun (a : Profile.point) ->
@@ -597,69 +598,107 @@ let diff_cmd =
   Cmd.v
     (Cmd.info "diff"
        ~doc:"Compare a workload's test and train profiles (Table V.5 style).")
-    Term.(const run $ workload_arg $ top_arg)
+    Term.(const run $ workload_arg $ top_arg $ fuel_arg $ jobs_arg)
 
-(* experiment *)
+(* experiment / experiments *)
+
+let csv_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "csv" ] ~docv:"DIR"
+        ~doc:"Also write each produced table to DIR as a CSV file.")
+
+let write_csv dir (spec : Experiments.spec) tables =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iteri
+    (fun i table ->
+      let path = Filename.concat dir (Printf.sprintf "%s_%d.csv" spec.id i) in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Table.to_csv table));
+      Printf.printf "wrote %s\n" path)
+    tables
+
+let print_spec_tables csv ((spec : Experiments.spec), tables) =
+  Printf.printf "== %s: %s  [%s] ==\n" spec.id spec.title spec.paper_ref;
+  List.iter
+    (fun t ->
+      Table.print t;
+      print_newline ())
+    tables;
+  match csv with Some dir -> write_csv dir spec tables | None -> ()
+
+let run_experiments id csv jobs =
+  if id = "all" then
+    List.iter (print_spec_tables csv)
+      (Experiments.run_all ~jobs:(effective_jobs jobs) ())
+  else
+    match Experiments.find id with
+    | spec -> print_spec_tables csv (spec, spec.Experiments.run ())
+    | exception Not_found ->
+      Printf.eprintf "unknown experiment %S; known: %s\n" id
+        (String.concat ", "
+           (List.map (fun (s : Experiments.spec) -> s.id) Experiments.all));
+      exit 1
 
 let experiment_cmd =
   let id_arg =
     Arg.(
       value & pos 0 string "all"
-      & info [] ~docv:"ID" ~doc:"Experiment id (e01..e21) or 'all'.")
-  in
-  let csv_arg =
-    Arg.(
-      value & opt (some string) None
-      & info [ "csv" ] ~docv:"DIR"
-          ~doc:"Also write each produced table to DIR as a CSV file.")
-  in
-  let write_csv dir (spec : Experiments.spec) tables =
-    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-    List.iteri
-      (fun i table ->
-        let path = Filename.concat dir (Printf.sprintf "%s_%d.csv" spec.id i) in
-        let oc = open_out path in
-        Fun.protect
-          ~finally:(fun () -> close_out oc)
-          (fun () -> output_string oc (Table.to_csv table));
-        Printf.printf "wrote %s\n" path)
-      tables
-  in
-  let run_spec csv (spec : Experiments.spec) =
-    let tables = spec.Experiments.run () in
-    Printf.printf "== %s: %s  [%s] ==\n" spec.id spec.title spec.paper_ref;
-    List.iter
-      (fun t ->
-        Table.print t;
-        print_newline ())
-      tables;
-    match csv with Some dir -> write_csv dir spec tables | None -> ()
-  in
-  let run id csv =
-    if id = "all" then List.iter (run_spec csv) Experiments.all
-    else
-      match Experiments.find id with
-      | spec -> run_spec csv spec
-      | exception Not_found ->
-        Printf.eprintf "unknown experiment %S; known: %s\n" id
-          (String.concat ", "
-             (List.map (fun (s : Experiments.spec) -> s.id) Experiments.all));
-        exit 1
+      & info [] ~docv:"ID" ~doc:"Experiment id (e01..e24) or 'all'.")
   in
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate the paper's tables and figures (see DESIGN.md).")
-    Term.(const run $ id_arg $ csv_arg)
+    Term.(const run_experiments $ id_arg $ csv_arg $ jobs_arg)
+
+let experiments_cmd =
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"Run the whole suite (the default when no ID is given).")
+  in
+  let id_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"ID" ~doc:"Experiment id (e01..e24); omit for all.")
+  in
+  let run all id csv jobs =
+    let id = if all then "all" else Option.value id ~default:"all" in
+    run_experiments id csv jobs
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:
+         "Run the experiment suite — all of it with $(b,--all) (or no ID), \
+          in parallel with $(b,-j N); output is byte-identical to a serial \
+          run.")
+    Term.(const run $ all_arg $ id_arg $ csv_arg $ jobs_arg)
 
 let () =
   let info =
     Cmd.info "vprof" ~version:"1.0.0"
       ~doc:"Value profiling for instructions and memory locations"
   in
+  let group =
+    Cmd.group info
+      [ list_cmd; run_cmd; disasm_cmd; emit_cmd; profile_cmd; memory_cmd;
+        procs_cmd; registers_cmd; contexts_cmd; phases_cmd; trivial_cmd;
+        speculate_cmd; sample_cmd; specialize_cmd; memoize_cmd; diff_cmd;
+        experiment_cmd; experiments_cmd ]
+  in
+  (* a machine trap (say, an exhausted --fuel budget) is a user-level
+     outcome, not an internal error — report it cleanly; the driver
+     re-raises worker exceptions on this domain, so this also covers -j
+     runs *)
   exit
-    (Cmd.eval
-       (Cmd.group info
-          [ list_cmd; run_cmd; disasm_cmd; emit_cmd; profile_cmd; memory_cmd;
-            procs_cmd; registers_cmd; contexts_cmd; phases_cmd; trivial_cmd;
-            speculate_cmd; sample_cmd; specialize_cmd; memoize_cmd; diff_cmd;
-            experiment_cmd ]))
+    (try Cmd.eval ~catch:false group with
+     | Machine.Trap t ->
+       Printf.eprintf "vprof: machine trap: %s\n" (Machine.string_of_trap t);
+       2
+     | e ->
+       Printf.eprintf "vprof: internal error: %s\n" (Printexc.to_string e);
+       125)

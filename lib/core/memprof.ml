@@ -89,3 +89,18 @@ let fraction_invariant ?(weighted = true) t ~threshold =
 let mean_metric t field =
   Metrics.weighted_mean field
     (Array.to_list t.locations |> List.map (fun l -> l.l_metrics))
+
+module Profiler = struct
+  let name = "memory"
+
+  type nonrec config = config
+
+  let default_config = default_config
+
+  type result = t
+  type nonrec live = live
+
+  let attach = attach
+  let collect = collect
+  let run = run
+end

@@ -44,3 +44,8 @@ val fraction_invariant : ?weighted:bool -> t -> threshold:float -> float
 
 (** Execution-weighted mean of a metric over all tracked locations. *)
 val mean_metric : t -> (Metrics.t -> float) -> float
+
+(** The {!Profiler_intf.S} view of this profiler, for the parallel
+    driver. *)
+module Profiler :
+  Profiler_intf.S with type result = t and type config = config

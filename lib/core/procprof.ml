@@ -112,3 +112,18 @@ let memo_hit_rate t =
       end)
     t.procs;
   if !calls = 0 then 0. else float_of_int !hits /. float_of_int !calls
+
+module Profiler = struct
+  let name = "procs"
+
+  type nonrec config = config
+
+  let default_config = default_config
+
+  type result = t
+  type nonrec live = live
+
+  let attach = attach
+  let collect = collect
+  let run = run
+end

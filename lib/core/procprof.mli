@@ -40,3 +40,8 @@ val run : ?config:config -> ?fuel:int -> Asm.program -> t
 (** Memoization-cache hit rate over all calls to procedures with declared
     arguments. *)
 val memo_hit_rate : t -> float
+
+(** The {!Profiler_intf.S} view of this profiler, for the parallel
+    driver. *)
+module Profiler :
+  Profiler_intf.S with type result = t and type config = config

@@ -66,3 +66,22 @@ let weighted points field =
   Metrics.weighted_mean field (List.map (fun p -> p.p_metrics) points)
 
 let point_at t pc = Array.find_opt (fun p -> p.p_pc = pc) t.points
+
+module Profiler = struct
+  let name = "profile"
+
+  type config = { vconfig : Vstate.config; selection : Atom.selection }
+
+  let default_config = { vconfig = Vstate.default_config; selection = `All }
+
+  type result = t
+  type nonrec live = live
+
+  let attach ?(config = default_config) machine =
+    attach ~config:config.vconfig machine config.selection
+
+  let collect = collect
+
+  let run ?(config = default_config) ?fuel prog =
+    run ~config:config.vconfig ~selection:config.selection ?fuel prog
+end

@@ -1,0 +1,43 @@
+(** The unified profiler contract.
+
+    Every profiler in the repository follows the same life cycle — attach
+    instrumentation to a machine, let the machine run, collect a result —
+    but each grew its own entry-point shape (extra selection arguments,
+    split configurations). [S] is the common signature the parallel driver
+    schedules against; the concrete modules ([Profile], [Sampler],
+    [Memprof], [Procprof]) each expose an adapter submodule named
+    [Profiler] that satisfies it without disturbing their original APIs.
+
+    A profiler implementation must be {e self-contained}: all mutable
+    profiling state lives in the [live] value (and the machine it is
+    attached to), never in module-level globals, so distinct jobs can run
+    concurrently on distinct domains. *)
+
+module type S = sig
+  (** Short stable name ("profile", "sample", "memory", "procs") used in
+      logs and benchmark labels. *)
+  val name : string
+
+  (** Everything that parameterizes a run, packed into one value so the
+      driver can carry it without knowing its shape. *)
+  type config
+
+  val default_config : config
+
+  (** What a finished run yields (the concrete profiler's [t]). *)
+  type result
+
+  (** Instrumentation attached to a live machine; collect after running. *)
+  type live
+
+  val attach : ?config:config -> Machine.t -> live
+  val collect : live -> result
+
+  (** Build a machine, run it fully instrumented, collect. *)
+  val run : ?config:config -> ?fuel:int -> Asm.program -> result
+end
+
+(** A profiler packed as a first-class module, indexed by its result type
+    (the configuration type stays existential — pair the module with a
+    config of the right type at pack time if you need a non-default one). *)
+type 'r t = (module S with type result = 'r)

@@ -166,3 +166,31 @@ let invariance_error sampled full =
         end)
     sampled.points;
   Stats.weighted_mean (Array.of_list !errors) (Array.of_list !weights)
+
+module Profiler = struct
+  let name = "sample"
+
+  type nonrec config = {
+    sampler : config;
+    vconfig : Vstate.config;
+    selection : Atom.selection;
+  }
+
+  let default_config =
+    { sampler = default_config;
+      vconfig = Vstate.default_config;
+      selection = `All }
+
+  type result = t
+  type nonrec live = live
+
+  let attach ?(config = default_config) machine =
+    attach ~config:config.sampler ~vconfig:config.vconfig machine
+      config.selection
+
+  let collect = collect
+
+  let run ?(config = default_config) ?fuel prog =
+    run ~config:config.sampler ~vconfig:config.vconfig
+      ~selection:config.selection ?fuel prog
+end

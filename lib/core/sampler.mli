@@ -70,3 +70,16 @@ val run :
     profile of the same program, weighted by true execution frequency.
     Points missing from either side are ignored. *)
 val invariance_error : t -> Profile.t -> float
+
+(** The {!Profiler_intf.S} view of this profiler, for the parallel driver:
+    sampling parameters, TNV configuration and instruction selection
+    packed into one config value. *)
+module Profiler : sig
+  type nonrec config = {
+    sampler : config;
+    vconfig : Vstate.config;
+    selection : Atom.selection;
+  }
+
+  include Profiler_intf.S with type result = t and type config := config
+end

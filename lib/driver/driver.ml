@@ -1,0 +1,27 @@
+type 'a job =
+  | Job : {
+      profiler : (module Profiler_intf.S with type result = 'r and type config = 'c);
+      config : 'c option;
+      fuel : int option;
+      workload : Workload.t;
+      input : Workload.input;
+      finish : 'r -> 'a;
+    }
+      -> 'a job
+
+let job ?config ?fuel ~finish profiler workload input =
+  Job { profiler; config; fuel; workload; input; finish }
+
+let job_name (Job { profiler = (module P); workload; input; _ }) =
+  Printf.sprintf "%s:%s:%s" P.name workload.Workload.wname
+    (Workload.string_of_input input)
+
+let run_job (Job { profiler = (module P); config; fuel; workload; input; finish }) =
+  let prog = workload.Workload.wbuild input in
+  finish (P.run ?config ?fuel prog)
+
+let run_jobs ?jobs js = Pool.map ?jobs run_job js
+
+let default_jobs = Pool.default_jobs
+
+let map = Pool.map

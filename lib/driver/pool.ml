@@ -1,0 +1,68 @@
+(* The worker pool: a mutex-protected deque of job indices drained by a
+   fixed set of domains. Results land in per-index slots, so completion
+   order never affects result order. *)
+
+(* Work queue: push_back on submission, pop_front by workers (FIFO keeps
+   the schedule close to the serial order, which keeps cache-sharing jobs
+   together). Two-list deque; [front] is in pop order. *)
+type 'a deque = {
+  mutable front : 'a list;
+  mutable back : 'a list;  (* reversed *)
+  mu : Mutex.t;
+}
+
+let deque_of_list items = { front = items; back = []; mu = Mutex.create () }
+
+let pop_front d =
+  Mutex.lock d.mu;
+  let item =
+    match d.front with
+    | x :: rest ->
+      d.front <- rest;
+      Some x
+    | [] ->
+      (match List.rev d.back with
+       | x :: rest ->
+         d.front <- rest;
+         d.back <- [];
+         Some x
+       | [] -> None)
+  in
+  Mutex.unlock d.mu;
+  item
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let resolve_jobs = function
+  | None -> default_jobs ()
+  | Some n when n <= 0 -> default_jobs ()
+  | Some n -> n
+
+let map ?jobs f items =
+  let jobs = min (resolve_jobs jobs) (List.length items) in
+  if jobs <= 1 then List.map f items
+  else begin
+    let items = Array.of_list items in
+    let n = Array.length items in
+    let results = Array.make n None in
+    let work = deque_of_list (List.init n Fun.id) in
+    let worker () =
+      let rec loop () =
+        match pop_front work with
+        | None -> ()
+        | Some i ->
+          (* distinct indices: no two domains ever write the same slot *)
+          results.(i) <- Some (try Ok (f items.(i)) with e -> Error e);
+          loop ()
+      in
+      loop ()
+    in
+    let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join helpers;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok v) -> v
+         | Some (Error e) -> raise e
+         | None -> assert false)
+  end

@@ -1,0 +1,23 @@
+(** A fixed pool of worker domains pulling work from a mutex-protected
+    deque.
+
+    The pool is created per call, sized to the job count, and torn down
+    before returning — profiling jobs run for milliseconds to seconds, so
+    domain spawn cost is noise and keeping no resident pool means no
+    global state and no shutdown protocol. The calling domain works too:
+    [map ~jobs:n] spawns [n - 1] extra domains. *)
+
+(** [Domain.recommended_domain_count ()] — what [map] uses when [jobs] is
+    omitted or [0]. *)
+val default_jobs : unit -> int
+
+(** [map ~jobs f items] applies [f] to every item and returns the results
+    {e in input order}, whatever order the workers finished in. [jobs <= 1]
+    (after defaulting) degenerates to [List.map f items] on the calling
+    domain.
+
+    If any application raises, the exception of the {e lowest-indexed}
+    failing item is re-raised after all workers have drained — so the
+    surfaced error is deterministic even though later items may already
+    have run (unlike serial [List.map], which stops at the first). *)
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list

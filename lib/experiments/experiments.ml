@@ -65,12 +65,18 @@ let find id =
   | Some s -> s
   | None -> raise Not_found
 
-let print_one spec =
+let print_tables (spec, tables) =
   Printf.printf "== %s: %s  [%s] ==\n" spec.id spec.title spec.paper_ref;
   List.iter
     (fun t ->
       Table.print t;
       print_newline ())
-    (spec.run ())
+    tables
 
-let print_all () = List.iter print_one all
+let print_one spec = print_tables (spec, spec.run ())
+
+let run_all ?jobs () = Driver.map ?jobs (fun spec -> (spec, spec.run ())) all
+
+(* Printing happens on the calling domain after the parallel runs land in
+   registry order, so the bytes match a serial run exactly. *)
+let print_all ?(jobs = 1) () = List.iter print_tables (run_all ~jobs ())

@@ -17,5 +17,14 @@ val find : string -> spec
 (** Run one experiment and print its tables to stdout. *)
 val print_one : spec -> unit
 
-(** Run the whole suite in order, printing everything. *)
-val print_all : unit -> unit
+(** Run the whole suite across [jobs] worker domains (via {!Driver.map};
+    [0] means the recommended domain count) and return each experiment's
+    tables in registry order. Safe at any [jobs]: the harness memo caches
+    are domain-safe and each run owns its machines. *)
+val run_all : ?jobs:int -> unit -> (spec * Table.t list) list
+
+(** Run the whole suite in order, printing everything. Computation is
+    parallel across [jobs] domains (default [1], i.e. serial); printing
+    is always serial, in registry order, so the output is byte-identical
+    for every [jobs] value. *)
+val print_all : ?jobs:int -> unit -> unit

@@ -1,38 +1,35 @@
 let workloads = Workloads.all
 
-let profile_cache : (string * Workload.input, Profile.t) Hashtbl.t =
-  Hashtbl.create 32
+(* Domain-safe once-per-key caches: when the parallel driver runs several
+   experiments at once, the first to need a profile computes it and the
+   rest block on the latch instead of duplicating the run. *)
 
-let run_cache : (string * Workload.input, Machine.t) Hashtbl.t =
-  Hashtbl.create 32
+let profile_cache : (string * Workload.input, Profile.t) Memo_cache.t =
+  Memo_cache.create ~size:32 ()
 
-let procprof_cache : (string * Workload.input, Procprof.t) Hashtbl.t =
-  Hashtbl.create 32
+let run_cache : (string * Workload.input, Machine.t) Memo_cache.t =
+  Memo_cache.create ~size:32 ()
 
-let memo cache key compute =
-  match Hashtbl.find_opt cache key with
-  | Some v -> v
-  | None ->
-    let v = compute () in
-    Hashtbl.replace cache key v;
-    v
+let procprof_cache : (string * Workload.input, Procprof.t) Memo_cache.t =
+  Memo_cache.create ~size:32 ()
 
 let full_profile (w : Workload.t) input =
-  memo profile_cache (w.wname, input) (fun () ->
+  Memo_cache.find_or_compute profile_cache (w.wname, input) (fun () ->
       Profile.run ~selection:`All (w.wbuild input))
 
 let plain_run (w : Workload.t) input =
-  memo run_cache (w.wname, input) (fun () -> Machine.execute (w.wbuild input))
+  Memo_cache.find_or_compute run_cache (w.wname, input) (fun () ->
+      Machine.execute (w.wbuild input))
 
 let proc_profile (w : Workload.t) input =
-  memo procprof_cache (w.wname, input) (fun () ->
+  Memo_cache.find_or_compute procprof_cache (w.wname, input) (fun () ->
       let config = { Procprof.default_config with arities = w.warities } in
       Procprof.run ~config (w.wbuild input))
 
 let clear_cache () =
-  Hashtbl.reset profile_cache;
-  Hashtbl.reset run_cache;
-  Hashtbl.reset procprof_cache
+  Memo_cache.clear profile_cache;
+  Memo_cache.clear run_cache;
+  Memo_cache.clear procprof_cache
 
 let load_points p = Profile.points_by_category p Isa.Load
 

@@ -1,7 +1,9 @@
 (** Shared plumbing for the experiment drivers: the workload list in table
     order and memoized full profiles/runs (several experiments consume the
     same profile; profiling a workload twice would double the suite's run
-    time for no reason). *)
+    time for no reason). The memo tables are domain-safe {!Memo_cache}s,
+    so experiments scheduled in parallel by the driver still compute each
+    profile exactly once. *)
 
 (** All workloads, table order. *)
 val workloads : Workload.t list

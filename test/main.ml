@@ -31,5 +31,6 @@ let () =
       ("specialize", Test_specialize.suite);
       ("memoize", Test_memoize.suite);
       ("workloads", Test_workloads.suite);
+      ("driver", Test_driver.suite);
       ("experiments", Test_experiments.suite);
       ("cli", Test_cli.suite) ]

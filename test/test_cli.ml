@@ -60,6 +60,15 @@ let test_memoize () =
 let test_experiment () =
   check_ok "experiment" "experiment e01" [ "Table III.1"; "compress" ]
 
+let test_experiments_parallel () =
+  check_ok "experiments -j" "experiments e01 -j 2" [ "Table III.1"; "compress" ]
+
+let test_fuel_trap () =
+  let code, out = run_cli "run -w li --fuel 1000" in
+  Alcotest.(check int) "trap exit code" 2 code;
+  Alcotest.(check bool) "reports the trap" true
+    (Astring_contains.contains out "fuel exhausted")
+
 let test_diff () = check_ok "diff" "diff -w cc -t 3" [ "correlation" ]
 
 let test_emit_roundtrip () =
@@ -96,6 +105,8 @@ let suite =
     Alcotest.test_case "specialize" `Slow test_specialize;
     Alcotest.test_case "memoize" `Slow test_memoize;
     Alcotest.test_case "experiment" `Slow test_experiment;
+    Alcotest.test_case "experiments -j" `Slow test_experiments_parallel;
+    Alcotest.test_case "fuel trap" `Quick test_fuel_trap;
     Alcotest.test_case "diff" `Slow test_diff;
     Alcotest.test_case "emit roundtrip" `Slow test_emit_roundtrip;
     Alcotest.test_case "unknown workload" `Quick test_unknown_workload_fails;

@@ -1,0 +1,181 @@
+(* Driver subsystem tests: pool ordering and error determinism, the
+   once-per-key guarantee of the memo cache under concurrent domains, the
+   unified Profiler_intf adapters, and the headline property — parallel
+   Experiments.print_all output is byte-identical to serial. *)
+
+let test_pool_map_matches_serial () =
+  let xs = List.init 100 Fun.id in
+  let f x = (x * x) + 1 in
+  Alcotest.(check (list int))
+    "jobs=4 preserves order" (List.map f xs)
+    (Pool.map ~jobs:4 f xs);
+  Alcotest.(check (list int)) "jobs=1 serial path" (List.map f xs)
+    (Pool.map ~jobs:1 f xs);
+  Alcotest.(check (list int)) "jobs=0 means auto" (List.map f xs)
+    (Pool.map ~jobs:0 f xs);
+  Alcotest.(check (list int)) "empty input" [] (Pool.map ~jobs:4 f []);
+  Alcotest.(check (list int)) "singleton" [ 10 ] (Pool.map ~jobs:4 (fun x -> x * 10) [ 1 ])
+
+let test_pool_exception_deterministic () =
+  (* the lowest-indexed failure must surface, whatever the schedule *)
+  let f x = if x mod 2 = 1 then failwith (string_of_int x) else x in
+  match Pool.map ~jobs:4 f [ 0; 2; 5; 4; 3; 7 ] with
+  | _ -> Alcotest.fail "expected an exception"
+  | exception Failure m -> Alcotest.(check string) "first failing item" "5" m
+
+let test_memo_concurrent_once_per_key () =
+  let cache : (int, int) Memo_cache.t = Memo_cache.create () in
+  let computed = Atomic.make 0 in
+  let lookups = List.init 64 (fun i -> i mod 8) in
+  let results =
+    Pool.map ~jobs:8
+      (fun k ->
+        Memo_cache.find_or_compute cache k (fun () ->
+            Atomic.incr computed;
+            (* widen the race window so colliding domains really overlap *)
+            for _ = 1 to 1000 do
+              Domain.cpu_relax ()
+            done;
+            k * 10))
+      lookups
+  in
+  Alcotest.(check int) "each key computed exactly once" 8 (Atomic.get computed);
+  Alcotest.(check int) "cache agrees" 8 (Memo_cache.computations cache);
+  List.iter2
+    (fun k v -> Alcotest.(check int) "memoized value" (k * 10) v)
+    lookups results
+
+let test_memo_failure_not_cached () =
+  let cache : (int, int) Memo_cache.t = Memo_cache.create () in
+  (match Memo_cache.find_or_compute cache 1 (fun () -> failwith "boom") with
+   | _ -> Alcotest.fail "expected the failure to propagate"
+   | exception Failure _ -> ());
+  Alcotest.(check int) "failed attempt counted" 1 (Memo_cache.computations cache);
+  Alcotest.(check int) "retry recomputes" 7
+    (Memo_cache.find_or_compute cache 1 (fun () -> 7));
+  Alcotest.(check int) "then it is cached" 7
+    (Memo_cache.find_or_compute cache 1 (fun () -> Alcotest.fail "hit expected"))
+
+let test_memo_clear () =
+  let cache : (string, int) Memo_cache.t = Memo_cache.create () in
+  ignore (Memo_cache.find_or_compute cache "k" (fun () -> 1));
+  Memo_cache.clear cache;
+  Alcotest.(check int) "counter reset" 0 (Memo_cache.computations cache);
+  Alcotest.(check int) "recomputes after clear" 2
+    (Memo_cache.find_or_compute cache "k" (fun () -> 2))
+
+let test_profiler_adapters_match_direct () =
+  (* the unified adapters must run the same computation as the original
+     entry points: compare the deterministic summary counters *)
+  let w = Workloads.find "li" in
+  let prog = w.Workload.wbuild Workload.Test in
+  let direct = Profile.run ~selection:`All prog in
+  let direct_mem = Memprof.run prog in
+  let config = { Procprof.default_config with arities = w.Workload.warities } in
+  let direct_proc = Procprof.run ~config prog in
+  match
+    Driver.run_jobs ~jobs:2
+      [ Driver.job (module Profile.Profiler)
+          ~finish:(fun (p : Profile.t) ->
+            (p.instrumented, p.profiled_events, p.dynamic_instructions))
+          w Workload.Test;
+        Driver.job (module Memprof.Profiler)
+          ~finish:(fun (m : Memprof.t) ->
+            (Array.length m.locations, m.tracked_events, m.dynamic_instructions))
+          w Workload.Test;
+        Driver.job (module Procprof.Profiler) ~config
+          ~finish:(fun (p : Procprof.t) ->
+            (Array.length p.procs, p.total_calls, p.dynamic_instructions))
+          w Workload.Test ]
+  with
+  | [ p; m; pr ] ->
+    Alcotest.(check (triple int int int))
+      "profile adapter"
+      ( direct.Profile.instrumented,
+        direct.Profile.profiled_events,
+        direct.Profile.dynamic_instructions )
+      p;
+    Alcotest.(check (triple int int int))
+      "memprof adapter"
+      ( Array.length direct_mem.Memprof.locations,
+        direct_mem.Memprof.tracked_events,
+        direct_mem.Memprof.dynamic_instructions )
+      m;
+    Alcotest.(check (triple int int int))
+      "procprof adapter"
+      ( Array.length direct_proc.Procprof.procs,
+        direct_proc.Procprof.total_calls,
+        direct_proc.Procprof.dynamic_instructions )
+      pr
+  | _ -> Alcotest.fail "expected three results"
+
+let test_sampler_adapter_runs () =
+  let w = Workloads.find "li" in
+  let direct = Sampler.run (w.Workload.wbuild Workload.Test) in
+  match
+    Driver.run_jobs ~jobs:2
+      [ Driver.job (module Sampler.Profiler)
+          ~finish:(fun (s : Sampler.t) -> (s.total_events, s.profiled_events))
+          w Workload.Test ]
+  with
+  | [ (total, profiled) ] ->
+    Alcotest.(check int) "total events" direct.Sampler.total_events total;
+    Alcotest.(check int) "profiled events" direct.Sampler.profiled_events
+      profiled
+  | _ -> Alcotest.fail "expected one result"
+
+let test_job_name () =
+  let w = Workloads.find "go" in
+  let j =
+    Driver.job (module Profile.Profiler) ~finish:ignore w Workload.Train
+  in
+  Alcotest.(check string) "job name" "profile:go:train" (Driver.job_name j)
+
+(* Capture stdout into a string across [f ()] by swapping the fd — the
+   experiments print with raw [Printf], so buffer tricks would not do. *)
+let capture_stdout f =
+  let path = Filename.temp_file "vprof_driver" ".out" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      flush stdout;
+      let saved = Unix.dup Unix.stdout in
+      let fd = Unix.openfile path [ O_WRONLY; O_TRUNC ] 0o600 in
+      Unix.dup2 fd Unix.stdout;
+      Unix.close fd;
+      Fun.protect
+        ~finally:(fun () ->
+          flush stdout;
+          Unix.dup2 saved Unix.stdout;
+          Unix.close saved)
+        f;
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic)))
+
+let test_print_all_parallel_byte_identical () =
+  Harness.clear_cache ();
+  let serial = capture_stdout (fun () -> Experiments.print_all ~jobs:1 ()) in
+  Harness.clear_cache ();
+  let parallel = capture_stdout (fun () -> Experiments.print_all ~jobs:4 ()) in
+  Alcotest.(check bool) "suite actually printed" true
+    (String.length serial > 10_000);
+  Alcotest.(check bool) "parallel output byte-identical to serial" true
+    (String.equal serial parallel)
+
+let suite =
+  [ Alcotest.test_case "pool map order" `Quick test_pool_map_matches_serial;
+    Alcotest.test_case "pool exception deterministic" `Quick
+      test_pool_exception_deterministic;
+    Alcotest.test_case "memo once per key (8 domains)" `Quick
+      test_memo_concurrent_once_per_key;
+    Alcotest.test_case "memo failure not cached" `Quick
+      test_memo_failure_not_cached;
+    Alcotest.test_case "memo clear" `Quick test_memo_clear;
+    Alcotest.test_case "profiler adapters match direct runs" `Slow
+      test_profiler_adapters_match_direct;
+    Alcotest.test_case "sampler adapter" `Slow test_sampler_adapter_runs;
+    Alcotest.test_case "job name" `Quick test_job_name;
+    Alcotest.test_case "print_all parallel == serial (bytes)" `Slow
+      test_print_all_parallel_byte_identical ]
