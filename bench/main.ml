@@ -11,7 +11,12 @@
 
    Part 3 measures the parallel driver: the full multi-workload profiling
    job set (every workload x test input, full value profile) executed on
-   1 domain vs. the machine's recommended domain count. *)
+   1 domain vs. the machine's recommended domain count.
+
+   Part 4 writes the machine-readable perf baseline BENCH_tnv.json:
+   events/sec for the TNV hot path, the full profiler, the convergent
+   sampler, and the driver job set on 1 vs N domains. `--smoke` (the CI
+   configuration) runs only this part. *)
 
 open Bechamel
 open Toolkit
@@ -158,19 +163,120 @@ let print_driver_scaling () =
     "experiment suite (e01..e24, cold caches): 1 domain %.3fs, %d domains %.3fs (%.2fx)\n"
     exp_serial n exp_parallel (exp_serial /. exp_parallel)
 
+(* Part 4: the machine-readable perf baseline.
+
+   Each entry is (events, wall seconds) with the wall clock taken as the
+   best of [reps] repetitions, so transient noise only ever makes the
+   recorded number worse, never better. *)
+
+let timed_events ?(iters = 1) reps f =
+  let events = ref 0 and best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    let ev = ref 0 in
+    for _ = 1 to iters do
+      ev := !ev + f ()
+    done;
+    events := !ev;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  (!events, !best)
+
+let tnv_hot_values n =
+  let rng = Rng.create 99L in
+  Array.init n (fun _ -> Int64.of_int (Rng.skewed rng ~n:64 ~s:2.0))
+
+let bench_json () =
+  let reps = 5 in
+  let iters = 10 in
+  let tnv_n = 1 lsl 22 in
+  let hot = tnv_hot_values tnv_n in
+  let tnv_add () =
+    let t = Tnv.create ~capacity:8 () in
+    Array.iter (Tnv.add t) hot;
+    Array.length hot
+  in
+  let full_profile () =
+    let p = Profile.run ~selection:`All bench_program in
+    p.Profile.profiled_events
+  in
+  let sampler () =
+    let s = Sampler.run bench_program in
+    s.Sampler.total_events
+  in
+  let driver jobs () =
+    Driver.run_jobs ~jobs
+      (List.map
+         (fun (w : Workload.t) ->
+           Driver.job
+             (module Profile.Profiler)
+             ~finish:(fun (p : Profile.t) -> p.Profile.profiled_events)
+             w Workload.Test)
+         Workloads.all)
+    |> List.fold_left ( + ) 0
+  in
+  let n = Driver.default_jobs () in
+  [ ("tnv_add", timed_events reps tnv_add);
+    ("full_profile", timed_events ~iters reps full_profile);
+    ("sampler", timed_events ~iters reps sampler);
+    ("driver_1_domain", timed_events 1 (driver 1));
+    (Printf.sprintf "driver_%d_domains" n, timed_events 1 (driver n)) ]
+
+let write_bench_json path =
+  let entries = bench_json () in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "{\n";
+      Printf.fprintf oc "  \"bench\": \"BENCH_tnv\",\n";
+      Printf.fprintf oc "  \"workload\": \"%s\",\n" bench_workload.Workload.wname;
+      Printf.fprintf oc "  \"input\": \"test\",\n";
+      Printf.fprintf oc "  \"runs\": [\n";
+      List.iteri
+        (fun i (name, (events, seconds)) ->
+          Printf.fprintf oc
+            "    { \"name\": \"%s\", \"events\": %d, \"seconds\": %.6f, \
+             \"events_per_sec\": %.0f }%s\n"
+            name events seconds
+            (if seconds > 0. then float_of_int events /. seconds else 0.)
+            (if i < List.length entries - 1 then "," else ""))
+        entries;
+      Printf.fprintf oc "  ]\n";
+      Printf.fprintf oc "}\n");
+  Printf.printf "wrote %s\n" path;
+  List.iter
+    (fun (name, (events, seconds)) ->
+      Printf.printf "  %-20s %12d events  %8.3fs  %12.0f events/s\n" name
+        events seconds
+        (if seconds > 0. then float_of_int events /. seconds else 0.))
+    entries
+
 let () =
+  (* --smoke (the CI configuration) runs only Part 4; the measurement
+     itself is the same either way, so smoke numbers are comparable to
+     full-run numbers. *)
+  let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv in
+  if not smoke then begin
+    print_endline "================================================================";
+    print_endline " Part 1: paper tables and figures (experiments e01..e24)";
+    print_endline "================================================================";
+    (* parallel across the recommended domain count; the output bytes are
+       identical to a serial run *)
+    Experiments.print_all ~jobs:0 ();
+    print_endline "================================================================";
+    print_endline " Part 2: profiler wall-clock micro-benchmarks (Bechamel)";
+    print_endline "================================================================";
+    print_bechamel ();
+    print_endline "================================================================";
+    print_endline " Part 3: parallel driver scaling (1 vs N domains)";
+    print_endline "================================================================";
+    Harness.clear_cache ();
+    print_driver_scaling ()
+  end;
   print_endline "================================================================";
-  print_endline " Part 1: paper tables and figures (experiments e01..e24)";
-  print_endline "================================================================";
-  (* parallel across the recommended domain count; the output bytes are
-     identical to a serial run *)
-  Experiments.print_all ~jobs:0 ();
-  print_endline "================================================================";
-  print_endline " Part 2: profiler wall-clock micro-benchmarks (Bechamel)";
-  print_endline "================================================================";
-  print_bechamel ();
-  print_endline "================================================================";
-  print_endline " Part 3: parallel driver scaling (1 vs N domains)";
+  print_endline " Part 4: perf baseline (BENCH_tnv.json)";
   print_endline "================================================================";
   Harness.clear_cache ();
-  print_driver_scaling ()
+  write_bench_json "BENCH_tnv.json"

@@ -89,3 +89,15 @@ let jobs_arg =
 
 (* Map the CLI value onto the driver's convention (0 = recommended). *)
 let effective_jobs j = if j <= 0 then Driver.default_jobs () else j
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Also print the run's cost counters: events seen and profiled, \
+           TNV clears and evictions, and attach-to-collect wall clock.")
+
+(* One spelling of the --stats output across subcommands. *)
+let print_stats enabled name (c : Counters.t) =
+  if enabled then Printf.printf "%s stats: %s\n" name (Counters.to_string c)

@@ -87,7 +87,7 @@ let save_arg =
 
 let profile_cmd =
   let run (w : Workload.t) input selection top tnv_size clear_interval save
-      fuel jobs =
+      fuel jobs stats =
     let vconfig =
       { Vstate.default_config with
         tnv_capacity = tnv_size; clear_interval }
@@ -145,18 +145,20 @@ let profile_cmd =
                | tv -> Int64.to_string (fst tv.(0))) ]
         end)
       points;
-    Table.print table
+    Table.print table;
+    print_stats stats "profile" (Profile.Profiler.stats profile)
   in
   Cmd.v
     (Cmd.info "profile" ~doc:"Value-profile a workload (full profiling).")
     Term.(
       const run $ workload_arg $ input_arg $ selection_arg $ top_arg
-      $ tnv_size_arg $ clear_interval_arg $ save_arg $ fuel_arg $ jobs_arg)
+      $ tnv_size_arg $ clear_interval_arg $ save_arg $ fuel_arg $ jobs_arg
+      $ stats_arg)
 
 (* memory *)
 
 let memory_cmd =
-  let run (w : Workload.t) input top fuel jobs =
+  let run (w : Workload.t) input top fuel jobs stats =
     let r =
       match
         Driver.run_jobs ~jobs:(effective_jobs jobs)
@@ -189,17 +191,19 @@ let memory_cmd =
                | [||] -> "-"
                | tv -> Int64.to_string (fst tv.(0))) ])
       r.Memprof.locations;
-    Table.print table
+    Table.print table;
+    print_stats stats "memory" (Memprof.Profiler.stats r)
   in
   Cmd.v
     (Cmd.info "memory" ~doc:"Profile memory locations (Chapter VII).")
     Term.(
-      const run $ workload_arg $ input_arg $ top_arg $ fuel_arg $ jobs_arg)
+      const run $ workload_arg $ input_arg $ top_arg $ fuel_arg $ jobs_arg
+      $ stats_arg)
 
 (* procs *)
 
 let procs_cmd =
-  let run (w : Workload.t) input fuel jobs =
+  let run (w : Workload.t) input fuel jobs stats =
     let config = { Procprof.default_config with arities = w.warities } in
     let pp =
       match
@@ -232,11 +236,13 @@ let procs_cmd =
               Table.pct r.r_return.Metrics.inv_top;
               string_of_int r.r_memo_hits ])
       pp.Procprof.procs;
-    Table.print table
+    Table.print table;
+    print_stats stats "procs" (Procprof.Profiler.stats pp)
   in
   Cmd.v
     (Cmd.info "procs" ~doc:"Profile procedure parameters and returns.")
-    Term.(const run $ workload_arg $ input_arg $ fuel_arg $ jobs_arg)
+    Term.(
+      const run $ workload_arg $ input_arg $ fuel_arg $ jobs_arg $ stats_arg)
 
 (* registers *)
 
@@ -286,7 +292,7 @@ let sample_cmd =
     Arg.(value & opt float Sampler.default_config.epsilon
          & info [ "epsilon" ] ~docv:"E" ~doc:"Convergence threshold.")
   in
-  let run (w : Workload.t) input burst skip epsilon fuel jobs =
+  let run (w : Workload.t) input burst skip epsilon fuel jobs stats =
     let config =
       { Sampler.default_config with burst; initial_skip = skip; epsilon }
     in
@@ -308,14 +314,15 @@ let sample_cmd =
         (100. *. sampled.Sampler.overhead)
         (Table.count sampled.Sampler.profiled_events)
         (Table.count sampled.Sampler.total_events)
-        (100. *. Sampler.invariance_error sampled full)
+        (100. *. Sampler.invariance_error sampled full);
+      print_stats stats "sample" (Sampler.Profiler.stats sampled)
     | _ -> assert false
   in
   Cmd.v
     (Cmd.info "sample" ~doc:"Convergent (sampled) value profiling.")
     Term.(
       const run $ workload_arg $ input_arg $ burst $ skip $ epsilon $ fuel_arg
-      $ jobs_arg)
+      $ jobs_arg $ stats_arg)
 
 (* specialize *)
 

@@ -16,6 +16,7 @@ type t = {
   tracked_events : int;
   untracked_events : int;
   dynamic_instructions : int;
+  stats : Counters.t;
 }
 
 type live = {
@@ -23,10 +24,14 @@ type live = {
   table : (int64, Vstate.t) Hashtbl.t;
   config : config;
   mutable untracked : int;
+  started : float;
 }
 
 let attach ?(config = default_config) machine =
-  let live = { machine; table = Hashtbl.create 4096; config; untracked = 0 } in
+  let live =
+    { machine; table = Hashtbl.create 4096; config; untracked = 0;
+      started = Counters.now () }
+  in
   let observe value addr =
     match Hashtbl.find_opt live.table addr with
     | Some vs -> Vstate.observe vs value
@@ -65,10 +70,22 @@ let collect live =
   let tracked =
     Array.fold_left (fun acc l -> acc + l.l_metrics.Metrics.total) 0 locations
   in
+  let stats = Counters.create () in
+  stats.Counters.events_seen <- tracked + live.untracked;
+  stats.Counters.events_profiled <- tracked;
+  Hashtbl.iter
+    (fun _ vs ->
+      stats.Counters.tnv_clears <-
+        stats.Counters.tnv_clears + Vstate.tnv_clears vs;
+      stats.Counters.tnv_replacements <-
+        stats.Counters.tnv_replacements + Vstate.tnv_replacements vs)
+    live.table;
+  stats.Counters.wall_seconds <- Counters.now () -. live.started;
   { locations;
     tracked_events = tracked;
     untracked_events = live.untracked;
-    dynamic_instructions = Machine.icount live.machine }
+    dynamic_instructions = Machine.icount live.machine;
+    stats }
 
 let run ?config ?fuel prog =
   let machine = Machine.create prog in
@@ -103,4 +120,5 @@ module Profiler = struct
   let attach = attach
   let collect = collect
   let run = run
+  let stats (r : result) = r.stats
 end

@@ -27,6 +27,7 @@ type t = {
   tracked_events : int;
   untracked_events : int;  (** events at addresses beyond [max_locations] *)
   dynamic_instructions : int;
+  stats : Counters.t;  (** run cost counters *)
 }
 
 type live

@@ -31,9 +31,10 @@ type t = {
   procs : proc_report array;
   total_calls : int;
   dynamic_instructions : int;
+  stats : Counters.t;
 }
 
-type live = { machine : Machine.t; states : pstate array }
+type live = { machine : Machine.t; states : pstate array; started : float }
 
 let arg_regs = [| Isa.a0; Isa.a1; Isa.a2; Isa.a3; Isa.a4; Isa.a5 |]
 
@@ -77,7 +78,7 @@ let attach ?(config = default_config) machine =
       end);
   Atom.instrument_proc_returns machine prog (fun p _m value ->
       Vstate.observe states.(p.pindex).return value);
-  { machine; states }
+  { machine; states; started = Counters.now () }
 
 let collect live =
   let procs =
@@ -92,9 +93,27 @@ let collect live =
       live.states
   in
   Array.sort (fun a b -> compare b.r_calls a.r_calls) procs;
+  let stats = Counters.create () in
+  Array.iter
+    (fun st ->
+      let add vs =
+        stats.Counters.events_profiled <-
+          stats.Counters.events_profiled + Vstate.total vs;
+        stats.Counters.tnv_clears <-
+          stats.Counters.tnv_clears + Vstate.tnv_clears vs;
+        stats.Counters.tnv_replacements <-
+          stats.Counters.tnv_replacements + Vstate.tnv_replacements vs
+      in
+      Array.iter add st.params;
+      add st.return)
+    live.states;
+  (* every parameter/return event this profiler sees is recorded *)
+  stats.Counters.events_seen <- stats.Counters.events_profiled;
+  stats.Counters.wall_seconds <- Counters.now () -. live.started;
   { procs;
     total_calls = Array.fold_left (fun acc p -> acc + p.r_calls) 0 procs;
-    dynamic_instructions = Machine.icount live.machine }
+    dynamic_instructions = Machine.icount live.machine;
+    stats }
 
 let run ?config ?fuel prog =
   let machine = Machine.create prog in
@@ -126,4 +145,5 @@ module Profiler = struct
   let attach = attach
   let collect = collect
   let run = run
+  let stats (r : result) = r.stats
 end

@@ -27,6 +27,7 @@ type t = {
   procs : proc_report array;  (** descending by call count *)
   total_calls : int;
   dynamic_instructions : int;
+  stats : Counters.t;  (** run cost counters *)
 }
 
 type live

@@ -10,11 +10,13 @@ type t = {
   instrumented : int;
   profiled_events : int;
   dynamic_instructions : int;
+  stats : Counters.t;
 }
 
 type live = {
   machine : Machine.t;
   states : (int * Vstate.t) list; (* ascending pc *)
+  started : float; (* Counters.now at attach time *)
 }
 
 let attach ?config machine selection =
@@ -25,7 +27,7 @@ let attach ?config machine selection =
     (fun (pc, vs) ->
       Machine.set_hook machine pc (fun value _addr -> Vstate.observe vs value))
     states;
-  { machine; states }
+  { machine; states; started = Counters.now () }
 
 let proc_name prog pc =
   match Asm.proc_of_pc prog pc with
@@ -47,10 +49,22 @@ let collect live =
   let profiled_events =
     Array.fold_left (fun acc p -> acc + p.p_metrics.Metrics.total) 0 points
   in
+  let stats = Counters.create () in
+  stats.Counters.events_seen <- Machine.icount live.machine;
+  stats.Counters.events_profiled <- profiled_events;
+  List.iter
+    (fun (_, vs) ->
+      stats.Counters.tnv_clears <-
+        stats.Counters.tnv_clears + Vstate.tnv_clears vs;
+      stats.Counters.tnv_replacements <-
+        stats.Counters.tnv_replacements + Vstate.tnv_replacements vs)
+    live.states;
+  stats.Counters.wall_seconds <- Counters.now () -. live.started;
   { points;
     instrumented = Array.length points;
     profiled_events;
-    dynamic_instructions = Machine.icount live.machine }
+    dynamic_instructions = Machine.icount live.machine;
+    stats }
 
 let run ?config ?(selection = `All) ?fuel prog =
   let machine = Machine.create prog in
@@ -84,4 +98,6 @@ module Profiler = struct
 
   let run ?(config = default_config) ?fuel prog =
     run ~config:config.vconfig ~selection:config.selection ?fuel prog
+
+  let stats (r : result) = r.stats
 end

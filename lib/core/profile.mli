@@ -20,6 +20,7 @@ type t = {
   instrumented : int;  (** static instrumentation points *)
   profiled_events : int;  (** dynamic analysis calls that ran *)
   dynamic_instructions : int;  (** total instructions the program executed *)
+  stats : Counters.t;  (** run cost counters (all-zero on loaded profiles) *)
 }
 
 (** Profile attached to a live machine; collect after running. *)

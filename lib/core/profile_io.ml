@@ -154,7 +154,10 @@ let of_string ~(program : Asm.program) text =
     { Profile.points = Array.of_list (List.rev st.points_rev);
       instrumented;
       profiled_events;
-      dynamic_instructions }
+      dynamic_instructions;
+      (* the on-disk format carries no run-cost counters; a loaded profile
+         reports all-zero stats *)
+      stats = Counters.create () }
 
 let read_file ~program path =
   let ic = open_in path in

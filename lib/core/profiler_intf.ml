@@ -35,6 +35,11 @@ module type S = sig
 
   (** Build a machine, run it fully instrumented, collect. *)
   val run : ?config:config -> ?fuel:int -> Asm.program -> result
+
+  (** The run's cost counters (events seen/profiled, TNV maintenance,
+      attach-to-collect wall clock), for `vprof --stats` and the
+      benchmark baseline. *)
+  val stats : result -> Counters.t
 end
 
 (** A profiler packed as a first-class module, indexed by its result type

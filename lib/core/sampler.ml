@@ -55,7 +55,11 @@ let end_of_burst st =
   let top = Vstate.top_value st.vs in
   if burst_is_quiet st inv top then begin
     st.streak <- st.streak + 1;
-    if st.streak >= st.cfg.consecutive && not st.converged then begin
+    (* Back off on every quiet re-check burst, not only the one that first
+       established convergence: the gap keeps widening geometrically toward
+       [max_skip] while the point stays quiet. (A former [not st.converged]
+       guard here froze the gap at one widening forever.) *)
+    if st.streak >= st.cfg.consecutive then begin
       st.converged <- true;
       let widened = int_of_float (float_of_int st.skip *. st.cfg.backoff) in
       st.skip <- min st.cfg.max_skip (max st.skip widened)
@@ -100,11 +104,13 @@ type t = {
   profiled_events : int;
   overhead : float;
   dynamic_instructions : int;
+  stats : Counters.t;
 }
 
 type live = {
   machine : Machine.t;
   states : (int * state) list;
+  started : float;
 }
 
 let attach ?(config = default_config) ?vconfig machine selection =
@@ -117,7 +123,7 @@ let attach ?(config = default_config) ?vconfig machine selection =
     (fun (pc, st) ->
       Machine.set_hook machine pc (fun value _addr -> observe st value))
     states;
-  { machine; states }
+  { machine; states; started = Counters.now () }
 
 let collect live =
   let prog = Machine.program live.machine in
@@ -135,13 +141,25 @@ let collect live =
   in
   let total_events = Array.fold_left (fun a p -> a + p.s_events) 0 points in
   let profiled_events = Array.fold_left (fun a p -> a + p.s_profiled) 0 points in
+  let stats = Counters.create () in
+  stats.Counters.events_seen <- total_events;
+  stats.Counters.events_profiled <- profiled_events;
+  List.iter
+    (fun (_, st) ->
+      stats.Counters.tnv_clears <-
+        stats.Counters.tnv_clears + Vstate.tnv_clears st.vs;
+      stats.Counters.tnv_replacements <-
+        stats.Counters.tnv_replacements + Vstate.tnv_replacements st.vs)
+    live.states;
+  stats.Counters.wall_seconds <- Counters.now () -. live.started;
   { points;
     total_events;
     profiled_events;
     overhead =
       (if total_events = 0 then 0.
        else float_of_int profiled_events /. float_of_int total_events);
-    dynamic_instructions = Machine.icount live.machine }
+    dynamic_instructions = Machine.icount live.machine;
+    stats }
 
 let run ?config ?vconfig ?(selection = `All) ?fuel prog =
   let machine = Machine.create prog in
@@ -193,4 +211,25 @@ module Profiler = struct
   let run ?(config = default_config) ?fuel prog =
     run ~config:config.sampler ~vconfig:config.vconfig
       ~selection:config.selection ?fuel prog
+
+  let stats (r : result) = r.stats
+end
+
+(* Test-only window into the per-point burst machinery, so the back-off
+   behaviour can be asserted directly instead of through a whole machine
+   run. Not part of the profiling API proper. *)
+module Testing = struct
+  type nonrec state = state
+
+  let make_state config = make_state config None
+  let observe = observe
+  let current_skip st = st.skip
+  let is_converged st = st.converged
+
+  (* Feed exactly one skip-then-burst cycle of [v]s, ending right after
+     [end_of_burst] ran. *)
+  let run_cycle st v =
+    for _ = 1 to st.to_skip + st.cfg.burst do
+      observe st v
+    done
 end

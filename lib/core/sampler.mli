@@ -49,6 +49,7 @@ type t = {
   profiled_events : int;
   overhead : float;  (** profiled / total, 0 when nothing executed *)
   dynamic_instructions : int;
+  stats : Counters.t;  (** run cost counters *)
 }
 
 type live
@@ -82,4 +83,26 @@ module Profiler : sig
   }
 
   include Profiler_intf.S with type result = t and type config := config
+end
+
+(** Test-only access to a single point's burst/skip state machine, so the
+    convergent back-off can be exercised deterministically (each quiet
+    re-check burst must keep widening the gap toward [max_skip]; a noisy
+    burst must reset it to [initial_skip]). *)
+module Testing : sig
+  type state
+
+  val make_state : config -> state
+
+  (** Feed one dynamic event. *)
+  val observe : state -> int64 -> unit
+
+  (** Feed exactly one skip-then-burst cycle of the given value, ending
+      right after the end-of-burst convergence check. *)
+  val run_cycle : state -> int64 -> unit
+
+  (** The current inter-burst gap. *)
+  val current_skip : state -> int
+
+  val is_converged : state -> bool
 end

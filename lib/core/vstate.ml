@@ -9,10 +9,84 @@ let default_config =
   { tnv_capacity = 8; tnv_policy = Tnv.Lfu_clear; clear_interval = 2000;
     distinct_cap = 1024 }
 
+(* Growable open-addressing int64 set for the distinct-value count.
+   [Hashtbl] costs a [caml_hash] C call per probe, which showed up as one
+   of the larger per-event costs for high-entropy points; this probes with
+   the same multiplicative hash as the TNV index. [present] marks occupied
+   cells so 0L is an ordinary member. Load is kept at or under 1/2. *)
+module Distinct = struct
+  type t = {
+    mutable values : int64 array;
+    mutable present : Bytes.t;
+    mutable mask : int;
+    mutable count : int;
+  }
+
+  let initial_size = 16
+
+  let create () =
+    { values = Array.make initial_size 0L;
+      present = Bytes.make initial_size '\000';
+      mask = initial_size - 1;
+      count = 0 }
+
+  let[@inline] hash t v =
+    Int64.to_int (Int64.shift_right_logical (Int64.mul v 0x9E3779B97F4A7C15L) 32)
+    land t.mask
+
+  (* Cell holding [v], or the empty cell where it would go. *)
+  let rec probe t v i =
+    if Bytes.unsafe_get t.present i = '\000'
+       || Int64.equal (Array.unsafe_get t.values i) v
+    then i
+    else probe t v ((i + 1) land t.mask)
+
+  let length t = t.count
+
+  let grow t =
+    let old_values = t.values and old_present = t.present in
+    let size = 2 * (t.mask + 1) in
+    t.values <- Array.make size 0L;
+    t.present <- Bytes.make size '\000';
+    t.mask <- size - 1;
+    for i = 0 to Array.length old_values - 1 do
+      if Bytes.get old_present i <> '\000' then begin
+        let v = old_values.(i) in
+        let j = probe t v (hash t v) in
+        t.values.(j) <- v;
+        Bytes.set t.present j '\001'
+      end
+    done
+
+  (* [true] if [v] was freshly inserted, [false] if already present. *)
+  let add t v =
+    let i = probe t v (hash t v) in
+    if Bytes.unsafe_get t.present i <> '\000' then false
+    else begin
+      t.values.(i) <- v;
+      Bytes.set t.present i '\001';
+      t.count <- t.count + 1;
+      if 2 * t.count > t.mask then grow t;
+      true
+    end
+
+  let mem t v =
+    Bytes.unsafe_get t.present (probe t v (hash t v)) <> '\000'
+
+  let reset t =
+    if t.mask + 1 > initial_size then begin
+      t.values <- Array.make initial_size 0L;
+      t.present <- Bytes.make initial_size '\000';
+      t.mask <- initial_size - 1
+    end
+    else Bytes.fill t.present 0 (t.mask + 1) '\000';
+    t.count <- 0
+end
+
 type t = {
   tnv : Tnv.t;
   deltas : Tnv.t; (* TNV over value transitions: the stride profile *)
-  distinct : (int64, unit) Hashtbl.t;
+  distinct : Distinct.t;
   distinct_cap : int;
   mutable saturated : bool;
   mutable last : int64;
@@ -28,7 +102,7 @@ let create ?(config = default_config) () =
     deltas =
       Tnv.create ~policy:config.tnv_policy ~clear_interval:config.clear_interval
         ~capacity:config.tnv_capacity ();
-    distinct = Hashtbl.create 64;
+    distinct = Distinct.create ();
     distinct_cap = config.distinct_cap;
     saturated = false;
     last = 0L;
@@ -36,22 +110,45 @@ let create ?(config = default_config) () =
     lvp_hits = 0;
     zero_hits = 0 }
 
+let track_distinct t v =
+  if Distinct.length t.distinct < t.distinct_cap then
+    ignore (Distinct.add t.distinct v)
+  else if not (Distinct.mem t.distinct v) then t.saturated <- true
+
 let observe t v =
-  Tnv.add t.tnv v;
+  let hit = Tnv.add_mem t.tnv v in
   if t.has_last then begin
-    if Int64.equal v t.last then t.lvp_hits <- t.lvp_hits + 1;
-    Tnv.add t.deltas (Int64.sub v t.last)
-  end;
-  t.last <- v;
-  t.has_last <- true;
-  if Int64.equal v 0L then t.zero_hits <- t.zero_hits + 1;
-  if not (Hashtbl.mem t.distinct v) then begin
-    if Hashtbl.length t.distinct < t.distinct_cap then
-      Hashtbl.replace t.distinct v ()
-    else t.saturated <- true
+    let repeat = Int64.equal v t.last in
+    if repeat then begin
+      t.lvp_hits <- t.lvp_hits + 1;
+      (* the repeat case keeps the old [last] box and the constant 0 delta
+         instead of a store barrier plus a boxed [Int64.sub] *)
+      Tnv.add t.deltas 0L
+    end
+    else begin
+      Tnv.add t.deltas (Int64.sub v t.last);
+      t.last <- v
+    end;
+    if Int64.equal v 0L then t.zero_hits <- t.zero_hits + 1;
+    (* a value already resident in the TNV table (or equal to the previous
+       one) went through [track_distinct] when it first appeared, and once
+       the distinct set is saturated [track_distinct] is a no-op — either
+       way the hit path skips the hashtable probe, the dominant cost of the
+       old per-event bookkeeping *)
+    if not (repeat || hit || t.saturated) then track_distinct t v
+  end
+  else begin
+    t.last <- v;
+    t.has_last <- true;
+    if Int64.equal v 0L then t.zero_hits <- t.zero_hits + 1;
+    track_distinct t v
   end
 
 let total t = Tnv.total t.tnv
+
+let tnv_clears t = Tnv.clears t.tnv + Tnv.clears t.deltas
+
+let tnv_replacements t = Tnv.replacements t.tnv + Tnv.replacements t.deltas
 
 let inv_top t = Tnv.inv_top t.tnv
 
@@ -67,7 +164,7 @@ let metrics t =
       inv_top = Tnv.inv_top t.tnv;
       inv_all = Tnv.inv_all t.tnv;
       zero = float_of_int t.zero_hits /. fn;
-      distinct = Hashtbl.length t.distinct;
+      distinct = Distinct.length t.distinct;
       distinct_saturated = t.saturated;
       top_values = Tnv.entries t.tnv;
       stride_top = Tnv.inv_top t.deltas;
@@ -76,7 +173,7 @@ let metrics t =
 let reset t =
   Tnv.reset t.tnv;
   Tnv.reset t.deltas;
-  Hashtbl.reset t.distinct;
+  Distinct.reset t.distinct;
   t.saturated <- false;
   t.last <- 0L;
   t.has_last <- false;

@@ -20,6 +20,13 @@ val observe : t -> int64 -> unit
 
 val total : t -> int
 
+(** Periodic clears performed by this point's TNV tables (value + stride),
+    for the cost counters. *)
+val tnv_clears : t -> int
+
+(** Evictions performed by this point's TNV tables (value + stride). *)
+val tnv_replacements : t -> int
+
 (** Snapshot of the metrics so far. *)
 val metrics : t -> Metrics.t
 

@@ -51,8 +51,13 @@ let map ?jobs f items =
         match pop_front work with
         | None -> ()
         | Some i ->
-          (* distinct indices: no two domains ever write the same slot *)
-          results.(i) <- Some (try Ok (f items.(i)) with e -> Error e);
+          (* distinct indices: no two domains ever write the same slot;
+             the worker's backtrace is captured with the exception so the
+             re-raise on the caller's domain points at the real failure *)
+          results.(i) <-
+            Some
+              (try Ok (f items.(i))
+               with e -> Error (e, Printexc.get_raw_backtrace ()));
           loop ()
       in
       loop ()
@@ -63,6 +68,6 @@ let map ?jobs f items =
     Array.to_list results
     |> List.map (function
          | Some (Ok v) -> v
-         | Some (Error e) -> raise e
+         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
          | None -> assert false)
   end

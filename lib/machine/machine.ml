@@ -146,75 +146,93 @@ let enter_proc t target =
   if callee >= 0 then
     match t.entry_hooks.(callee) with None -> () | Some h -> h t
 
+(* Deliver the per-pc hook. Each [step] arm ends here with the value and
+   address it produced (0L where the instruction has none), so the
+   interpreter never materializes a (value, addr) pair — the old ref-cell
+   plumbing cost two allocations and two write barriers per instruction.
+   [pc] was bounds-checked on entry to [step] and [hooks] matches the code
+   array's length. *)
+let[@inline] fire_hook t pc v a =
+  match Array.unsafe_get t.hooks pc with None -> () | Some h -> h v a
+
 let step t =
   if t.halted then ()
   else begin
     let pc = t.pc in
     check_pc t pc;
-    let instr = t.prog.code.(pc) in
-    t.exec_counts.(pc) <- t.exec_counts.(pc) + 1;
+    let instr = Array.unsafe_get t.prog.code pc in
+    Array.unsafe_set t.exec_counts pc (Array.unsafe_get t.exec_counts pc + 1);
     t.icount <- t.icount + 1;
-    (* [value]/[addr] feed the per-pc hook; see the interface. *)
-    let value = ref 0L and addr = ref 0L in
-    (match instr with
-     | Isa.Op (op, ra, ob, rc) ->
-       let b = match ob with Isa.Reg r -> t.regs.(r) | Isa.Imm v -> v in
-       let v = eval_binop op pc t.regs.(ra) b in
-       if rc <> Isa.zero_reg then t.regs.(rc) <- v;
-       value := v;
-       t.pc <- pc + 1
-     | Isa.Ldi (rd, v) ->
-       if rd <> Isa.zero_reg then t.regs.(rd) <- v;
-       value := v;
-       t.pc <- pc + 1
-     | Isa.Ld (rd, rb, off) ->
-       let a = Int64.add t.regs.(rb) (Int64.of_int off) in
-       let v = Memory.read t.mem a in
-       if rd <> Isa.zero_reg then t.regs.(rd) <- v;
-       value := v;
-       addr := a;
-       t.pc <- pc + 1
-     | Isa.St (ra, rb, off) ->
-       let a = Int64.add t.regs.(rb) (Int64.of_int off) in
-       let v = t.regs.(ra) in
-       Memory.write t.mem a v;
-       value := v;
-       addr := a;
-       t.pc <- pc + 1
-     | Isa.Br (c, ra, target) ->
-       let taken = cond_holds c t.regs.(ra) in
-       value := (if taken then 1L else 0L);
-       t.pc <- (if taken then target else pc + 1)
-     | Isa.Jmp target -> t.pc <- target
-     | Isa.Jsr target -> enter_proc t target
-     | Isa.Jsr_ind r ->
-       let target = Int64.to_int t.regs.(r) in
-       enter_proc t target
-     | Isa.Ret ->
-       let v = t.regs.(Isa.v0) in
-       value := v;
-       (match t.stack with
-        | [] -> t.halted <- true
-        | frame :: rest ->
-          (if frame.frame_proc >= 0 then
-             match t.return_hooks.(frame.frame_proc) with
-             | None -> ()
-             | Some h -> h t v);
-          t.stack <- rest;
-          t.depth <- t.depth - 1;
-          t.pc <- frame.return_pc)
-     | Isa.Halt -> t.halted <- true
-     | Isa.Nop -> t.pc <- pc + 1);
-    match t.hooks.(pc) with None -> () | Some h -> h !value !addr
+    match instr with
+    | Isa.Op (op, ra, ob, rc) ->
+      let b = match ob with Isa.Reg r -> t.regs.(r) | Isa.Imm v -> v in
+      let v = eval_binop op pc t.regs.(ra) b in
+      if rc <> Isa.zero_reg then t.regs.(rc) <- v;
+      t.pc <- pc + 1;
+      fire_hook t pc v 0L
+    | Isa.Ldi (rd, v) ->
+      if rd <> Isa.zero_reg then t.regs.(rd) <- v;
+      t.pc <- pc + 1;
+      fire_hook t pc v 0L
+    | Isa.Ld (rd, rb, off) ->
+      let a = Int64.add t.regs.(rb) (Int64.of_int off) in
+      let v = Memory.read t.mem a in
+      if rd <> Isa.zero_reg then t.regs.(rd) <- v;
+      t.pc <- pc + 1;
+      fire_hook t pc v a
+    | Isa.St (ra, rb, off) ->
+      let a = Int64.add t.regs.(rb) (Int64.of_int off) in
+      let v = t.regs.(ra) in
+      Memory.write t.mem a v;
+      t.pc <- pc + 1;
+      fire_hook t pc v a
+    | Isa.Br (c, ra, target) ->
+      let taken = cond_holds c t.regs.(ra) in
+      t.pc <- (if taken then target else pc + 1);
+      fire_hook t pc (if taken then 1L else 0L) 0L
+    | Isa.Jmp target ->
+      t.pc <- target;
+      fire_hook t pc 0L 0L
+    | Isa.Jsr target ->
+      enter_proc t target;
+      fire_hook t pc 0L 0L
+    | Isa.Jsr_ind r ->
+      let target = Int64.to_int t.regs.(r) in
+      enter_proc t target;
+      fire_hook t pc 0L 0L
+    | Isa.Ret ->
+      let v = t.regs.(Isa.v0) in
+      (match t.stack with
+       | [] -> t.halted <- true
+       | frame :: rest ->
+         (if frame.frame_proc >= 0 then
+            match t.return_hooks.(frame.frame_proc) with
+            | None -> ()
+            | Some h -> h t v);
+         t.stack <- rest;
+         t.depth <- t.depth - 1;
+         t.pc <- frame.return_pc);
+      fire_hook t pc v 0L
+    | Isa.Halt ->
+      t.halted <- true;
+      fire_hook t pc 0L 0L
+    | Isa.Nop ->
+      t.pc <- pc + 1;
+      fire_hook t pc 0L 0L
   end
 
 let run ?(fuel = 500_000_000) t =
-  let budget = ref fuel in
-  while not t.halted do
-    if !budget <= 0 then raise (Trap (Fuel_exhausted fuel));
-    step t;
-    decr budget
-  done;
+  (* counting down in a tail-recursive loop keeps the budget in a register
+     instead of a heap-allocated ref dereferenced every instruction *)
+  let rec loop remaining =
+    if not t.halted then
+      if remaining <= 0 then raise (Trap (Fuel_exhausted fuel))
+      else begin
+        step t;
+        loop (remaining - 1)
+      end
+  in
+  loop fuel;
   t.icount
 
 let execute ?fuel prog =

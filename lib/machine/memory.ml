@@ -1,31 +1,66 @@
-let page_words = 4096
+let page_shift = 12
+let page_words = 1 lsl page_shift (* 4096 *)
+let page_mask = page_words - 1
 
-type t = { pages : (int, int64 array) Hashtbl.t }
+(* [last_key]/[last_page] cache the most recently touched page so the
+   common sequential/looping access pattern costs one compare instead of a
+   hashtable probe per access. [no_page] never equals a real key (keys are
+   non-negative after the sign check, or huge after wrap). *)
+let no_page = min_int
 
-let create () = { pages = Hashtbl.create 64 }
+type t = {
+  pages : (int, int64 array) Hashtbl.t;
+  mutable last_key : int;
+  mutable last_page : int64 array;
+}
 
-let page_of addr = Int64.to_int (Int64.div addr (Int64.of_int page_words))
+let create () =
+  { pages = Hashtbl.create 64; last_key = no_page; last_page = [||] }
 
-let offset_of addr = Int64.to_int (Int64.rem addr (Int64.of_int page_words))
+(* Addresses below 2^62 (all realistic ones) split with shift/mask on the
+   untagged int; an address that wrapped in [to_int] falls back to exact
+   64-bit math so the page decomposition matches [iter_touched]'s
+   reconstruction. Separate key/off helpers rather than one returning a
+   pair: a pair would allocate on every access. *)
+let[@inline] page_key a addr =
+  if a >= 0 then a lsr page_shift
+  else Int64.to_int (Int64.div addr (Int64.of_int page_words))
+
+let[@inline] page_off a addr =
+  if a >= 0 then a land page_mask
+  else Int64.to_int (Int64.rem addr (Int64.of_int page_words))
 
 let read t addr =
   if Int64.compare addr 0L < 0 then invalid_arg "Memory.read: negative address";
-  match Hashtbl.find_opt t.pages (page_of addr) with
-  | None -> 0L
-  | Some page -> page.(offset_of addr)
+  let a = Int64.to_int addr in
+  let key = page_key a addr and off = page_off a addr in
+  if key = t.last_key then Array.unsafe_get t.last_page off
+  else
+    match Hashtbl.find_opt t.pages key with
+    | None -> 0L
+    | Some page ->
+      t.last_key <- key;
+      t.last_page <- page;
+      page.(off)
 
 let write t addr v =
   if Int64.compare addr 0L < 0 then invalid_arg "Memory.write: negative address";
-  let key = page_of addr in
-  let page =
-    match Hashtbl.find_opt t.pages key with
-    | Some page -> page
-    | None ->
-      let page = Array.make page_words 0L in
-      Hashtbl.replace t.pages key page;
-      page
-  in
-  page.(offset_of addr) <- v
+  let a = Int64.to_int addr in
+  let key = page_key a addr and off = page_off a addr in
+  if key = t.last_key then Array.unsafe_set t.last_page off v
+  else begin
+    let page =
+      match Hashtbl.find_opt t.pages key with
+      | Some page -> page
+      | None ->
+        let page = Array.make page_words 0L in
+        Hashtbl.replace t.pages key page;
+        page
+    in
+    t.last_key <- key;
+    t.last_page <- page;
+    page.(off) <- v
+  end
 
 let load_segment t base words =
   Array.iteri (fun i v -> write t (Int64.add base (Int64.of_int i)) v) words
@@ -39,4 +74,7 @@ let iter_touched t f =
       Array.iteri (fun i v -> f (Int64.add base (Int64.of_int i)) v) page)
     t.pages
 
-let clear t = Hashtbl.reset t.pages
+let clear t =
+  Hashtbl.reset t.pages;
+  t.last_key <- no_page;
+  t.last_page <- [||]

@@ -1,5 +1,14 @@
 type policy = Lfu_clear | Lfu | Lru
 
+(* The table proper is the parallel [values]/[counts]/[stamps] arrays, as
+   in the paper. The [index] array is a small open-addressing (linear
+   probing) value->slot map over the occupied slots, sized to a power of
+   two at least 4x the capacity so probe chains stay short; cell [0] means
+   empty, [s + 1] means slot [s]. It exists purely so the per-event hit
+   path is one hash and (almost always) one compare instead of an
+   O(capacity) scan, and it is rebuilt wholesale on the rare mutations
+   (replacement, periodic clear, reset) — capacity is tiny, so a rebuild
+   is a few dozen cache-resident writes. *)
 type t = {
   pol : policy;
   cap : int;
@@ -7,45 +16,94 @@ type t = {
   values : int64 array;
   counts : int array; (* count 0 = empty slot *)
   stamps : int array; (* last-touch tick, for LRU *)
-  mutable tick : int;
-  mutable total : int;
+  index : int array;
+  mask : int; (* Array.length index - 1; the length is a power of two *)
+  kept : bool array; (* scratch for periodic_clear, reused across clears *)
+  mutable last_slot : int; (* slot of the last added value; -1 = unknown *)
+  mutable occupied : int;
+  mutable total : int; (* doubles as the recency tick for [stamps] *)
   mutable since_clear : int;
+  mutable clears : int;
+  mutable replacements : int;
 }
+
+let index_size capacity =
+  let rec grow n = if n >= 4 * capacity then n else grow (2 * n) in
+  grow 16
 
 let create ?(policy = Lfu_clear) ?(clear_interval = 2000) ~capacity () =
   if capacity <= 0 then invalid_arg "Tnv.create: capacity must be positive";
   if clear_interval <= 0 then invalid_arg "Tnv.create: clear_interval must be positive";
+  let isize = index_size capacity in
   { pol = policy; cap = capacity; interval = clear_interval;
     values = Array.make capacity 0L;
     counts = Array.make capacity 0;
     stamps = Array.make capacity 0;
-    tick = 0; total = 0; since_clear = 0 }
+    index = Array.make isize 0;
+    mask = isize - 1;
+    kept = Array.make capacity false;
+    last_slot = -1;
+    occupied = 0; total = 0; since_clear = 0;
+    clears = 0; replacements = 0 }
 
 let policy t = t.pol
 let capacity t = t.cap
 let clear_interval t = t.interval
+let clears t = t.clears
+let replacements t = t.replacements
+
+(* Fibonacci (multiplicative) hashing; the constant is 2^64 / phi. *)
+let[@inline] hash_slot t v =
+  Int64.to_int (Int64.shift_right_logical (Int64.mul v 0x9E3779B97F4A7C15L) 32)
+  land t.mask
+
+(* First index cell, probing from [i], that either holds [v]'s slot or is
+   empty (the insertion point on a miss). Terminates because the index is
+   never more than [cap <= mask/4 + 1] full. *)
+let rec probe_cell t v i =
+  let e = Array.unsafe_get t.index i in
+  if e = 0 || Int64.equal (Array.unsafe_get t.values (e - 1)) v then i
+  else probe_cell t v ((i + 1) land t.mask)
+
+let index_insert t s =
+  let cell = probe_cell t t.values.(s) (hash_slot t t.values.(s)) in
+  t.index.(cell) <- s + 1
+
+let rebuild_index t =
+  Array.fill t.index 0 (Array.length t.index) 0;
+  for s = 0 to t.cap - 1 do
+    if t.counts.(s) > 0 then index_insert t s
+  done
 
 (* Number of top entries immune to the periodic clearing. *)
 let steady t = t.cap / 2
 
-(* Clear every slot that is not among the [steady] highest-counted ones. *)
+(* Clear every slot that is not among the [steady] highest-counted ones —
+   in place: [kept] is preallocated scratch, and the top-k selection is
+   O(cap * k) scans over the (cache-resident) counts, so the clear
+   allocates nothing. Ties on count keep the lowest-numbered slot. *)
 let periodic_clear t =
-  let order = Array.init t.cap (fun i -> i) in
-  Array.sort (fun a b -> compare t.counts.(b) t.counts.(a)) order;
-  for rank = steady t to t.cap - 1 do
-    let i = order.(rank) in
-    t.counts.(i) <- 0;
-    t.values.(i) <- 0L;
-    t.stamps.(i) <- 0
-  done
-
-let find_value t v =
-  let rec loop i =
-    if i >= t.cap then -1
-    else if t.counts.(i) > 0 && Int64.equal t.values.(i) v then i
-    else loop (i + 1)
-  in
-  loop 0
+  t.clears <- t.clears + 1;
+  t.last_slot <- -1;
+  let k = steady t in
+  Array.fill t.kept 0 t.cap false;
+  for _ = 1 to k do
+    let best = ref 0 in
+    while t.kept.(!best) do incr best done;
+    for i = !best + 1 to t.cap - 1 do
+      if (not t.kept.(i)) && t.counts.(i) > t.counts.(!best) then best := i
+    done;
+    t.kept.(!best) <- true
+  done;
+  for i = 0 to t.cap - 1 do
+    if (not t.kept.(i)) && t.counts.(i) > 0 then begin
+      t.counts.(i) <- 0;
+      t.values.(i) <- 0L;
+      t.stamps.(i) <- 0;
+      t.occupied <- t.occupied - 1
+    end
+  done;
+  rebuild_index t
 
 let find_empty t =
   let rec loop i =
@@ -60,42 +118,79 @@ let index_of_min t key =
   done;
   !best
 
-let add t v =
+let replace t victim v =
+  t.replacements <- t.replacements + 1;
+  t.values.(victim) <- v;
+  t.counts.(victim) <- 1;
+  t.stamps.(victim) <- t.total;
+  t.last_slot <- victim;
+  rebuild_index t
+
+(* The full-table miss under the eviction policies. Kept out of [add_mem]
+   (in particular, no anonymous closures there) so the non-flambda inliner
+   can inline the hot path into callers. *)
+let evict t v =
+  match t.pol with
+  | Lfu_clear -> () (* dropped; the periodic clear will make room *)
+  | Lfu -> replace t (index_of_min t (fun i -> t.counts.(i))) v
+  | Lru -> replace t (index_of_min t (fun i -> t.stamps.(i))) v
+
+(* [stamps] only drives {!Lru} victim selection, so the hit paths below
+   touch that array (an extra cache line per event) only under [Lru]. *)
+
+let[@inline] add_mem t v =
   t.total <- t.total + 1;
-  t.tick <- t.tick + 1;
-  let hit = find_value t v in
-  if hit >= 0 then begin
-    t.counts.(hit) <- t.counts.(hit) + 1;
-    t.stamps.(hit) <- t.tick
-  end
-  else begin
-    let empty = find_empty t in
-    if empty >= 0 then begin
-      t.values.(empty) <- v;
-      t.counts.(empty) <- 1;
-      t.stamps.(empty) <- t.tick
+  let hit =
+    let ls = t.last_slot in
+    if ls >= 0 && Int64.equal (Array.unsafe_get t.values ls) v then begin
+      (* the dominant case value profiling banks on: the value repeats, and
+         the slot is already known — no hash, no probe *)
+      Array.unsafe_set t.counts ls (Array.unsafe_get t.counts ls + 1);
+      (match t.pol with
+       | Lru -> Array.unsafe_set t.stamps ls t.total
+       | Lfu_clear | Lfu -> ());
+      true
     end
-    else
-      match t.pol with
-      | Lfu_clear -> () (* dropped; the periodic clear will make room *)
-      | Lfu ->
-        let i = index_of_min t (fun i -> t.counts.(i)) in
-        t.values.(i) <- v;
-        t.counts.(i) <- 1;
-        t.stamps.(i) <- t.tick
-      | Lru ->
-        let i = index_of_min t (fun i -> t.stamps.(i)) in
-        t.values.(i) <- v;
-        t.counts.(i) <- 1;
-        t.stamps.(i) <- t.tick
-  end;
-  if t.pol = Lfu_clear then begin
-    t.since_clear <- t.since_clear + 1;
-    if t.since_clear >= t.interval then begin
-      t.since_clear <- 0;
-      periodic_clear t
+    else begin
+      let cell = probe_cell t v (hash_slot t v) in
+      let e = Array.unsafe_get t.index cell in
+      if e <> 0 then begin
+        (* index hit: one hash, one (usually first-probe) compare *)
+        let s = e - 1 in
+        Array.unsafe_set t.counts s (Array.unsafe_get t.counts s + 1);
+        (match t.pol with
+         | Lru -> Array.unsafe_set t.stamps s t.total
+         | Lfu_clear | Lfu -> ());
+        t.last_slot <- s;
+        true
+      end
+      else if t.occupied < t.cap then begin
+        let empty = find_empty t in
+        t.values.(empty) <- v;
+        t.counts.(empty) <- 1;
+        t.stamps.(empty) <- t.total;
+        t.occupied <- t.occupied + 1;
+        t.index.(cell) <- empty + 1;
+        t.last_slot <- empty;
+        false
+      end
+      else begin
+        evict t v;
+        false
+      end
     end
-  end
+  in
+  (match t.pol with
+   | Lfu_clear ->
+     t.since_clear <- t.since_clear + 1;
+     if t.since_clear >= t.interval then begin
+       t.since_clear <- 0;
+       periodic_clear t
+     end
+   | Lfu | Lru -> ());
+  hit
+
+let[@inline] add t v = ignore (add_mem t v)
 
 let total t = t.total
 
@@ -128,6 +223,10 @@ let reset t =
   Array.fill t.values 0 t.cap 0L;
   Array.fill t.counts 0 t.cap 0;
   Array.fill t.stamps 0 t.cap 0;
-  t.tick <- 0;
+  Array.fill t.index 0 (Array.length t.index) 0;
+  t.last_slot <- -1;
+  t.occupied <- 0;
   t.total <- 0;
-  t.since_clear <- 0
+  t.since_clear <- 0;
+  t.clears <- 0;
+  t.replacements <- 0

@@ -12,7 +12,14 @@
     Counts in the table are occurrences observed {e while the value held a
     slot}; the [total] includes values that were dropped because the table
     was full, so [covered t <= total t] always holds, and the invariance
-    metrics are conservative. *)
+    metrics are conservative.
+
+    {!add} is the profiler's per-event hot path and is engineered to be
+    allocation-free: a small open-addressing value->slot index makes the
+    hit path one multiplicative hash plus (usually) one compare, and the
+    periodic clear selects the surviving top half in place instead of
+    sorting a freshly allocated permutation. Ties on count during a clear
+    keep the lowest-numbered slot. *)
 
 type policy =
   | Lfu_clear  (** the paper's policy: LFU with periodic clearing *)
@@ -34,6 +41,12 @@ val clear_interval : t -> int
 (** Record one occurrence of [v]. *)
 val add : t -> int64 -> unit
 
+(** Like {!add}, and returns [true] iff [v] already held a slot before the
+    call. A [true] result proves the value was seen before, letting callers
+    skip their own seen-before bookkeeping on the hit path; [false] means
+    freshly inserted, dropped, or admitted by eviction. *)
+val add_mem : t -> int64 -> bool
+
 (** Occurrences recorded in total (hits and drops). *)
 val total : t -> int
 
@@ -53,6 +66,13 @@ val inv_top : t -> float
 
 (** Fraction of all occurrences belonging to any in-table value — Inv-All. *)
 val inv_all : t -> float
+
+(** Periodic clears performed so far ({!Lfu_clear} only). *)
+val clears : t -> int
+
+(** Evictions performed so far ({!Lfu} and {!Lru} only; the periodic clear
+    is counted by {!clears}, not here). *)
+val replacements : t -> int
 
 (** Forget everything (capacity and policy retained). *)
 val reset : t -> unit

@@ -1,0 +1,36 @@
+type t = {
+  mutable events_seen : int;
+  mutable events_profiled : int;
+  mutable tnv_clears : int;
+  mutable tnv_replacements : int;
+  mutable wall_seconds : float;
+}
+
+let create () =
+  { events_seen = 0;
+    events_profiled = 0;
+    tnv_clears = 0;
+    tnv_replacements = 0;
+    wall_seconds = 0. }
+
+let now () = Unix.gettimeofday ()
+
+let events_per_sec c =
+  if c.wall_seconds > 0. then float_of_int c.events_seen /. c.wall_seconds
+  else 0.
+
+let profiled_fraction c =
+  if c.events_seen > 0 then
+    float_of_int c.events_profiled /. float_of_int c.events_seen
+  else 0.
+
+let pp ppf c =
+  Format.fprintf ppf
+    "events seen %d, profiled %d (%.1f%%), tnv clears %d, evictions %d, \
+     wall %.3fs (%.2fM events/s)"
+    c.events_seen c.events_profiled
+    (100. *. profiled_fraction c)
+    c.tnv_clears c.tnv_replacements c.wall_seconds
+    (events_per_sec c /. 1e6)
+
+let to_string c = Format.asprintf "%a" pp c

@@ -1,0 +1,35 @@
+(** Cost counters every profiler reports alongside its result, so the
+    overhead the paper argues about ("cheap enough to run everywhere") is
+    observable rather than assumed: how many dynamic events the run
+    produced, how many the profiler actually recorded, how much TNV
+    maintenance happened, and how long the instrumented run took.
+
+    What counts as "seen" vs "profiled" is the profiler's own notion:
+    full profiling sees every dynamic instruction and profiles the hooked
+    ones; the convergent sampler sees every hooked event and profiles the
+    in-burst subset; the memory profiler sees every access and profiles
+    the tracked locations. *)
+
+type t = {
+  mutable events_seen : int;
+  mutable events_profiled : int;
+  mutable tnv_clears : int;  (** periodic clears across all TNV tables *)
+  mutable tnv_replacements : int;  (** LFU/LRU evictions across all tables *)
+  mutable wall_seconds : float;  (** attach-to-collect wall clock *)
+}
+
+(** All-zero counters. *)
+val create : unit -> t
+
+(** Wall clock for stamping [wall_seconds] ([Unix.gettimeofday]). *)
+val now : unit -> float
+
+(** [events_seen] per wall second; 0 when no time elapsed. *)
+val events_per_sec : t -> float
+
+(** [events_profiled / events_seen]; 0 when nothing ran. *)
+val profiled_fraction : t -> float
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

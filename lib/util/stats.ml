@@ -37,11 +37,20 @@ let stddev xs =
     sqrt (!acc /. float_of_int n)
   end
 
+(* Polymorphic [compare] treats NaN as orderable, so a single NaN would
+   silently scramble the sort feeding the experiment tables; reject it at
+   the door and sort with the IEEE-aware [Float.compare]. *)
+let reject_nan fname xs =
+  Array.iter
+    (fun x -> if Float.is_nan x then invalid_arg (fname ^ ": NaN input"))
+    xs
+
 let percentile p xs =
   if Array.length xs = 0 then invalid_arg "Stats.percentile: empty";
   if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  reject_nan "Stats.percentile" xs;
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   let rank = p /. 100. *. float_of_int (n - 1) in
   let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
@@ -75,14 +84,17 @@ let pearson xs ys =
 
 (* Average ranks so that ties are handled the standard way. *)
 let ranks xs =
+  reject_nan "Stats.ranks" xs;
   let n = Array.length xs in
   let order = Array.init n (fun i -> i) in
-  Array.sort (fun a b -> compare xs.(a) xs.(b)) order;
+  Array.sort (fun a b -> Float.compare xs.(a) xs.(b)) order;
   let r = Array.make n 0. in
   let i = ref 0 in
   while !i < n do
     let j = ref !i in
-    while !j + 1 < n && xs.(order.(!j + 1)) = xs.(order.(!i)) do incr j done;
+    while !j + 1 < n && Float.equal xs.(order.(!j + 1)) xs.(order.(!i)) do
+      incr j
+    done;
     let avg = float_of_int (!i + !j) /. 2. +. 1. in
     for k = !i to !j do
       r.(order.(k)) <- avg

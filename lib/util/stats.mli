@@ -14,7 +14,8 @@ val geomean : float array -> float
 val stddev : float array -> float
 
 (** [percentile p xs] for [p] in [\[0,100\]], linear interpolation between
-    order statistics. Raises on empty input or [p] out of range. *)
+    order statistics. Raises on empty input, [p] out of range, or any NaN
+    entry (NaN is unordered and would corrupt the sort). *)
 val percentile : float -> float array -> float
 
 val min_max : float array -> float * float
@@ -22,6 +23,10 @@ val min_max : float array -> float * float
 (** Pearson product-moment correlation; [nan] when either side is
     constant. Raises on length mismatch or fewer than two points. *)
 val pearson : float array -> float array -> float
+
+(** Average ranks (1-based), ties sharing their mean rank. Raises
+    [Invalid_argument] on NaN entries. *)
+val ranks : float array -> float array
 
 (** Spearman rank correlation (Pearson over average ranks). *)
 val spearman : float array -> float array -> float

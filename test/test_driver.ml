@@ -23,6 +23,24 @@ let test_pool_exception_deterministic () =
   | _ -> Alcotest.fail "expected an exception"
   | exception Failure m -> Alcotest.(check string) "first failing item" "5" m
 
+exception Worker_boom of int
+
+(* Not inlinable (recursive), so its frame stays visible in backtraces. *)
+let rec deep_raise n = if n = 0 then raise (Worker_boom 42) else 1 + deep_raise (n - 1)
+
+let test_pool_exception_carries_backtrace () =
+  (* the worker's backtrace must travel with the exception across the
+     domain boundary: after the re-raise it still points at the raising
+     frame in this file, not at the pool's own re-raise site *)
+  Printexc.record_backtrace true;
+  match Pool.map ~jobs:4 (fun x -> if x = 2 then deep_raise 5 else x) [ 0; 1; 2; 3 ] with
+  | _ -> Alcotest.fail "expected Worker_boom"
+  | exception Worker_boom n ->
+    Alcotest.(check int) "original exception, unwrapped" 42 n;
+    let bt = Printexc.get_backtrace () in
+    Alcotest.(check bool) "raising frame preserved" true
+      (Astring_contains.contains bt "test_driver.ml")
+
 let test_memo_concurrent_once_per_key () =
   let cache : (int, int) Memo_cache.t = Memo_cache.create () in
   let computed = Atomic.make 0 in
@@ -168,6 +186,8 @@ let suite =
   [ Alcotest.test_case "pool map order" `Quick test_pool_map_matches_serial;
     Alcotest.test_case "pool exception deterministic" `Quick
       test_pool_exception_deterministic;
+    Alcotest.test_case "pool exception carries backtrace" `Quick
+      test_pool_exception_carries_backtrace;
     Alcotest.test_case "memo once per key (8 domains)" `Quick
       test_memo_concurrent_once_per_key;
     Alcotest.test_case "memo failure not cached" `Quick

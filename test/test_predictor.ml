@@ -94,7 +94,8 @@ let test_filtered_gates_pcs () =
   in
   let profile =
     { Profile.points = [| point 0 0.9; point 1 0.1 |]; instrumented = 2;
-      profiled_events = 200; dynamic_instructions = 1000 }
+      profiled_events = 200; dynamic_instructions = 1000;
+      stats = Counters.create () }
   in
   let p = Predictor.filtered ~profile ~threshold:0.5 (Predictor.lvp ()) in
   for _ = 1 to 10 do
@@ -123,7 +124,8 @@ let test_routed_dispatches_by_class () =
   let profile =
     { Profile.points =
         [| point 0 lv_metrics; point 1 strided_metrics; point 2 wild_metrics |];
-      instrumented = 3; profiled_events = 300; dynamic_instructions = 1000 }
+      instrumented = 3; profiled_events = 300; dynamic_instructions = 1000;
+      stats = Counters.create () }
   in
   let routed =
     Predictor.routed ~profile

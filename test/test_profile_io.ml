@@ -95,6 +95,62 @@ let test_rejects_orphan_tv () =
 let test_rejects_garbage () =
   expect_failure "garbage" "vprof-profile 1\nmeta instrumented=0 events=0 dynamic=0\nwibble\n"
 
+let test_roundtrip_real_workload () =
+  (* not just the synthetic loop: a full built-in workload's profile must
+     survive the trip, down to byte-identical re-serialization *)
+  let w = Workloads.find "go" in
+  let prog = w.Workload.wbuild Workload.Test in
+  let p = Profile.run prog in
+  let s = Profile_io.to_string p in
+  let p' = Profile_io.of_string ~program:prog s in
+  Alcotest.(check int) "points" (Array.length p.Profile.points)
+    (Array.length p'.Profile.points);
+  Alcotest.(check string) "re-serialization is byte-identical" s
+    (Profile_io.to_string p')
+
+let test_bad_pc_failure_cites_line () =
+  let prog = program () in
+  match
+    Profile_io.of_string ~program:prog
+      "vprof-profile 1\nmeta instrumented=1 events=1 dynamic=1\npoint pc=999 proc=- total=1 lvp=0 invtop=0 invall=0 zero=0 distinct=1 saturated=0 stridetop=0 stride=none\n"
+  with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure msg ->
+    Alcotest.(check bool) "cites line 3" true
+      (Astring_contains.contains msg "line 3");
+    Alcotest.(check bool) "names the bad pc" true
+      (Astring_contains.contains msg "pc 999")
+
+let test_truncated_failure_cites_line () =
+  let w = Workloads.find "go" in
+  let prog = w.Workload.wbuild Workload.Test in
+  let s = Profile_io.to_string (Profile.run prog) in
+  (* cut the text mid-way through the last point line: parsing must report
+     a failure on that line, by number *)
+  let last_index_of sub =
+    let sl = String.length sub in
+    let rec go i best =
+      if i + sl > String.length s then best
+      else go (i + 1) (if String.sub s i sl = sub then i else best)
+    in
+    go 0 (-1)
+  in
+  let pos = last_index_of " lvp=" in
+  Alcotest.(check bool) "profile has a point line" true (pos > 0);
+  let cut = String.sub s 0 pos in
+  let line =
+    1 + String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 cut
+  in
+  match Profile_io.of_string ~program:prog cut with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "cites line %d" line)
+      true
+      (Astring_contains.contains msg (Printf.sprintf "line %d" line));
+    Alcotest.(check bool) "reports the missing field" true
+      (Astring_contains.contains msg "missing field")
+
 let test_loaded_profile_drives_predictor_filtering () =
   (* the round-tripped profile is as usable as the fresh one *)
   let prog = program () in
@@ -114,5 +170,11 @@ let suite =
     Alcotest.test_case "rejects non-value pc" `Quick test_rejects_non_value_pc;
     Alcotest.test_case "rejects orphan tv" `Quick test_rejects_orphan_tv;
     Alcotest.test_case "rejects garbage" `Quick test_rejects_garbage;
+    Alcotest.test_case "roundtrip on a real workload" `Quick
+      test_roundtrip_real_workload;
+    Alcotest.test_case "bad pc failure cites its line" `Quick
+      test_bad_pc_failure_cites_line;
+    Alcotest.test_case "truncated input failure cites its line" `Quick
+      test_truncated_failure_cites_line;
     Alcotest.test_case "loaded profile usable" `Quick
       test_loaded_profile_drives_predictor_filtering ]

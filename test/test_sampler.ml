@@ -130,10 +130,52 @@ let test_phase_change_reopens_sampling () =
       Asm.label b "done";
       Asm.halt b);
   let prog = Asm.assemble b ~entry:"main" in
-  let sampled = Sampler.run ~selection:`Loads prog in
+  (* the gap now keeps widening geometrically while converged, so cap it
+     well below the phase length or the flip could fall inside one skip *)
+  let config = { Sampler.default_config with max_skip = 2_000 } in
+  let sampled = Sampler.run ~config ~selection:`Loads prog in
   let p = sampled.Sampler.points.(0) in
   Alcotest.(check bool) "estimate reflects both phases" true
     (p.Sampler.s_metrics.Metrics.inv_top < 0.9)
+
+(* Regression for the convergent back-off: every quiet re-check burst must
+   widen the gap again. The old code widened only on the burst that first
+   established convergence (it guarded the back-off with [not converged]),
+   so the gap froze after one widening and a long-converged point kept
+   being re-profiled at nearly the initial rate. *)
+let backoff_config =
+  { Sampler.burst = 5; initial_skip = 10; epsilon = 0.01; consecutive = 1;
+    backoff = 2.; max_skip = 1_000; criterion = Sampler.Inv_delta }
+
+let test_backoff_keeps_widening () =
+  let open Sampler.Testing in
+  let st = make_state backoff_config in
+  (* burst 1 sets the baseline; burst 2 is quiet, converges and doubles *)
+  run_cycle st 7L;
+  run_cycle st 7L;
+  Alcotest.(check bool) "converged after quiet burst" true (is_converged st);
+  Alcotest.(check int) "first widening" 20 (current_skip st);
+  (* each further quiet re-check burst must double again — the frozen-gap
+     bug left this stuck at 20 *)
+  run_cycle st 7L;
+  Alcotest.(check int) "second widening" 40 (current_skip st);
+  run_cycle st 7L;
+  run_cycle st 7L;
+  Alcotest.(check int) "keeps doubling" 160 (current_skip st);
+  for _ = 1 to 10 do run_cycle st 7L done;
+  Alcotest.(check int) "capped at max_skip" 1_000 (current_skip st)
+
+let test_backoff_resets_on_noisy_burst () =
+  let open Sampler.Testing in
+  let st = make_state backoff_config in
+  for _ = 1 to 6 do run_cycle st 7L done;
+  Alcotest.(check bool) "converged on constant stream" true (is_converged st);
+  Alcotest.(check int) "gap widened well past initial" 320 (current_skip st);
+  (* a burst of a different value moves Inv-Top past epsilon: the point
+     must reopen at the initial rate, not stay backed off *)
+  run_cycle st 9L;
+  Alcotest.(check bool) "no longer converged" false (is_converged st);
+  Alcotest.(check int) "skip reset to initial" 10 (current_skip st)
 
 let suite =
   [ Alcotest.test_case "no skip equals full" `Quick test_no_skip_equals_full;
@@ -148,4 +190,8 @@ let suite =
     Alcotest.test_case "top-stability criterion" `Quick
       test_top_stability_criterion;
     Alcotest.test_case "phase change handled" `Quick
-      test_phase_change_reopens_sampling ]
+      test_phase_change_reopens_sampling;
+    Alcotest.test_case "back-off keeps widening while quiet" `Quick
+      test_backoff_keeps_widening;
+    Alcotest.test_case "back-off resets on a noisy burst" `Quick
+      test_backoff_resets_on_noisy_burst ]

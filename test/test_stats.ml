@@ -36,6 +36,23 @@ let test_percentile () =
   Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty")
     (fun () -> ignore (Stats.percentile 50. [||]))
 
+let test_percentile_rejects_nan () =
+  (* a NaN used to poison the polymorphic sort silently; now it raises *)
+  Alcotest.check_raises "nan input"
+    (Invalid_argument "Stats.percentile: NaN input") (fun () ->
+      ignore (Stats.percentile 50. [| 1.; Float.nan; 3. |]))
+
+let test_ranks () =
+  Alcotest.(check (array feq)) "distinct" [| 2.; 1.; 3. |]
+    (Stats.ranks [| 5.; 1.; 9. |]);
+  Alcotest.(check (array feq)) "ties averaged" [| 1.5; 1.5; 3. |]
+    (Stats.ranks [| 4.; 4.; 7. |]);
+  Alcotest.(check (array feq)) "signed zeros tie under Float.equal"
+    [| 1.5; 1.5 |]
+    (Stats.ranks [| 0.; -0. |]);
+  Alcotest.check_raises "nan input" (Invalid_argument "Stats.ranks: NaN input")
+    (fun () -> ignore (Stats.ranks [| Float.nan |]))
+
 let test_min_max () =
   let lo, hi = Stats.min_max [| 3.; -1.; 7.; 0. |] in
   Alcotest.check feq "min" (-1.) lo;

@@ -92,6 +92,141 @@ let test_accessors () =
   Alcotest.(check int) "interval" 123 (Tnv.clear_interval t);
   Alcotest.(check bool) "policy" true (Tnv.policy t = Tnv.Lru)
 
+(* Canonical entry order for comparisons: count descending, then value —
+   [Tnv.entries] only orders by count, so equal-count ties are ambiguous. *)
+let canon l =
+  List.sort
+    (fun (v1, c1) (v2, c2) ->
+      match compare c2 c1 with 0 -> Int64.compare v1 v2 | n -> n)
+    l
+
+let test_clear_keeps_top_half () =
+  (* capacity 6, interval exactly the stream length: the clear fires on
+     the last add and must keep precisely the cap/2 = 3 highest-counted
+     values, untouched *)
+  let t = Tnv.create ~capacity:6 ~clear_interval:33 () in
+  let feed v n = for _ = 1 to n do Tnv.add t v done in
+  feed 1L 10; feed 2L 9; feed 3L 8; feed 4L 3; feed 5L 2; feed 6L 1;
+  Alcotest.(check int) "exactly one clear" 1 (Tnv.clears t);
+  Alcotest.(check (list (pair int64 int))) "top half survives with counts"
+    [ (1L, 10); (2L, 9); (3L, 8) ]
+    (canon (Array.to_list (Tnv.entries t)))
+
+let test_clear_tie_keeps_lowest_slot () =
+  (* all counts tie: the clear's deterministic rule is to keep the
+     lowest-numbered slots, i.e. the first-inserted values *)
+  let t = Tnv.create ~capacity:4 ~clear_interval:4 () in
+  List.iter (Tnv.add t) [ 10L; 20L; 30L; 40L ];
+  Alcotest.(check (list (pair int64 int))) "first-inserted values survive"
+    [ (10L, 1); (20L, 1) ]
+    (canon (Array.to_list (Tnv.entries t)))
+
+let test_add_mem_reports_residency () =
+  let t = Tnv.create ~capacity:2 ~clear_interval:1000 () in
+  Alcotest.(check bool) "fresh insert" false (Tnv.add_mem t 1L);
+  Alcotest.(check bool) "repeat" true (Tnv.add_mem t 1L);
+  Alcotest.(check bool) "second insert" false (Tnv.add_mem t 2L);
+  Alcotest.(check bool) "overflow drop" false (Tnv.add_mem t 3L);
+  Alcotest.(check bool) "dropped value still absent" false (Tnv.add_mem t 3L);
+  let lfu = Tnv.create ~policy:Tnv.Lfu ~capacity:2 () in
+  Alcotest.(check bool) "insert" false (Tnv.add_mem lfu 1L);
+  Alcotest.(check bool) "insert" false (Tnv.add_mem lfu 2L);
+  Alcotest.(check bool) "eviction is not residency" false (Tnv.add_mem lfu 3L);
+  Alcotest.(check bool) "evicted-in value now resident" true (Tnv.add_mem lfu 3L)
+
+(* Reference model: the paper's plain linear-scan TNV with the same
+   policies and the same clear/eviction rules, used to cross-check the
+   open-addressing index on randomized streams. *)
+module Model = struct
+  type t = {
+    pol : Tnv.policy;
+    cap : int;
+    interval : int;
+    values : int64 array;
+    counts : int array;
+    stamps : int array;
+    mutable total : int;
+    mutable since : int;
+  }
+
+  let create pol cap interval =
+    { pol; cap; interval;
+      values = Array.make cap 0L;
+      counts = Array.make cap 0;
+      stamps = Array.make cap 0;
+      total = 0; since = 0 }
+
+  let clear m =
+    let kept = Array.make m.cap false in
+    for _ = 1 to m.cap / 2 do
+      let best = ref 0 in
+      while kept.(!best) do incr best done;
+      for i = !best + 1 to m.cap - 1 do
+        if (not kept.(i)) && m.counts.(i) > m.counts.(!best) then best := i
+      done;
+      kept.(!best) <- true
+    done;
+    for i = 0 to m.cap - 1 do
+      if not kept.(i) then begin
+        m.counts.(i) <- 0;
+        m.values.(i) <- 0L;
+        m.stamps.(i) <- 0
+      end
+    done
+
+  let argmin m key =
+    let best = ref 0 in
+    for i = 1 to m.cap - 1 do
+      if key i < key !best then best := i
+    done;
+    !best
+
+  let fill m s v =
+    m.values.(s) <- v;
+    m.counts.(s) <- 1;
+    m.stamps.(s) <- m.total
+
+  let add m v =
+    m.total <- m.total + 1;
+    let slot = ref (-1) in
+    for i = m.cap - 1 downto 0 do
+      if m.counts.(i) > 0 && Int64.equal m.values.(i) v then slot := i
+    done;
+    let hit = !slot >= 0 in
+    (if hit then begin
+       m.counts.(!slot) <- m.counts.(!slot) + 1;
+       m.stamps.(!slot) <- m.total
+     end
+     else begin
+       let empty = ref (-1) in
+       for i = m.cap - 1 downto 0 do
+         if m.counts.(i) = 0 then empty := i
+       done;
+       if !empty >= 0 then fill m !empty v
+       else
+         match m.pol with
+         | Tnv.Lfu_clear -> ()
+         | Tnv.Lfu -> fill m (argmin m (fun i -> m.counts.(i))) v
+         | Tnv.Lru -> fill m (argmin m (fun i -> m.stamps.(i))) v
+     end);
+    (match m.pol with
+     | Tnv.Lfu_clear ->
+       m.since <- m.since + 1;
+       if m.since >= m.interval then begin
+         m.since <- 0;
+         clear m
+       end
+     | Tnv.Lfu | Tnv.Lru -> ());
+    hit
+
+  let entries m =
+    let l = ref [] in
+    for i = m.cap - 1 downto 0 do
+      if m.counts.(i) > 0 then l := (m.values.(i), m.counts.(i)) :: !l
+    done;
+    !l
+end
+
 let value_stream_gen =
   (* skewed streams over a small alphabet, like real value profiles *)
   QCheck.Gen.(
@@ -147,6 +282,25 @@ let qcheck_finds_dominant_value =
           | None -> false)
         [ Tnv.Lfu_clear; Tnv.Lfu; Tnv.Lru ])
 
+let qcheck_index_matches_linear_scan =
+  (* the hit signal and the surviving entries of the index-assisted table
+     must track the reference model event for event, across all policies,
+     capacities and clear intervals *)
+  QCheck.Test.make ~name:"index-assisted table == linear-scan model" ~count:200
+    (QCheck.make
+       QCheck.Gen.(triple (int_range 1 6) (int_range 1 40) value_stream_gen))
+    (fun (cap, interval, stream) ->
+      List.for_all
+        (fun pol ->
+          let t = Tnv.create ~policy:pol ~capacity:cap ~clear_interval:interval () in
+          let m = Model.create pol cap interval in
+          List.for_all
+            (fun v -> Bool.equal (Tnv.add_mem t v) (Model.add m v))
+            stream
+          && canon (Array.to_list (Tnv.entries t)) = canon (Model.entries m)
+          && Tnv.total t = m.Model.total)
+        [ Tnv.Lfu_clear; Tnv.Lfu; Tnv.Lru ])
+
 let suite =
   [ Alcotest.test_case "basic counting" `Quick test_basic_counting;
     Alcotest.test_case "empty table" `Quick test_empty;
@@ -159,6 +313,13 @@ let suite =
     Alcotest.test_case "reset" `Quick test_reset;
     Alcotest.test_case "invalid create" `Quick test_create_invalid;
     Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "clear keeps the top half" `Quick
+      test_clear_keeps_top_half;
+    Alcotest.test_case "clear tie keeps lowest slot" `Quick
+      test_clear_tie_keeps_lowest_slot;
+    Alcotest.test_case "add_mem reports residency" `Quick
+      test_add_mem_reports_residency;
     QCheck_alcotest.to_alcotest qcheck_conservation;
     QCheck_alcotest.to_alcotest qcheck_entries_sorted;
-    QCheck_alcotest.to_alcotest qcheck_finds_dominant_value ]
+    QCheck_alcotest.to_alcotest qcheck_finds_dominant_value;
+    QCheck_alcotest.to_alcotest qcheck_index_matches_linear_scan ]
