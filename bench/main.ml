@@ -216,11 +216,27 @@ let bench_json () =
          Workloads.all)
     |> List.fold_left ( + ) 0
   in
+  (* the same job set under the supervisor: the difference against
+     driver_1_domain is the whole cost of retry/cancellation bookkeeping
+     on a fault-free run *)
+  let supervised jobs () =
+    Supervisor.run_jobs ~jobs
+      (List.map
+         (fun (w : Workload.t) ->
+           Driver.job
+             (module Profile.Profiler)
+             ~finish:(fun (p : Profile.t) -> p.Profile.profiled_events)
+             w Workload.Test)
+         Workloads.all)
+    |> Supervisor.oks
+    |> List.fold_left ( + ) 0
+  in
   let n = Driver.default_jobs () in
   [ ("tnv_add", timed_events reps tnv_add);
     ("full_profile", timed_events ~iters reps full_profile);
     ("sampler", timed_events ~iters reps sampler);
     ("driver_1_domain", timed_events 1 (driver 1));
+    ("driver_supervised_1_domain", timed_events 1 (supervised 1));
     (Printf.sprintf "driver_%d_domains" n, timed_events 1 (driver n)) ]
 
 let write_bench_json path =

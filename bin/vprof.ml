@@ -7,7 +7,12 @@
    Shared flags (workload/input selection, --fuel, --jobs) live in
    Cli_common; any command that needs more than one profiler run pushes
    the runs through the parallel driver (lib/driver), so -j N parallelizes
-   them while keeping output byte-identical to -j 1. *)
+   them while keeping output byte-identical to -j 1. Experiment runs go
+   through the supervisor (retry/record instead of abort) and can be made
+   crash-safe with --checkpoint/--resume.
+
+   Exit codes: 0 success, 1 runtime failure (trap / failed experiment),
+   2 usage error, 125 internal error. *)
 
 open Cmdliner
 open Cli_common
@@ -615,6 +620,42 @@ let csv_arg =
     & info [ "csv" ] ~docv:"DIR"
         ~doc:"Also write each produced table to DIR as a CSV file.")
 
+let checkpoint_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"DIR"
+        ~doc:
+          "Commit each finished experiment to DIR (crash-safe manifest + \
+           payload files) as the run progresses; combine with \
+           $(b,--resume) to skip work a previous run already committed.")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "With $(b,--checkpoint): reload the directory's committed \
+           results and run only what is missing. Without it the \
+           directory is restarted from scratch.")
+
+let retries_arg =
+  Arg.(
+    value & opt int Supervisor.default_policy.Supervisor.retries
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Extra attempts for a failing experiment before it is recorded \
+           as a failure (fuel-exhausted retries double the budget each \
+           time).")
+
+let fail_fast_arg =
+  Arg.(
+    value & flag
+    & info [ "fail-fast" ]
+        ~doc:
+          "Stop scheduling new experiments as soon as one has failed all \
+           its retries (the default records the failure and keeps \
+           going).")
+
 let write_csv dir (spec : Experiments.spec) tables =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   List.iteri
@@ -636,18 +677,106 @@ let print_spec_tables csv ((spec : Experiments.spec), tables) =
     tables;
   match csv with Some dir -> write_csv dir spec tables | None -> ()
 
-let run_experiments id csv jobs =
-  if id = "all" then
-    List.iter (print_spec_tables csv)
-      (Experiments.run_all ~jobs:(effective_jobs jobs) ())
-  else
-    match Experiments.find id with
-    | spec -> print_spec_tables csv (spec, spec.Experiments.run ())
-    | exception Not_found ->
-      Printf.eprintf "unknown experiment %S; known: %s\n" id
-        (String.concat ", "
-           (List.map (fun (s : Experiments.spec) -> s.id) Experiments.all));
+(* Exit codes (see the trailer in [main]): 0 success, 1 runtime failure
+   (a trap, or an experiment that failed all its retries), 2 usage
+   error. *)
+
+let report_failures failures =
+  List.iter
+    (fun f -> prerr_endline (Experiments.string_of_failure f))
+    failures
+
+(* The failure report lands next to the checkpoint data so CI can upload
+   it as an artifact whether or not the run succeeded. *)
+let write_failure_report dir (rep : string Supervisor.report) =
+  let path = Filename.concat dir "failures.txt" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      match Supervisor.failures rep with
+      | [] ->
+        Printf.fprintf oc "all %d experiments completed (%d from checkpoint)\n"
+          (List.length rep.Supervisor.outcomes)
+          (List.length
+             (List.filter
+                (fun (o : string Supervisor.outcome) ->
+                  o.Supervisor.o_attempts = 0
+                  && Result.is_ok o.Supervisor.o_result)
+                rep.Supervisor.outcomes))
+      | failures ->
+        List.iter
+          (fun (o : string Supervisor.outcome) ->
+            match o.Supervisor.o_result with
+            | Ok _ -> ()
+            | Error e ->
+              Printf.fprintf oc "%s: %s (after %d attempts)\n"
+                o.Supervisor.o_name
+                (Supervisor.string_of_error e)
+                o.Supervisor.o_attempts)
+          failures)
+
+let run_experiments id csv jobs checkpoint resume retries fail_fast =
+  let specs =
+    if id = "all" then Experiments.all
+    else
+      match Experiments.find id with
+      | spec -> [ spec ]
+      | exception Not_found ->
+        Printf.eprintf "unknown experiment %S; known: %s\n" id
+          (String.concat ", "
+             (List.map (fun (s : Experiments.spec) -> s.id) Experiments.all));
+        exit 2
+  in
+  let policy =
+    { Supervisor.default_policy with
+      Supervisor.retries = max 0 retries;
+      on_error = (if fail_fast then `Abort else `Skip) }
+  in
+  let jobs = effective_jobs jobs in
+  match checkpoint with
+  | None ->
+    let rep = Experiments.run_specs ~policy ~jobs specs in
+    List.iter (fun r -> print_spec_tables csv r) rep.Experiments.results;
+    if rep.Experiments.failures <> [] then begin
+      report_failures rep.Experiments.failures;
       exit 1
+    end
+  | Some dir ->
+    if csv <> None then begin
+      prerr_endline
+        "vprof: --csv needs the experiments' tables, which --checkpoint \
+         runs do not retain; use one or the other";
+      exit 2
+    end;
+    let ck = Checkpoint.create ~resume dir in
+    let rep = Experiments.run_specs_strings ~policy ~jobs ~checkpoint:ck specs in
+    List.iter
+      (fun (o : string Supervisor.outcome) ->
+        match o.Supervisor.o_result with
+        | Ok payload -> print_string payload
+        | Error _ -> ())
+      rep.Supervisor.outcomes;
+    write_failure_report dir rep;
+    (match Supervisor.failures rep with
+     | [] -> ()
+     | failures ->
+       List.iter
+         (fun (o : string Supervisor.outcome) ->
+           match o.Supervisor.o_result with
+           | Ok _ -> ()
+           | Error e ->
+             Printf.eprintf "experiment %s FAILED after %d attempts: %s\n"
+               o.Supervisor.o_name o.Supervisor.o_attempts
+               (Supervisor.string_of_error e))
+         failures;
+       Printf.eprintf
+         "%d of %d experiments failed; completed work is committed under \
+          %s — rerun with --resume to retry only the failures\n"
+         (List.length failures)
+         (List.length rep.Supervisor.outcomes)
+         dir;
+       exit 1)
 
 let experiment_cmd =
   let id_arg =
@@ -658,7 +787,9 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate the paper's tables and figures (see DESIGN.md).")
-    Term.(const run_experiments $ id_arg $ csv_arg $ jobs_arg)
+    Term.(
+      const run_experiments $ id_arg $ csv_arg $ jobs_arg $ checkpoint_arg
+      $ resume_arg $ retries_arg $ fail_fast_arg)
 
 let experiments_cmd =
   let all_arg =
@@ -673,17 +804,21 @@ let experiments_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"ID" ~doc:"Experiment id (e01..e24); omit for all.")
   in
-  let run all id csv jobs =
+  let run all id csv jobs checkpoint resume retries fail_fast =
     let id = if all then "all" else Option.value id ~default:"all" in
-    run_experiments id csv jobs
+    run_experiments id csv jobs checkpoint resume retries fail_fast
   in
   Cmd.v
     (Cmd.info "experiments"
        ~doc:
          "Run the experiment suite — all of it with $(b,--all) (or no ID), \
           in parallel with $(b,-j N); output is byte-identical to a serial \
-          run.")
-    Term.(const run $ all_arg $ id_arg $ csv_arg $ jobs_arg)
+          run. A failing experiment is retried, then recorded and \
+          reported instead of aborting the rest; $(b,--checkpoint) makes \
+          the run crash-safe and $(b,--resume) continues one.")
+    Term.(
+      const run $ all_arg $ id_arg $ csv_arg $ jobs_arg $ checkpoint_arg
+      $ resume_arg $ retries_arg $ fail_fast_arg)
 
 let () =
   let info =
@@ -697,15 +832,26 @@ let () =
         speculate_cmd; sample_cmd; specialize_cmd; memoize_cmd; diff_cmd;
         experiment_cmd; experiments_cmd ]
   in
-  (* a machine trap (say, an exhausted --fuel budget) is a user-level
-     outcome, not an internal error — report it cleanly; the driver
-     re-raises worker exceptions on this domain, so this also covers -j
-     runs *)
+  (* Exit-code contract: 0 success; 1 runtime failure (a machine trap, an
+     injected fault, a failed experiment); 2 usage error (bad flags,
+     unknown workload or experiment — cmdliner's cli_error remapped); 125
+     internal error. A machine trap (say, an exhausted --fuel budget) is a
+     user-level outcome, not an internal error — report it cleanly; the
+     driver re-raises worker exceptions on this domain, so this also
+     covers -j runs. *)
+  (try Fault.load_env () with Invalid_argument msg ->
+    Printf.eprintf "vprof: %s\n" msg;
+    exit 2);
   exit
-    (try Cmd.eval ~catch:false group with
-     | Machine.Trap t ->
+    (match Cmd.eval ~catch:false group with
+     | code when code = Cmd.Exit.cli_error -> 2
+     | code -> code
+     | exception Machine.Trap t ->
        Printf.eprintf "vprof: machine trap: %s\n" (Machine.string_of_trap t);
-       2
-     | e ->
+       1
+     | exception Fault.Injected site ->
+       Printf.eprintf "vprof: injected fault at site %S\n" site;
+       1
+     | exception e ->
        Printf.eprintf "vprof: internal error: %s\n" (Printexc.to_string e);
        125)

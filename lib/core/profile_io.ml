@@ -1,8 +1,8 @@
-let version = 1
+let version = 2
 
 let float_to_string f = Printf.sprintf "%.17g" f
 
-let to_string (p : Profile.t) =
+let body_to_string (p : Profile.t) =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf (Printf.sprintf "vprof-profile %d\n" version);
   Buffer.add_string buf
@@ -36,11 +36,42 @@ let to_string (p : Profile.t) =
     p.points;
   Buffer.contents buf
 
+(* v2 = the v1 body under a trailing [crc32 <hex>\n] over every preceding
+   byte, so truncation and corruption are detected instead of silently
+   parsing as a shorter profile. *)
+let to_string p =
+  let body = body_to_string p in
+  body ^ Printf.sprintf "crc32 %s\n" (Crc32.to_hex (Crc32.string body))
+
 let write_file p path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string p))
+  let s = to_string p in
+  match Fault.cut ~site:"profile_io.write" with
+  | Some n ->
+    (* injected torn write: emulate a pre-v2 in-place writer dying
+       mid-[output_string] — the destination is left truncated at byte
+       [n] and the writer crashes. The atomic path below can never
+       produce this; the fault exists so salvage/checksum handling is
+       testable end-to-end. *)
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (String.sub s 0 (min n (String.length s))));
+    raise (Fault.Injected "profile_io.write")
+  | None ->
+    (* temp-file + rename commit: a crash at any point leaves either the
+       old file or the new one, never a torn mix *)
+    let dir = Filename.dirname path in
+    let tmp, oc =
+      Filename.open_temp_file ~temp_dir:dir
+        ~mode:[ Open_binary ]
+        (Filename.basename path) ".tmp"
+    in
+    (try
+       Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s);
+       Sys.rename tmp path
+     with e ->
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e)
 
 (* --- parsing --- *)
 
@@ -70,9 +101,19 @@ let int_field line_no line key =
   | Some v -> v
   | None -> fail line_no (Printf.sprintf "field %s is not an integer" key)
 
+(* Counts (executions, distinct values, tv occurrence counts, meta totals)
+   can never be negative; a negative one means the file is corrupt, and
+   building a profile from it would poison every downstream ratio. *)
+let count_field line_no line key =
+  let v = int_field line_no line key in
+  if v < 0 then fail line_no (Printf.sprintf "field %s is negative (%d)" key v);
+  v
+
 let float_field line_no line key =
   match float_of_string_opt (field line_no line key) with
-  | Some v -> v
+  | Some v ->
+    if Float.is_nan v then fail line_no (Printf.sprintf "field %s is NaN" key);
+    v
   | None -> fail line_no (Printf.sprintf "field %s is not a float" key)
 
 let flush_current st =
@@ -87,66 +128,115 @@ let flush_current st =
     st.pending_tvs <- [];
     st.current <- None
 
-let of_string ~(program : Asm.program) text =
+(* A well-formed v2 text ends with "crc32 <8 hex>\n" checksumming every
+   byte before that line. [None] when there is no trailing crc line. *)
+let split_trailer text =
+  let len = String.length text in
+  let line_start =
+    match String.rindex_opt (String.sub text 0 (max 0 (len - 1))) '\n' with
+    | Some i -> i + 1
+    | None -> 0
+  in
+  let last = String.sub text line_start (len - line_start) in
+  match String.split_on_char ' ' (String.trim last) with
+  | [ "crc32"; hex ] ->
+    (match Crc32.of_hex hex with
+     | Some crc -> Some (String.sub text 0 line_start, crc)
+     | None -> None)
+  | _ -> None
+
+exception Stop_salvage
+
+let of_string ?(salvage = false) ~(program : Asm.program) text =
+  (* Version sniff first: v2 files must checksum-verify before any line is
+     trusted (unless salvaging), v1 files have no trailer. *)
+  let first_line =
+    match String.index_opt text '\n' with
+    | Some i -> String.sub text 0 i
+    | None -> text
+  in
+  (match String.split_on_char ' ' first_line with
+   | "vprof-profile" :: v :: _ ->
+     (match int_of_string_opt v with
+      | Some 1 -> ()
+      | Some n when n = version ->
+        if not salvage then begin
+          match split_trailer text with
+          | None -> fail 1 "v2 profile has no trailing crc32 line (truncated?)"
+          | Some (body, crc) ->
+            if Crc32.string body <> crc then
+              fail 1 "crc32 mismatch (file truncated or corrupted)"
+        end
+      | _ -> fail 1 (Printf.sprintf "unsupported version %s" v))
+   | _ -> fail 1 "missing vprof-profile header");
   let lines = String.split_on_char '\n' text in
   let st = { meta = None; points_rev = []; pending_tvs = []; current = None } in
-  List.iteri
-    (fun i line ->
-      let line_no = i + 1 in
-      if line = "" then ()
-      else
-        match String.split_on_char ' ' line with
-        | "vprof-profile" :: v :: _ ->
-          if int_of_string_opt v <> Some version then
-            fail line_no (Printf.sprintf "unsupported version %s" v)
-        | "meta" :: _ ->
-          st.meta <-
-            Some
-              ( int_field line_no line "instrumented",
-                int_field line_no line "events",
-                int_field line_no line "dynamic" )
-        | "point" :: _ ->
-          flush_current st;
-          let pc = int_field line_no line "pc" in
-          if pc < 0 || pc >= Array.length program.code then
-            fail line_no (Printf.sprintf "pc %d outside the program" pc);
-          let instr = program.code.(pc) in
-          if Isa.dest_reg instr = None then
-            fail line_no
-              (Printf.sprintf "pc %d is not a value-producing instruction" pc);
-          let proc = field line_no line "proc" in
-          let stride =
-            match field line_no line "stride" with
-            | "none" -> None
-            | s ->
-              (match Int64.of_string_opt s with
-               | Some v -> Some v
-               | None -> fail line_no "field stride is not an integer")
-          in
-          st.current <-
-            Some
-              { Profile.p_pc = pc;
-                p_instr = instr;
-                p_proc = (if proc = "-" then "" else proc);
-                p_metrics =
-                  { Metrics.total = int_field line_no line "total";
-                    lvp = float_field line_no line "lvp";
-                    inv_top = float_field line_no line "invtop";
-                    inv_all = float_field line_no line "invall";
-                    zero = float_field line_no line "zero";
-                    distinct = int_field line_no line "distinct";
-                    distinct_saturated = int_field line_no line "saturated" <> 0;
-                    top_values = [||];
-                    stride_top = float_field line_no line "stridetop";
-                    top_stride = stride } }
-        | "tv" :: v :: c :: _ ->
-          if st.current = None then fail line_no "tv line before any point";
-          (match (Int64.of_string_opt v, int_of_string_opt c) with
-           | Some v, Some c -> st.pending_tvs <- (v, c) :: st.pending_tvs
-           | _ -> fail line_no "malformed tv line")
-        | tag :: _ -> fail line_no (Printf.sprintf "unknown line tag %S" tag)
-        | [] -> ())
-    lines;
+  let parse_line i line =
+    let line_no = i + 1 in
+    if line = "" then ()
+    else
+      match String.split_on_char ' ' line with
+      | "vprof-profile" :: _ -> ()
+      | "crc32" :: _ -> ()
+      | "meta" :: _ ->
+        st.meta <-
+          Some
+            ( count_field line_no line "instrumented",
+              count_field line_no line "events",
+              count_field line_no line "dynamic" )
+      | "point" :: _ ->
+        flush_current st;
+        let pc = int_field line_no line "pc" in
+        if pc < 0 || pc >= Array.length program.code then
+          fail line_no (Printf.sprintf "pc %d outside the program" pc);
+        let instr = program.code.(pc) in
+        if Isa.dest_reg instr = None then
+          fail line_no
+            (Printf.sprintf "pc %d is not a value-producing instruction" pc);
+        let proc = field line_no line "proc" in
+        let stride =
+          match field line_no line "stride" with
+          | "none" -> None
+          | s ->
+            (match Int64.of_string_opt s with
+             | Some v -> Some v
+             | None -> fail line_no "field stride is not an integer")
+        in
+        st.current <-
+          Some
+            { Profile.p_pc = pc;
+              p_instr = instr;
+              p_proc = (if proc = "-" then "" else proc);
+              p_metrics =
+                { Metrics.total = count_field line_no line "total";
+                  lvp = float_field line_no line "lvp";
+                  inv_top = float_field line_no line "invtop";
+                  inv_all = float_field line_no line "invall";
+                  zero = float_field line_no line "zero";
+                  distinct = count_field line_no line "distinct";
+                  distinct_saturated = int_field line_no line "saturated" <> 0;
+                  top_values = [||];
+                  stride_top = float_field line_no line "stridetop";
+                  top_stride = stride } }
+      | "tv" :: v :: c :: _ ->
+        if st.current = None then fail line_no "tv line before any point";
+        (match (Int64.of_string_opt v, int_of_string_opt c) with
+         | Some v, Some c when c >= 0 -> st.pending_tvs <- (v, c) :: st.pending_tvs
+         | Some _, Some _ -> fail line_no "tv count is negative"
+         | _ -> fail line_no "malformed tv line")
+      | tag :: _ -> fail line_no (Printf.sprintf "unknown line tag %S" tag)
+      | [] -> ()
+  in
+  (try
+     List.iteri
+       (fun i line ->
+         if salvage then
+           (* keep everything up to the first malformed line: a torn write
+              truncates, it does not scramble what came before *)
+           try parse_line i line with Failure _ -> raise Stop_salvage
+         else parse_line i line)
+       lines
+   with Stop_salvage -> ());
   flush_current st;
   match st.meta with
   | None -> failwith "Profile_io: missing meta line"
@@ -159,10 +249,10 @@ let of_string ~(program : Asm.program) text =
          reports all-zero stats *)
       stats = Counters.create () }
 
-let read_file ~program path =
-  let ic = open_in path in
+let read_file ?salvage ~program path =
+  let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
       let n = in_channel_length ic in
-      of_string ~program (really_input_string ic n))
+      of_string ?salvage ~program (really_input_string ic n))

@@ -2,28 +2,52 @@
 
     Value profiles are gathered once and consumed later — by a compiler
     doing specialization, by a simulator configuring predictors — so they
-    need a durable form. This is a line-oriented text format (stable,
-    diffable, greppable):
+    need a durable form, and a PGO pipeline is only as trustworthy as the
+    profile files it consumes. This is a line-oriented text format
+    (stable, diffable, greppable), version 2 of which ends in a CRC-32
+    trailer over every preceding byte:
 
     {v
-    vprof-profile 1
+    vprof-profile 2
     meta instrumented=52 events=145011 dynamic=204852
     point pc=12 proc=compress total=3999 lvp=0.25 ... stride=none
     tv 42 1800
     tv 7 120
+    crc32 9f3a1c07
     v}
 
     Loading re-attaches the points to a program (the same workload build),
     re-deriving each point's instruction and validating that every saved
-    pc is a value-producing instruction of that program. *)
+    pc is a value-producing instruction of that program. Version-1 files
+    (no trailer) still load.
+
+    Durability properties:
+    - {!write_file} commits via temp-file + [rename], so a crash leaves
+      the previous file intact, never a torn one;
+    - a truncated or corrupted v2 file fails its checksum on load instead
+      of silently parsing as a shorter profile;
+    - [~salvage:true] recovers the valid prefix of a damaged file;
+    - loaded metrics are validated (no negative counts, no NaNs), each
+      rejection citing its line number. *)
 
 val to_string : Profile.t -> string
 
+(** Atomic write (temp file in the destination directory, then [rename]).
+    Carries the ["profile_io.write"] fault-injection site: arming it with
+    [Fault.Truncate n] makes this call emulate a legacy in-place writer
+    crashing mid-write — the destination is left truncated at byte [n]
+    and [Fault.Injected] is raised. *)
 val write_file : Profile.t -> string -> unit
 
 (** Raises [Failure] with a line-numbered message on malformed input, an
-    unsupported version, or a pc that is not a value-producing instruction
-    of [program]. *)
-val of_string : program:Asm.program -> string -> Profile.t
+    unsupported version, a checksum mismatch (v2), a negative count, a NaN
+    metric, or a pc that is not a value-producing instruction of
+    [program].
 
-val read_file : program:Asm.program -> string -> Profile.t
+    [~salvage:true] instead keeps every well-formed line before the first
+    malformed one and skips checksum verification — the recovery path for
+    a file a crash truncated. The header and [meta] line must survive;
+    everything after the tear is dropped. *)
+val of_string : ?salvage:bool -> program:Asm.program -> string -> Profile.t
+
+val read_file : ?salvage:bool -> program:Asm.program -> string -> Profile.t

@@ -1,0 +1,45 @@
+(** Crash-safe checkpoint store for long experiment grids.
+
+    A grid of profiling runs can take hours; a crash (or an injected
+    fault) must not cost the completed jobs. The store keeps, under one
+    directory:
+
+    - [manifest] — one checksummed line per completed job
+      ([done <name> bytes=<n> payload=<crc> line=<crc>]), rewritten via
+      temp-file + [rename] on every record, so the manifest on disk is
+      always a complete, committed state;
+    - [<name>-<crc>.out] — each job's rendered payload, also written
+      atomically.
+
+    Loading is salvage-shaped: a torn or corrupt manifest line (and
+    everything after it) is dropped, and an entry whose payload file
+    fails its size or checksum check is treated as never completed — the
+    job simply reruns. Nothing in the store is ever trusted without its
+    checksum.
+
+    The store is domain-safe: {!record} is called from pool workers as
+    jobs finish. *)
+
+type t
+
+(** [create ~resume dir] opens (creating [dir] if needed) a store.
+    [resume = true] loads the existing manifest's surviving entries;
+    [resume = false] starts empty, committing a fresh manifest (stale
+    payload files are simply unreferenced). Raises [Sys_error] if [dir]
+    exists but is not a directory. *)
+val create : resume:bool -> string -> t
+
+val dir : t -> string
+
+(** Completed-job payload, if [name] committed in a previous (or this)
+    run. *)
+val find : t -> string -> string option
+
+(** Number of completed jobs currently committed. *)
+val completed : t -> int
+
+(** [record t ~name ~payload] commits a completed job: payload file
+    first, then the manifest — atomically, in that order, so a crash
+    between the two merely reruns the job. [name] must not contain
+    newlines; spaces are stored escaped. *)
+val record : t -> name:string -> payload:string -> unit

@@ -20,6 +20,14 @@ let run_job (Job { profiler = (module P); config; fuel; workload; input; finish 
   let prog = workload.Workload.wbuild input in
   finish (P.run ?config ?fuel prog)
 
+let job_fuel (Job { fuel; _ }) = fuel
+
+let run_job_with_fuel ~fuel:override
+    (Job { profiler = (module P); config; fuel; workload; input; finish }) =
+  let fuel = match override with Some _ -> override | None -> fuel in
+  let prog = workload.Workload.wbuild input in
+  finish (P.run ?config ?fuel prog)
+
 let run_jobs ?jobs js = Pool.map ?jobs run_job js
 
 let default_jobs = Pool.default_jobs

@@ -34,6 +34,13 @@ val job :
 (** ["<profiler>:<workload>:<input>"], for logs and bench labels. *)
 val job_name : 'a job -> string
 
+(** The fuel the job was created with ([None] = the machine default). *)
+val job_fuel : 'a job -> int option
+
+(** Run one job with the job's fuel replaced by [fuel] when [Some] — the
+    supervisor's retry path widens a timed-out job's budget this way. *)
+val run_job_with_fuel : fuel:int option -> 'a job -> 'a
+
 (** Run every job — across [jobs] domains when [jobs > 1], on the calling
     domain otherwise — and return the finished results in submission
     order. [jobs] defaults to {!Pool.default_jobs}; [0] means the same. *)
@@ -46,4 +53,4 @@ val default_jobs : unit -> int
 (** {!Pool.map}, re-exported: deterministic parallel map for work that is
     not shaped like a profiler run (experiment drivers, paired
     comparisons). *)
-val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+val map : ?jobs:int -> ?fail_fast:bool -> ('a -> 'b) -> 'a list -> 'b list

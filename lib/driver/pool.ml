@@ -38,9 +38,33 @@ let resolve_jobs = function
   | Some n when n <= 0 -> default_jobs ()
   | Some n -> n
 
-let map ?jobs f items =
+(* Cancellation: one atomic flag shared by caller and workers. Workers
+   check it before every pop, so a set flag stops the queue draining
+   within one job per domain. *)
+type cancellation = bool Atomic.t
+
+let cancellation () = Atomic.make false
+let cancel c = Atomic.set c true
+let cancelled c = Atomic.get c
+
+let map_result ?jobs ?cancel:(flag = cancellation ()) ?(stop_on_error = false)
+    f items =
+  let run_one x =
+    match
+      (Fault.point ~site:"pool.worker";
+       f x)
+    with
+    | v -> Ok v
+    | exception e ->
+      let err = Error (e, Printexc.get_raw_backtrace ()) in
+      if stop_on_error then Atomic.set flag true;
+      err
+  in
   let jobs = min (resolve_jobs jobs) (List.length items) in
-  if jobs <= 1 then List.map f items
+  if jobs <= 1 then
+    List.map
+      (fun x -> if Atomic.get flag then None else Some (run_one x))
+      items
   else begin
     let items = Array.of_list items in
     let n = Array.length items in
@@ -48,17 +72,15 @@ let map ?jobs f items =
     let work = deque_of_list (List.init n Fun.id) in
     let worker () =
       let rec loop () =
-        match pop_front work with
-        | None -> ()
-        | Some i ->
-          (* distinct indices: no two domains ever write the same slot;
-             the worker's backtrace is captured with the exception so the
-             re-raise on the caller's domain points at the real failure *)
-          results.(i) <-
-            Some
-              (try Ok (f items.(i))
-               with e -> Error (e, Printexc.get_raw_backtrace ()));
-          loop ()
+        if not (Atomic.get flag) then
+          match pop_front work with
+          | None -> ()
+          | Some i ->
+            (* distinct indices: no two domains ever write the same slot;
+               the worker's backtrace is captured with the exception so the
+               re-raise on the caller's domain points at the real failure *)
+            results.(i) <- Some (run_one items.(i));
+            loop ()
       in
       loop ()
     in
@@ -66,8 +88,19 @@ let map ?jobs f items =
     worker ();
     List.iter Domain.join helpers;
     Array.to_list results
-    |> List.map (function
-         | Some (Ok v) -> v
-         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
-         | None -> assert false)
   end
+
+let map ?jobs ?(fail_fast = false) f items =
+  let results = map_result ?jobs ~stop_on_error:fail_fast f items in
+  (* surface the lowest-indexed recorded failure; with [fail_fast] later
+     items may never have run (their slots are [None]) *)
+  List.iter
+    (function
+      | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+      | Some (Ok _) | None -> ())
+    results;
+  List.map
+    (function
+      | Some (Ok v) -> v
+      | Some (Error _) | None -> assert false)
+    results

@@ -1,0 +1,169 @@
+type job_error =
+  | Trap of Machine.trap
+  | Timeout of int
+  | Io of string
+  | Injected of string
+  | Cancelled
+  | Crash of string
+
+let string_of_error = function
+  | Trap t -> Printf.sprintf "trap: %s" (Machine.string_of_trap t)
+  | Timeout fuel -> Printf.sprintf "timeout: fuel exhausted (budget %d)" fuel
+  | Io msg -> Printf.sprintf "io: %s" msg
+  | Injected site -> Printf.sprintf "injected fault at site %S" site
+  | Cancelled -> "cancelled before it started"
+  | Crash msg -> Printf.sprintf "crash: %s" msg
+
+let classify = function
+  | Machine.Trap (Machine.Fuel_exhausted f) -> Timeout f
+  | Machine.Trap t -> Trap t
+  | Fault.Injected site -> Injected site
+  | Sys_error msg -> Io msg
+  | e -> Crash (Printexc.to_string e)
+
+type policy = {
+  retries : int;
+  fuel_timeout : int option;
+  on_error : [ `Skip | `Abort ];
+}
+
+let default_policy = { retries = 1; fuel_timeout = None; on_error = `Skip }
+
+type 'a outcome = {
+  o_name : string;
+  o_attempts : int;
+  o_result : ('a, job_error) result;
+}
+
+type 'a report = {
+  outcomes : 'a outcome list;
+  completed : int;
+  failed : int;
+  cancelled : int;
+}
+
+let oks r =
+  List.filter_map
+    (fun o -> match o.o_result with Ok v -> Some v | Error _ -> None)
+    r.outcomes
+
+let failures r =
+  List.filter (fun o -> Result.is_error o.o_result) r.outcomes
+
+let report_of outcomes =
+  let completed, failed, cancelled =
+    List.fold_left
+      (fun (c, f, x) o ->
+        match o.o_result with
+        | Ok _ -> (c + 1, f, x)
+        | Error Cancelled -> (c, f, x + 1)
+        | Error _ -> (c, f + 1, x))
+      (0, 0, 0) outcomes
+  in
+  { outcomes; completed; failed; cancelled }
+
+(* Fuel budget for the 0-based attempt [k]: the job's own base (else the
+   policy's), doubled per retry — backoff-in-fuel. Saturates instead of
+   overflowing. *)
+let attempt_fuel policy base k =
+  match (match base with Some _ -> base | None -> policy.fuel_timeout) with
+  | None -> None
+  | Some f ->
+    let widened = f lsl k in
+    Some (if k >= 62 || widened < f then max_int else widened)
+
+(* The supervised core: every item is a (name, base_fuel, run) triple;
+   [run ~fuel] performs one attempt under the given budget. *)
+let supervise ?(policy = default_policy) ?jobs items =
+  let flag = Pool.cancellation () in
+  let cancelled_outcome name =
+    { o_name = name; o_attempts = 0; o_result = Error Cancelled }
+  in
+  let run_one (name, base, run) =
+    (* a worker may pop a job between a fatal failure and its cancel
+       becoming visible; honour the flag here too *)
+    if Pool.cancelled flag then cancelled_outcome name
+    else
+      let rec go k =
+        match
+          (Fault.point ~site:"supervisor.job";
+           run ~fuel:(attempt_fuel policy base k))
+        with
+        | v -> { o_name = name; o_attempts = k + 1; o_result = Ok v }
+        | exception e ->
+          let err = classify e in
+          if k < policy.retries then go (k + 1)
+          else begin
+            if policy.on_error = `Abort then Pool.cancel flag;
+            { o_name = name; o_attempts = k + 1; o_result = Error err }
+          end
+      in
+      go 0
+  in
+  let slots = Pool.map_result ?jobs ~cancel:flag run_one items in
+  report_of
+    (List.map2
+       (fun (name, _, _) slot ->
+         match slot with
+         | Some (Ok outcome) -> outcome
+         | Some (Error (e, bt)) ->
+           (* [run_one] is total; only the pool's own site can raise here *)
+           (match e with
+            | Fault.Injected _ ->
+              { o_name = name; o_attempts = 0; o_result = Error (classify e) }
+            | _ -> Printexc.raise_with_backtrace e bt)
+         | None -> cancelled_outcome name)
+       items slots)
+
+let map ?policy ?jobs ~name f items =
+  supervise ?policy ?jobs
+    (List.map (fun x -> (name x, None, fun ~fuel:_ -> f x)) items)
+
+let run_jobs ?policy ?jobs djobs =
+  supervise ?policy ?jobs
+    (List.map
+       (fun j ->
+         (Driver.job_name j, Driver.job_fuel j,
+          fun ~fuel -> Driver.run_job_with_fuel ~fuel j))
+       djobs)
+
+let run_strings ?policy ?jobs ?checkpoint named =
+  match checkpoint with
+  | None ->
+    supervise ?policy ?jobs
+      (List.map (fun (name, f) -> (name, None, fun ~fuel:_ -> f ())) named)
+  | Some ck ->
+    (* committed jobs never re-enter the pool: their payloads are final.
+       Fresh jobs commit from the worker the moment they succeed, so a
+       crash later in the grid cannot lose them. *)
+    let fresh =
+      List.filter (fun (name, _) -> Checkpoint.find ck name = None) named
+    in
+    let fresh_report =
+      supervise ?policy ?jobs
+        (List.map
+           (fun (name, f) ->
+             ( name, None,
+               fun ~fuel:_ ->
+                 let payload = f () in
+                 Checkpoint.record ck ~name ~payload;
+                 payload ))
+           fresh)
+    in
+    let by_name =
+      List.map (fun o -> (o.o_name, o)) fresh_report.outcomes
+    in
+    report_of
+      (List.map
+         (fun (name, _) ->
+           match Checkpoint.find ck name with
+           | Some payload when not (List.mem_assoc name by_name) ->
+             (* committed before this run: served from the store *)
+             { o_name = name; o_attempts = 0; o_result = Ok payload }
+           | _ ->
+             (match List.assoc_opt name by_name with
+              | Some o -> o
+              | None ->
+                (* unreachable: every job is either cached or fresh *)
+                { o_name = name; o_attempts = 0; o_result = Error Cancelled }))
+         named)

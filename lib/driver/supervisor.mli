@@ -1,0 +1,98 @@
+(** Fault-tolerant supervision for grids of profiling jobs.
+
+    {!Pool.map} is all-or-nothing: one raising job aborts the whole grid
+    and drops every other result. The paper's methodology is exactly such
+    a grid — every profiler variant × every workload × every input — and
+    at production scale a single trap, timeout, or I/O error must cost
+    one cell, not hours of completed work. The supervisor wraps the pool
+    so each job runs under a {!policy}:
+
+    - a failing attempt is {e retried}, with {e backoff-in-fuel}: each
+      retry doubles the attempt's instruction budget, so a
+      [Fuel_exhausted] timeout converges on a budget that fits instead of
+      failing forever;
+    - a job that exhausts its retries is recorded as a typed
+      {!job_error} in the report — the grid keeps going ([`Skip]), or the
+      pool's shared cancellation flag stops the remaining queue
+      ([`Abort]), in which case unstarted jobs report [Cancelled];
+    - results come back {e per job, in submission order}, successes and
+      failures side by side, so callers get partial results plus a
+      failure report instead of an exception.
+
+    Each attempt passes the ["supervisor.job"] fault-injection site, so a
+    test (or [VPROF_FAULT]) can kill exactly the k-th attempt of a run
+    and assert the grid survives. *)
+
+(** Why a job ultimately failed. *)
+type job_error =
+  | Trap of Machine.trap  (** the workload trapped (division by zero, …) *)
+  | Timeout of int  (** fuel budget exhausted; carries the final budget *)
+  | Io of string  (** [Sys_error] — filesystem trouble *)
+  | Injected of string  (** {!Fault.Injected}; carries the site *)
+  | Cancelled  (** never started: the grid was aborted first *)
+  | Crash of string  (** any other exception, printed *)
+
+val string_of_error : job_error -> string
+
+type policy = {
+  retries : int;  (** extra attempts after the first (so [retries = 2] means up to 3 runs) *)
+  fuel_timeout : int option;
+      (** per-attempt instruction budget for jobs that don't carry their
+          own fuel; [None] leaves the machine default (no backoff
+          possible) *)
+  on_error : [ `Skip | `Abort ];
+      (** after retries are exhausted: record and continue, or trip the
+          shared cancellation flag and stop the grid *)
+}
+
+(** [{ retries = 1; fuel_timeout = None; on_error = `Skip }]. *)
+val default_policy : policy
+
+(** One job's fate. *)
+type 'a outcome = {
+  o_name : string;
+  o_attempts : int;
+      (** attempts actually run; [0] for a cached or cancelled job *)
+  o_result : ('a, job_error) result;
+}
+
+type 'a report = {
+  outcomes : 'a outcome list;  (** submission order, one per job *)
+  completed : int;
+  failed : int;  (** excludes [Cancelled] *)
+  cancelled : int;
+}
+
+(** The [Ok] payloads, submission order preserved. *)
+val oks : 'a report -> 'a list
+
+(** The non-[Ok] outcomes, submission order preserved. *)
+val failures : 'a report -> 'a outcome list
+
+(** Generic supervised parallel map: [f] runs under retry and error
+    capture ([fuel_timeout] backoff only applies where the supervisor
+    controls fuel, i.e. {!run_jobs}). [name] labels each item's outcome. *)
+val map :
+  ?policy:policy ->
+  ?jobs:int ->
+  name:('a -> string) ->
+  ('a -> 'b) ->
+  'a list ->
+  'b report
+
+(** Supervised {!Driver.run_jobs}: each {!Driver.job} runs under the
+    policy, retries widening the fuel budget (the job's own fuel, else
+    [policy.fuel_timeout], doubles on every attempt). *)
+val run_jobs : ?policy:policy -> ?jobs:int -> 'a Driver.job list -> 'a report
+
+(** Supervised map over string-payload jobs with optional
+    checkpoint/resume: a job already committed in [checkpoint] is not run
+    at all — its stored payload is returned with [o_attempts = 0] — and
+    every fresh completion is committed (from the worker, as it finishes)
+    before the grid moves on. *)
+val run_strings :
+  ?policy:policy ->
+  ?jobs:int ->
+  ?checkpoint:Checkpoint.t ->
+  (string * (unit -> string)) list ->
+  string report

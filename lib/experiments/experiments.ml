@@ -65,18 +65,69 @@ let find id =
   | Some s -> s
   | None -> raise Not_found
 
-let print_tables (spec, tables) =
-  Printf.printf "== %s: %s  [%s] ==\n" spec.id spec.title spec.paper_ref;
+(* One rendering for both the printed and the checkpointed paths, so a
+   resumed run's bytes are identical to a straight-through run's. *)
+let render spec tables =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "== %s: %s  [%s] ==\n" spec.id spec.title spec.paper_ref);
   List.iter
     (fun t ->
-      Table.print t;
-      print_newline ())
-    tables
+      Buffer.add_string buf (Table.render t);
+      Buffer.add_char buf '\n')
+    tables;
+  Buffer.contents buf
+
+let print_tables (spec, tables) = print_string (render spec tables)
 
 let print_one spec = print_tables (spec, spec.run ())
 
-let run_all ?jobs () = Driver.map ?jobs (fun spec -> (spec, spec.run ())) all
+type failure = {
+  f_spec : spec;
+  f_attempts : int;
+  f_error : Supervisor.job_error;
+}
+
+type report = {
+  results : (spec * Table.t list) list;
+  failures : failure list;
+}
+
+let run_specs ?policy ?jobs specs =
+  let rep =
+    Supervisor.map ?policy ?jobs
+      ~name:(fun s -> s.id)
+      (fun spec -> (spec, spec.run ()))
+      specs
+  in
+  let failures =
+    List.map2
+      (fun spec (o : _ Supervisor.outcome) ->
+        match o.Supervisor.o_result with
+        | Ok _ -> None
+        | Error e ->
+          Some { f_spec = spec; f_attempts = o.Supervisor.o_attempts; f_error = e })
+      specs rep.Supervisor.outcomes
+    |> List.filter_map Fun.id
+  in
+  { results = Supervisor.oks rep; failures }
+
+let run_all ?policy ?jobs () = run_specs ?policy ?jobs all
+
+let run_specs_strings ?policy ?jobs ?checkpoint specs =
+  Supervisor.run_strings ?policy ?jobs ?checkpoint
+    (List.map (fun spec -> (spec.id, fun () -> render spec (spec.run ()))) specs)
+
+let string_of_failure f =
+  Printf.sprintf "experiment %s FAILED after %d attempt%s: %s" f.f_spec.id
+    f.f_attempts
+    (if f.f_attempts = 1 then "" else "s")
+    (Supervisor.string_of_error f.f_error)
 
 (* Printing happens on the calling domain after the parallel runs land in
-   registry order, so the bytes match a serial run exactly. *)
-let print_all ?(jobs = 1) () = List.iter print_tables (run_all ~jobs ())
+   registry order, so the bytes match a serial run exactly; failures, if
+   any, go to stderr after every completed table. *)
+let print_all ?(jobs = 1) () =
+  let rep = run_all ~jobs () in
+  List.iter print_tables rep.results;
+  List.iter (fun f -> prerr_endline (string_of_failure f)) rep.failures

@@ -17,14 +17,53 @@ val find : string -> spec
 (** Run one experiment and print its tables to stdout. *)
 val print_one : spec -> unit
 
-(** Run the whole suite across [jobs] worker domains (via {!Driver.map};
-    [0] means the recommended domain count) and return each experiment's
-    tables in registry order. Safe at any [jobs]: the harness memo caches
-    are domain-safe and each run owns its machines. *)
-val run_all : ?jobs:int -> unit -> (spec * Table.t list) list
+(** An experiment's printable form: the [== id: title [ref] ==] banner
+    followed by each rendered table and a blank line — exactly the bytes
+    {!print_all} emits for it, so checkpointed payloads splice back
+    byte-identically. *)
+val render : spec -> Table.t list -> string
+
+(** An experiment that failed even after the supervisor's retries. *)
+type failure = {
+  f_spec : spec;
+  f_attempts : int;
+  f_error : Supervisor.job_error;
+}
+
+(** What a supervised run returns: everything that completed (registry
+    order) {e plus} a failure report — one bad experiment no longer
+    aborts the suite. *)
+type report = {
+  results : (spec * Table.t list) list;
+  failures : failure list;
+}
+
+val string_of_failure : failure -> string
+
+(** Run a subset of the suite under supervision (see {!Supervisor}):
+    each experiment is retried per [policy] (default
+    {!Supervisor.default_policy}) and recorded as a {!failure} instead of
+    raising. [jobs] sizes the worker pool ([0] = recommended count). *)
+val run_specs : ?policy:Supervisor.policy -> ?jobs:int -> spec list -> report
+
+(** [run_specs] over the whole registry. Safe at any [jobs]: the harness
+    memo caches are domain-safe and each run owns its machines. *)
+val run_all : ?policy:Supervisor.policy -> ?jobs:int -> unit -> report
+
+(** Supervised run yielding each experiment's {!render}ed bytes, with
+    optional crash-safe checkpoint/resume (see {!Checkpoint}): committed
+    experiments are served from the store without rerunning; fresh ones
+    are committed as they finish. *)
+val run_specs_strings :
+  ?policy:Supervisor.policy ->
+  ?jobs:int ->
+  ?checkpoint:Checkpoint.t ->
+  spec list ->
+  string Supervisor.report
 
 (** Run the whole suite in order, printing everything. Computation is
     parallel across [jobs] domains (default [1], i.e. serial); printing
     is always serial, in registry order, so the output is byte-identical
-    for every [jobs] value. *)
+    for every [jobs] value. Failures (none, on a healthy tree) are
+    reported on stderr after the completed tables. *)
 val print_all : ?jobs:int -> unit -> unit

@@ -223,11 +223,15 @@ let step t =
 
 let run ?(fuel = 500_000_000) t =
   (* counting down in a tail-recursive loop keeps the budget in a register
-     instead of a heap-allocated ref dereferenced every instruction *)
+     instead of a heap-allocated ref dereferenced every instruction; the
+     fault-injection flag is read once, so a fault-free run's loop carries
+     only a perfectly-predicted register test per step *)
+  let faults = Fault.enabled () in
   let rec loop remaining =
     if not t.halted then
       if remaining <= 0 then raise (Trap (Fuel_exhausted fuel))
       else begin
+        if faults then Fault.point ~site:"machine.step";
         step t;
         loop (remaining - 1)
       end

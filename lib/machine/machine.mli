@@ -82,7 +82,11 @@ val step : t -> unit
 (** [run ?fuel t] steps until the program halts (via [Halt] or a [Ret]
     with an empty call stack), returning the total {!icount}. Raises
     [Trap (Fuel_exhausted _)] after [fuel] instructions (default
-    [500_000_000]). *)
+    [500_000_000]).
+
+    Carries the ["machine.step"] fault-injection site (see {!Fault}):
+    when that site is armed, the armed step raises [Fault.Injected]
+    mid-run — how tests simulate a worker crashing inside a job. *)
 val run : ?fuel:int -> t -> int
 
 (** Convenience: [create], [run], and return the machine (for examples and

@@ -1,0 +1,101 @@
+type action = Raise | Truncate of int
+
+exception Injected of string
+
+type site_state = {
+  s_site : string;
+  s_action : action;
+  s_at : int;
+  (* counts down from [s_at]; the hit that moves it from 1 to 0 fires.
+     Atomic: sites are hit from worker domains concurrently. *)
+  s_countdown : int Atomic.t;
+}
+
+(* The armed flag is the only thing hot paths read. The site list is
+   written under [mu] and published by the subsequent [Atomic.set] of
+   [armed_flag], so workers that observe [true] see the sites. *)
+let armed_flag = Atomic.make false
+let mu = Mutex.create ()
+let sites : site_state list Atomic.t = Atomic.make []
+
+let enabled () = Atomic.get armed_flag
+
+let arm ?(action = Raise) ~site ~at () =
+  if site = "" then invalid_arg "Fault.arm: empty site name";
+  Mutex.lock mu;
+  let others =
+    List.filter (fun s -> s.s_site <> site) (Atomic.get sites)
+  in
+  let at = max at 1 in
+  Atomic.set sites
+    ({ s_site = site; s_action = action; s_at = at;
+       s_countdown = Atomic.make at }
+     :: others);
+  Atomic.set armed_flag true;
+  Mutex.unlock mu
+
+let disarm () =
+  Mutex.lock mu;
+  Atomic.set sites [];
+  Atomic.set armed_flag false;
+  Mutex.unlock mu
+
+let find site =
+  List.find_opt (fun s -> s.s_site = site) (Atomic.get sites)
+
+(* [fetch_and_add (-1)] returning 1 identifies the [at]-th hit exactly
+   once, even under concurrent hits; later hits drive the counter
+   negative and never fire again. *)
+let fired st = Atomic.fetch_and_add st.s_countdown (-1) = 1
+
+let point ~site =
+  if Atomic.get armed_flag then
+    match find site with
+    | Some ({ s_action = Raise; _ } as st) ->
+      if fired st then raise (Injected site)
+    | Some _ | None -> ()
+
+let cut ~site =
+  if not (Atomic.get armed_flag) then None
+  else
+    match find site with
+    | Some ({ s_action = Truncate n; _ } as st) ->
+      if fired st then Some n else None
+    | Some _ | None -> None
+
+let hits ~site =
+  match find site with
+  | None -> 0
+  | Some st -> st.s_at - Atomic.get st.s_countdown
+
+let env_var = "VPROF_FAULT"
+
+let parse_entry entry =
+  let bad () =
+    invalid_arg
+      (Printf.sprintf
+         "Fault: malformed spec entry %S (want SITE@AT or SITE@AT@BYTES)"
+         entry)
+  in
+  match String.split_on_char '@' entry with
+  | [ site; at ] when site <> "" ->
+    (match int_of_string_opt at with
+     | Some at -> (site, at, Raise)
+     | None -> bad ())
+  | [ site; at; bytes ] when site <> "" ->
+    (match (int_of_string_opt at, int_of_string_opt bytes) with
+     | Some at, Some b when b >= 0 -> (site, at, Truncate b)
+     | _ -> bad ())
+  | _ -> bad ()
+
+let arm_spec spec =
+  String.split_on_char ',' spec
+  |> List.filter (fun e -> String.trim e <> "")
+  |> List.iter (fun e ->
+         let site, at, action = parse_entry (String.trim e) in
+         arm ~action ~site ~at ())
+
+let load_env () =
+  match Sys.getenv_opt env_var with
+  | None | Some "" -> ()
+  | Some spec -> arm_spec spec

@@ -1,0 +1,75 @@
+(** Deterministic fault injection.
+
+    Robustness claims are only testable if faults can be produced on
+    demand, at an exact, reproducible spot. This module plants named
+    {e injection sites} on the paths that matter — machine stepping
+    ([Fault.point ~site:"machine.step"] in {!Machine.run}'s loop), profile
+    writing ([Fault.cut ~site:"profile_io.write"]), pool workers
+    (["pool.worker"]) and supervised job attempts (["supervisor.job"]) —
+    and lets a test (or the [VPROF_FAULT] environment variable, for CLI
+    smoke runs) arm exactly one firing of any of them: "the 1000th step
+    traps", "the third job dies", "the profile write tears at byte 512".
+
+    Disarmed — the default — a site costs one atomic load; the machine's
+    inner loop additionally hoists that load out of the loop via
+    {!enabled}, so fault-free runs pay nothing measurable.
+
+    Each armed site fires {e exactly once}, on its [at]-th hit, then stays
+    quiet: the natural shape for crash tests ("kill job k, assert the run
+    survives and the retry/resume completes").
+
+    This module lives in [vp_util] (not the driver) because the machine
+    sits below the driver in the library stack; the supervisor and pool
+    are its other consumers. *)
+
+(** What an armed site does when it fires. *)
+type action =
+  | Raise  (** {!point} raises {!Injected}. *)
+  | Truncate of int
+      (** {!cut} returns [Some bytes] — the writer must tear its output
+          there and die, emulating a crash mid-write. *)
+
+(** Raised by a firing {!point}; carries the site name. *)
+exception Injected of string
+
+(** [true] iff any site is armed. Hot loops read this once and skip their
+    {!point} entirely when it is [false]. *)
+val enabled : unit -> bool
+
+(** [arm ~site ~at ()] arms [site] to fire on its [at]-th hit (1-based;
+    [at <= 1] means the next hit). Re-arming a site replaces its previous
+    arming. Raises [Invalid_argument] on an empty site name. *)
+val arm : ?action:action -> site:string -> at:int -> unit -> unit
+
+(** Disarm every site and reset all hit counters. *)
+val disarm : unit -> unit
+
+(** An injection site for crash-style faults: counts a hit and raises
+    [Injected site] if this hit is the armed one. Cheap no-op when nothing
+    is armed. *)
+val point : site:string -> unit
+
+(** An injection site for torn-write faults: counts a hit and returns
+    [Some n] (the byte budget) if this hit fires a [Truncate n] arming;
+    [None] otherwise. *)
+val cut : site:string -> int option
+
+(** Hits recorded against a site since it was last armed ([0] if the site
+    is not armed) — for tests asserting an exact firing position. *)
+val hits : site:string -> int
+
+(** The environment variable {!load_env} reads: ["VPROF_FAULT"]. *)
+val env_var : string
+
+(** Spec grammar, comma-separated entries:
+    ["SITE@AT"] arms a {!Raise} on the [AT]-th hit;
+    ["SITE@AT@BYTES"] arms [Truncate BYTES] on the [AT]-th hit.
+    E.g. ["supervisor.job@3,profile_io.write@1@512"].
+    Raises [Invalid_argument] with the offending entry on a malformed
+    spec. *)
+val arm_spec : string -> unit
+
+(** Arm from [$VPROF_FAULT] if set and non-empty (the CLI calls this once
+    at startup; nothing else does, so test processes stay unaffected by a
+    stray variable). Raises [Invalid_argument] on a malformed spec. *)
+val load_env : unit -> unit

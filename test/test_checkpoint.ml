@@ -1,0 +1,210 @@
+(* Checkpoint store: commit/reload roundtrip, salvage of torn manifests,
+   distrust of corrupt payloads, and the headline property — a run killed
+   by an injected fault resumes to byte-identical output without
+   recomputing committed jobs. *)
+
+let with_faults f = Fun.protect ~finally:Fault.disarm f
+
+let temp_dir () =
+  let path = Filename.temp_file "vprof_ckpt" "" in
+  Sys.remove path;
+  path
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let with_store f =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let manifest dir = Filename.concat dir "manifest"
+
+let read_text path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_text path text =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
+
+let test_record_reload_roundtrip () =
+  with_store (fun dir ->
+      let ck = Checkpoint.create ~resume:false dir in
+      Checkpoint.record ck ~name:"a" ~payload:"hello\nworld\n";
+      Checkpoint.record ck ~name:"name with spaces" ~payload:"";
+      Alcotest.(check int) "committed" 2 (Checkpoint.completed ck);
+      Alcotest.(check (option string)) "find a" (Some "hello\nworld\n")
+        (Checkpoint.find ck "a");
+      (* a fresh handle sees exactly what was committed *)
+      let ck' = Checkpoint.create ~resume:true dir in
+      Alcotest.(check int) "reloaded" 2 (Checkpoint.completed ck');
+      Alcotest.(check (option string)) "payload survives" (Some "hello\nworld\n")
+        (Checkpoint.find ck' "a");
+      Alcotest.(check (option string)) "escaped name survives" (Some "")
+        (Checkpoint.find ck' "name with spaces");
+      Alcotest.(check (option string)) "unknown name" None
+        (Checkpoint.find ck' "b"))
+
+let test_fresh_start_ignores_old_entries () =
+  with_store (fun dir ->
+      let ck = Checkpoint.create ~resume:false dir in
+      Checkpoint.record ck ~name:"a" ~payload:"x";
+      let ck' = Checkpoint.create ~resume:false dir in
+      Alcotest.(check int) "resume:false starts empty" 0
+        (Checkpoint.completed ck');
+      Alcotest.(check (option string)) "old entry gone" None
+        (Checkpoint.find ck' "a"))
+
+let test_torn_manifest_tail_dropped () =
+  with_store (fun dir ->
+      let ck = Checkpoint.create ~resume:false dir in
+      Checkpoint.record ck ~name:"first" ~payload:"p1";
+      Checkpoint.record ck ~name:"second" ~payload:"p2";
+      (* tear the manifest mid-way through its last line, as a crash
+         during a non-atomic write would *)
+      let text = read_text (manifest dir) in
+      write_text (manifest dir) (String.sub text 0 (String.length text - 5));
+      let ck' = Checkpoint.create ~resume:true dir in
+      Alcotest.(check int) "torn entry dropped" 1 (Checkpoint.completed ck');
+      Alcotest.(check (option string)) "earlier entry survives" (Some "p1")
+        (Checkpoint.find ck' "first");
+      Alcotest.(check (option string)) "torn entry not trusted" None
+        (Checkpoint.find ck' "second"))
+
+let test_garbage_manifest_line_stops_load () =
+  with_store (fun dir ->
+      let ck = Checkpoint.create ~resume:false dir in
+      Checkpoint.record ck ~name:"a" ~payload:"p";
+      let text = read_text (manifest dir) in
+      write_text (manifest dir) (text ^ "done not-a-real-entry\n");
+      let ck' = Checkpoint.create ~resume:true dir in
+      Alcotest.(check int) "checksummed prefix kept" 1
+        (Checkpoint.completed ck'))
+
+let test_corrupt_payload_not_trusted () =
+  with_store (fun dir ->
+      let ck = Checkpoint.create ~resume:false dir in
+      Checkpoint.record ck ~name:"job" ~payload:"precious bytes";
+      (* flip the payload file behind the manifest's back *)
+      let out =
+        Sys.readdir dir |> Array.to_list
+        |> List.find (fun f -> Filename.check_suffix f ".out")
+      in
+      write_text (Filename.concat dir out) "precious bytEs";
+      let ck' = Checkpoint.create ~resume:true dir in
+      Alcotest.(check (option string)) "checksum rejects the payload" None
+        (Checkpoint.find ck' "job");
+      Alcotest.(check int) "entry treated as never completed" 0
+        (Checkpoint.completed ck'))
+
+let test_truncated_payload_not_trusted () =
+  with_store (fun dir ->
+      let ck = Checkpoint.create ~resume:false dir in
+      Checkpoint.record ck ~name:"job" ~payload:"precious bytes";
+      let out =
+        Sys.readdir dir |> Array.to_list
+        |> List.find (fun f -> Filename.check_suffix f ".out")
+      in
+      write_text (Filename.concat dir out) "precious";
+      let ck' = Checkpoint.create ~resume:true dir in
+      Alcotest.(check (option string)) "size check rejects the payload" None
+        (Checkpoint.find ck' "job"))
+
+let test_rejects_file_as_dir () =
+  let path = Filename.temp_file "vprof_ckpt" "" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      match Checkpoint.create ~resume:false path with
+      | _ -> Alcotest.fail "expected Sys_error"
+      | exception Sys_error _ -> ())
+
+(* The acceptance scenario: a three-job grid is killed on job b by an
+   injected fault; the resumed run serves a from the store, reruns only b
+   and c, and the concatenated output is byte-identical to a fault-free
+   run's. *)
+let test_kill_and_resume_byte_identical () =
+  let runs = Array.make 3 0 in
+  let jobs () =
+    [ ("a", fun () -> runs.(0) <- runs.(0) + 1; "payload-a\n");
+      ("b", fun () -> runs.(1) <- runs.(1) + 1; "payload-b\n");
+      ("c", fun () -> runs.(2) <- runs.(2) + 1; "payload-c\n") ]
+  in
+  let concat rep =
+    String.concat "" (Supervisor.oks rep)
+  in
+  (* fault-free reference, no checkpoint *)
+  let reference = concat (Supervisor.run_strings ~jobs:1 (jobs ())) in
+  Array.fill runs 0 3 0;
+  with_store (fun dir ->
+      with_faults (fun () ->
+          (* the crashed run: job b's only attempt dies, the grid aborts *)
+          Fault.arm ~site:"supervisor.job" ~at:2 ();
+          let policy =
+            { Supervisor.default_policy with retries = 0; on_error = `Abort }
+          in
+          let ck = Checkpoint.create ~resume:false dir in
+          let rep =
+            Supervisor.run_strings ~policy ~jobs:1 ~checkpoint:ck (jobs ())
+          in
+          Alcotest.(check int) "a committed before the crash" 1
+            rep.Supervisor.completed;
+          Alcotest.(check int) "b failed" 1 rep.Supervisor.failed;
+          Alcotest.(check int) "c cancelled" 1 rep.Supervisor.cancelled;
+          Alcotest.(check int) "store holds the survivor" 1
+            (Checkpoint.completed ck));
+      (* the resumed run, fault disarmed — as after a process restart *)
+      let ck = Checkpoint.create ~resume:true dir in
+      let rep = Supervisor.run_strings ~jobs:1 ~checkpoint:ck (jobs ()) in
+      Alcotest.(check int) "everything completed" 3 rep.Supervisor.completed;
+      Alcotest.(check string) "output byte-identical to fault-free run"
+        reference (concat rep);
+      (match rep.Supervisor.outcomes with
+       | [ a; b; c ] ->
+         Alcotest.(check int) "a served from the store" 0
+           a.Supervisor.o_attempts;
+         Alcotest.(check bool) "b and c ran" true
+           (b.Supervisor.o_attempts = 1 && c.Supervisor.o_attempts = 1)
+       | _ -> Alcotest.fail "expected three outcomes");
+      (* the fault fired before b's body ran, so every job body ran
+         exactly once across both runs — nothing was recomputed *)
+      Alcotest.(check (array int)) "no job body ran twice" [| 1; 1; 1 |] runs)
+
+let test_run_strings_commits_as_it_goes () =
+  with_store (fun dir ->
+      let ck = Checkpoint.create ~resume:false dir in
+      let rep =
+        Supervisor.run_strings ~jobs:2 ~checkpoint:ck
+          [ ("x", fun () -> "X"); ("y", fun () -> "Y") ]
+      in
+      Alcotest.(check int) "completed" 2 rep.Supervisor.completed;
+      Alcotest.(check int) "both committed" 2 (Checkpoint.completed ck);
+      Alcotest.(check (option string)) "payload stored" (Some "X")
+        (Checkpoint.find ck "x"))
+
+let suite =
+  [ Alcotest.test_case "record/reload roundtrip" `Quick
+      test_record_reload_roundtrip;
+    Alcotest.test_case "fresh start ignores old entries" `Quick
+      test_fresh_start_ignores_old_entries;
+    Alcotest.test_case "torn manifest tail dropped" `Quick
+      test_torn_manifest_tail_dropped;
+    Alcotest.test_case "garbage manifest line stops load" `Quick
+      test_garbage_manifest_line_stops_load;
+    Alcotest.test_case "corrupt payload not trusted" `Quick
+      test_corrupt_payload_not_trusted;
+    Alcotest.test_case "truncated payload not trusted" `Quick
+      test_truncated_payload_not_trusted;
+    Alcotest.test_case "rejects a file where a dir is needed" `Quick
+      test_rejects_file_as_dir;
+    Alcotest.test_case "kill and resume is byte-identical" `Quick
+      test_kill_and_resume_byte_identical;
+    Alcotest.test_case "commits as it goes" `Quick
+      test_run_strings_commits_as_it_goes ]

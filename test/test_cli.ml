@@ -4,15 +4,17 @@
 
 let vprof = "../bin/vprof.exe"
 
-(* Runs the binary, returns (exit_code, combined output). *)
-let run_cli args =
+(* Runs the binary, returns (exit_code, combined output). [env] is a
+   shell-syntax variable prefix, e.g. ["VPROF_FAULT=site@1"]. *)
+let run_cli ?(env = "") args =
   let out = Filename.temp_file "vprof_cli" ".out" in
   Fun.protect
     ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
     (fun () ->
       let cmd =
-        Printf.sprintf "%s %s > %s 2>&1" (Filename.quote vprof) args
-          (Filename.quote out)
+        Printf.sprintf "%s%s %s > %s 2>&1"
+          (if env = "" then "" else env ^ " ")
+          (Filename.quote vprof) args (Filename.quote out)
       in
       let code = Sys.command cmd in
       let ic = open_in out in
@@ -63,9 +65,11 @@ let test_experiment () =
 let test_experiments_parallel () =
   check_ok "experiments -j" "experiments e01 -j 2" [ "Table III.1"; "compress" ]
 
+(* The exit-code contract: 0 success, 1 runtime failure (trap, injected
+   fault, failed experiment), 2 usage error. *)
 let test_fuel_trap () =
   let code, out = run_cli "run -w li --fuel 1000" in
-  Alcotest.(check int) "trap exit code" 2 code;
+  Alcotest.(check int) "runtime failures exit 1" 1 code;
   Alcotest.(check bool) "reports the trap" true
     (Astring_contains.contains out "fuel exhausted")
 
@@ -87,13 +91,85 @@ let test_emit_roundtrip () =
 
 let test_unknown_workload_fails () =
   let code, out = run_cli "run -w doom" in
-  Alcotest.(check bool) "nonzero exit" true (code <> 0);
+  Alcotest.(check int) "usage errors exit 2" 2 code;
   Alcotest.(check bool) "helpful message" true
     (Astring_contains.contains out "unknown workload")
 
 let test_unknown_experiment_fails () =
   let code, _ = run_cli "experiment e99" in
-  Alcotest.(check bool) "nonzero exit" true (code <> 0)
+  Alcotest.(check int) "usage errors exit 2" 2 code
+
+let test_bad_flag_usage_error () =
+  let code, _ = run_cli "run --no-such-flag" in
+  Alcotest.(check int) "cmdliner usage errors exit 2" 2 code
+
+let test_malformed_fault_spec_usage_error () =
+  let code, out = run_cli ~env:"VPROF_FAULT=broken" "list" in
+  Alcotest.(check int) "bad VPROF_FAULT exits 2" 2 code;
+  Alcotest.(check bool) "names the bad entry" true
+    (Astring_contains.contains out "broken")
+
+let temp_dir () =
+  let path = Filename.temp_file "vprof_cli_ck" "" in
+  Sys.remove path;
+  path
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let test_checkpoint_resume_byte_identical () =
+  (* the acceptance scenario end-to-end through the binary: a run killed
+     by an injected fault, resumed from its checkpoint, must print exactly
+     what a fault-free run prints *)
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let plain_code, plain = run_cli "experiments e01" in
+      Alcotest.(check int) "fault-free run" 0 plain_code;
+      let crash_code, crash_out =
+        run_cli ~env:"VPROF_FAULT=supervisor.job@1"
+          (Printf.sprintf "experiments e01 --checkpoint %s --retries 0"
+             (Filename.quote dir))
+      in
+      Alcotest.(check int) "injected crash exits 1" 1 crash_code;
+      Alcotest.(check bool) "reports the injected fault" true
+        (Astring_contains.contains crash_out "injected fault");
+      Alcotest.(check bool) "failure report written" true
+        (Sys.file_exists (Filename.concat dir "failures.txt"));
+      let resume_code, resumed =
+        run_cli
+          (Printf.sprintf "experiments e01 --checkpoint %s --resume"
+             (Filename.quote dir))
+      in
+      Alcotest.(check int) "resume succeeds" 0 resume_code;
+      Alcotest.(check string) "resume byte-identical to fault-free run"
+        plain resumed)
+
+let test_checkpoint_completes_and_resume_skips () =
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let code, first =
+        run_cli
+          (Printf.sprintf "experiments e01 --checkpoint %s"
+             (Filename.quote dir))
+      in
+      Alcotest.(check int) "checkpointed run" 0 code;
+      let code, second =
+        run_cli
+          (Printf.sprintf "experiments e01 --checkpoint %s --resume"
+             (Filename.quote dir))
+      in
+      Alcotest.(check int) "resume of a complete run" 0 code;
+      Alcotest.(check string) "served from the store, same bytes" first
+        second)
 
 let suite =
   [ Alcotest.test_case "binary present" `Quick test_binary_present;
@@ -110,4 +186,11 @@ let suite =
     Alcotest.test_case "diff" `Slow test_diff;
     Alcotest.test_case "emit roundtrip" `Slow test_emit_roundtrip;
     Alcotest.test_case "unknown workload" `Quick test_unknown_workload_fails;
-    Alcotest.test_case "unknown experiment" `Quick test_unknown_experiment_fails ]
+    Alcotest.test_case "unknown experiment" `Quick test_unknown_experiment_fails;
+    Alcotest.test_case "bad flag" `Quick test_bad_flag_usage_error;
+    Alcotest.test_case "malformed VPROF_FAULT" `Quick
+      test_malformed_fault_spec_usage_error;
+    Alcotest.test_case "checkpoint kill/resume byte-identical" `Slow
+      test_checkpoint_resume_byte_identical;
+    Alcotest.test_case "resume skips completed work" `Slow
+      test_checkpoint_completes_and_resume_skips ]

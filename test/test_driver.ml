@@ -41,6 +41,55 @@ let test_pool_exception_carries_backtrace () =
     Alcotest.(check bool) "raising frame preserved" true
       (Astring_contains.contains bt "test_driver.ml")
 
+let test_pool_fail_fast_abandons_queue () =
+  (* item 0 fails instantly while everything else dawdles: with fail_fast
+     the workers stop pulling, so most of the queue never runs *)
+  let ran = Atomic.make 0 in
+  let f x =
+    Atomic.incr ran;
+    if x = 0 then failwith "boom" else (Unix.sleepf 0.002; x)
+  in
+  (match Pool.map ~jobs:2 ~fail_fast:true f (List.init 64 Fun.id) with
+   | _ -> Alcotest.fail "expected the failure to surface"
+   | exception Failure m -> Alcotest.(check string) "the failure" "boom" m);
+  Alcotest.(check bool) "queue abandoned" true (Atomic.get ran < 64);
+  (* the default still drains the queue before re-raising *)
+  let ran = Atomic.make 0 in
+  let f x = Atomic.incr ran; if x = 0 then failwith "boom" else x in
+  (match Pool.map ~jobs:2 f (List.init 16 Fun.id) with
+   | _ -> Alcotest.fail "expected the failure to surface"
+   | exception Failure _ -> ());
+  Alcotest.(check int) "default drains the queue" 16 (Atomic.get ran)
+
+let test_pool_map_result_slots () =
+  let slots =
+    Pool.map_result ~jobs:2
+      (fun x -> if x mod 2 = 1 then failwith (string_of_int x) else x * 10)
+      [ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check (list string)) "per-item slots, input order"
+    [ "ok:0"; "err:1"; "ok:20"; "err:3" ]
+    (List.map
+       (function
+         | Some (Ok v) -> Printf.sprintf "ok:%d" v
+         | Some (Error (Failure m, _)) -> "err:" ^ m
+         | Some (Error _) -> "err:?"
+         | None -> "cancelled")
+       slots)
+
+let test_pool_map_result_pre_cancelled () =
+  let flag = Pool.cancellation () in
+  Pool.cancel flag;
+  let ran = Atomic.make 0 in
+  let slots =
+    Pool.map_result ~jobs:2 ~cancel:flag
+      (fun x -> Atomic.incr ran; x)
+      [ 1; 2; 3 ]
+  in
+  Alcotest.(check int) "nothing ran" 0 (Atomic.get ran);
+  Alcotest.(check bool) "every slot cancelled" true
+    (List.for_all (( = ) None) slots)
+
 let test_memo_concurrent_once_per_key () =
   let cache : (int, int) Memo_cache.t = Memo_cache.create () in
   let computed = Atomic.make 0 in
@@ -188,6 +237,12 @@ let suite =
       test_pool_exception_deterministic;
     Alcotest.test_case "pool exception carries backtrace" `Quick
       test_pool_exception_carries_backtrace;
+    Alcotest.test_case "pool fail-fast abandons the queue" `Quick
+      test_pool_fail_fast_abandons_queue;
+    Alcotest.test_case "pool map_result slots" `Quick
+      test_pool_map_result_slots;
+    Alcotest.test_case "pool map_result honours pre-set cancel" `Quick
+      test_pool_map_result_pre_cancelled;
     Alcotest.test_case "memo once per key (8 domains)" `Quick
       test_memo_concurrent_once_per_key;
     Alcotest.test_case "memo failure not cached" `Quick

@@ -1,0 +1,130 @@
+(* Deterministic fault injection: exact-hit firing, truncation budgets,
+   spec parsing, env loading, and the machine.step site end-to-end. *)
+
+open Isa
+
+(* Every test disarms on exit so a failing assertion cannot leak an armed
+   site into later suites. *)
+let with_faults f = Fun.protect ~finally:Fault.disarm f
+
+let test_disarmed_noop () =
+  Fault.disarm ();
+  Alcotest.(check bool) "disabled" false (Fault.enabled ());
+  Fault.point ~site:"anything";
+  Alcotest.(check (option int)) "no cut" None (Fault.cut ~site:"anything");
+  Alcotest.(check int) "no hits tracked" 0 (Fault.hits ~site:"anything")
+
+let test_fires_exactly_once () =
+  with_faults (fun () ->
+      Fault.arm ~site:"s" ~at:3 ();
+      Alcotest.(check bool) "enabled" true (Fault.enabled ());
+      Fault.point ~site:"s";
+      Fault.point ~site:"s";
+      (match Fault.point ~site:"s" with
+       | () -> Alcotest.fail "expected Injected on the 3rd hit"
+       | exception Fault.Injected site ->
+         Alcotest.(check string) "carries the site" "s" site);
+      (* spent: quiet forever after *)
+      Fault.point ~site:"s";
+      Fault.point ~site:"s";
+      Alcotest.(check int) "hits keep counting" 5 (Fault.hits ~site:"s");
+      (* unarmed sites are unaffected while another site is armed *)
+      Fault.point ~site:"other")
+
+let test_rearm_replaces () =
+  with_faults (fun () ->
+      Fault.arm ~site:"s" ~at:100 ();
+      Fault.arm ~site:"s" ~at:1 ();
+      match Fault.point ~site:"s" with
+      | () -> Alcotest.fail "re-arming must reset the countdown"
+      | exception Fault.Injected _ -> ())
+
+let test_truncate_cut () =
+  with_faults (fun () ->
+      Fault.arm ~action:(Fault.Truncate 512) ~site:"w" ~at:2 ();
+      Alcotest.(check (option int)) "first hit passes" None (Fault.cut ~site:"w");
+      Alcotest.(check (option int)) "second hit cuts" (Some 512)
+        (Fault.cut ~site:"w");
+      Alcotest.(check (option int)) "spent" None (Fault.cut ~site:"w");
+      (* a Truncate arming never fires the crash-style site *)
+      Fault.point ~site:"w")
+
+let test_arm_rejects_empty_site () =
+  match Fault.arm ~site:"" ~at:1 () with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_arm_spec () =
+  with_faults (fun () ->
+      Fault.arm_spec "a@2, b@1@77";
+      Fault.point ~site:"a";
+      (match Fault.point ~site:"a" with
+       | () -> Alcotest.fail "a must fire on its 2nd hit"
+       | exception Fault.Injected _ -> ());
+      Alcotest.(check (option int)) "b is a truncate arming" (Some 77)
+        (Fault.cut ~site:"b"))
+
+let test_arm_spec_malformed () =
+  let rejects spec =
+    match Fault.arm_spec spec with
+    | () -> Alcotest.failf "spec %S must be rejected" spec
+    | exception Invalid_argument _ -> Fault.disarm ()
+  in
+  rejects "nope";
+  rejects "x@";
+  rejects "@3";
+  rejects "x@1@-2";
+  rejects "x@1@2@3"
+
+let test_load_env () =
+  with_faults (fun () ->
+      Unix.putenv Fault.env_var "envsite@1";
+      Fun.protect
+        ~finally:(fun () -> Unix.putenv Fault.env_var "")
+        (fun () ->
+          Fault.load_env ();
+          match Fault.point ~site:"envsite" with
+          | () -> Alcotest.fail "env-armed site must fire"
+          | exception Fault.Injected _ -> ()));
+  (* an empty variable arms nothing *)
+  Fault.load_env ();
+  Alcotest.(check bool) "empty env leaves faults off" false (Fault.enabled ())
+
+let program n =
+  let b = Asm.create () in
+  Asm.proc b "main" (fun b ->
+      Asm.ldi b t0 0L;
+      Asm.label b "loop";
+      Asm.addi b ~dst:t0 t0 1L;
+      Asm.cmplti b ~dst:t1 t0 n;
+      Asm.br b Ne t1 "loop";
+      Asm.halt b);
+  Asm.assemble b ~entry:"main"
+
+let test_machine_step_site () =
+  (* the machine's inner loop passes "machine.step" every instruction:
+     arming hit k kills the run after exactly k - 1 completed steps *)
+  let prog = program 50L in
+  with_faults (fun () ->
+      Fault.arm ~site:"machine.step" ~at:10 ();
+      (match Machine.run (Machine.create prog) with
+       | _ -> Alcotest.fail "expected Injected out of Machine.run"
+       | exception Fault.Injected site ->
+         Alcotest.(check string) "site" "machine.step" site);
+      Alcotest.(check int) "fired on the 10th step" 10
+        (Fault.hits ~site:"machine.step"));
+  (* disarmed, the same machine program runs to completion *)
+  let steps = Machine.run (Machine.create prog) in
+  Alcotest.(check bool) "fault-free run completes" true (steps > 10)
+
+let suite =
+  [ Alcotest.test_case "disarmed is a no-op" `Quick test_disarmed_noop;
+    Alcotest.test_case "fires exactly once, on the at-th hit" `Quick
+      test_fires_exactly_once;
+    Alcotest.test_case "re-arm replaces" `Quick test_rearm_replaces;
+    Alcotest.test_case "truncate budget via cut" `Quick test_truncate_cut;
+    Alcotest.test_case "empty site rejected" `Quick test_arm_rejects_empty_site;
+    Alcotest.test_case "spec grammar" `Quick test_arm_spec;
+    Alcotest.test_case "malformed specs rejected" `Quick test_arm_spec_malformed;
+    Alcotest.test_case "load_env" `Quick test_load_env;
+    Alcotest.test_case "machine.step site" `Quick test_machine_step_site ]

@@ -121,12 +121,186 @@ let test_bad_pc_failure_cites_line () =
     Alcotest.(check bool) "names the bad pc" true
       (Astring_contains.contains msg "pc 999")
 
-let test_truncated_failure_cites_line () =
+(* --- the v2 checksummed format --- *)
+
+let find_sub s sub =
+  let sl = String.length sub in
+  let rec go i =
+    if i + sl > String.length s then -1
+    else if String.sub s i sl = sub then i
+    else go (i + 1)
+  in
+  go 0
+
+(* Strip the crc trailer and claim version 1: exactly what a pre-v2
+   writer produced. *)
+let v1_of_v2 s =
+  let body_end = String.rindex_from s (String.length s - 2) '\n' + 1 in
+  let body = String.sub s 0 body_end in
+  let header_end = String.index body '\n' in
+  "vprof-profile 1" ^ String.sub body header_end (String.length body - header_end)
+
+(* Rewrite the first [" key=<token>"] occurrence, length-changing allowed. *)
+let mutate_field text key value =
+  let needle = " " ^ key ^ "=" in
+  let i = find_sub text needle in
+  Alcotest.(check bool) (Printf.sprintf "text has field %s" key) true (i >= 0);
+  let start = i + String.length needle in
+  let stop = ref start in
+  while
+    !stop < String.length text && text.[!stop] <> ' ' && text.[!stop] <> '\n'
+  do
+    incr stop
+  done;
+  String.sub text 0 start ^ value
+  ^ String.sub text !stop (String.length text - !stop)
+
+let test_v2_header_and_trailer () =
+  let p = Profile.run (program ()) in
+  let s = Profile_io.to_string p in
+  Alcotest.(check string) "v2 header" "vprof-profile 2\n" (String.sub s 0 16);
+  let tail_start = String.rindex_from s (String.length s - 2) '\n' + 1 in
+  let tail = String.sub s tail_start (String.length s - tail_start) in
+  Alcotest.(check int) "trailer is crc32 + 8 hex digits" 15 (String.length tail);
+  Alcotest.(check string) "trailer tag" "crc32 " (String.sub tail 0 6)
+
+let test_corruption_detected () =
+  let prog = program () in
+  let s = Profile_io.to_string (Profile.run prog) in
+  (* flip one digit without changing the length: only the checksum can
+     notice *)
+  let i = find_sub s "total=" + 6 in
+  let b = Bytes.of_string s in
+  Bytes.set b i (if Bytes.get b i = '9' then '8' else '9');
+  match Profile_io.of_string ~program:prog (Bytes.to_string b) with
+  | _ -> Alcotest.fail "expected checksum failure"
+  | exception Failure msg ->
+    Alcotest.(check bool) "names the checksum" true
+      (Astring_contains.contains msg "crc32 mismatch")
+
+let test_truncation_detected_and_salvageable () =
+  let prog = program () in
+  let p = Profile.run prog in
+  let s = Profile_io.to_string p in
+  let cut = String.sub s 0 (String.length s * 2 / 3) in
+  (match Profile_io.of_string ~program:prog cut with
+   | _ -> Alcotest.fail "expected checksum failure"
+   | exception Failure msg ->
+     Alcotest.(check bool) "blames the checksum or truncation" true
+       (Astring_contains.contains msg "crc32"
+        || Astring_contains.contains msg "truncated"));
+  let r = Profile_io.of_string ~salvage:true ~program:prog cut in
+  Alcotest.(check bool) "salvage keeps a strict prefix" true
+    (Array.length r.Profile.points < Array.length p.Profile.points);
+  Array.iteri
+    (fun i (pt : Profile.point) ->
+      Alcotest.(check int) "salvaged pc matches the original"
+        p.Profile.points.(i).Profile.p_pc pt.Profile.p_pc)
+    r.Profile.points
+
+let prop_salvage_any_truncation =
+  let prog = program () in
+  let p = Profile.run prog in
+  let s = Profile_io.to_string p in
+  let full = String.length s in
+  (* cuts from just after the meta line to one byte short of the trailer's
+     newline: strict parsing must always fail (the checksum line is
+     damaged or gone), salvage must always recover a pc-prefix *)
+  let first_point = find_sub s "\npoint " + 1 in
+  QCheck.Test.make ~name:"any truncation: strict fails, salvage recovers"
+    ~count:200
+    (QCheck.make QCheck.Gen.(int_range first_point (full - 2)))
+    (fun cut_at ->
+      let cut = String.sub s 0 cut_at in
+      let strict_fails =
+        match Profile_io.of_string ~program:prog cut with
+        | _ -> false
+        | exception Failure _ -> true
+      in
+      let r = Profile_io.of_string ~salvage:true ~program:prog cut in
+      let prefix_ok = ref (Array.length r.Profile.points <= Array.length p.Profile.points) in
+      Array.iteri
+        (fun i (pt : Profile.point) ->
+          if p.Profile.points.(i).Profile.p_pc <> pt.Profile.p_pc then
+            prefix_ok := false)
+        r.Profile.points;
+      strict_fails && !prefix_ok)
+
+let test_v1_still_loads () =
+  let prog = program () in
+  let p = Profile.run prog in
+  let s = Profile_io.to_string p in
+  let p' = Profile_io.of_string ~program:prog (v1_of_v2 s) in
+  Alcotest.(check int) "points" (Array.length p.Profile.points)
+    (Array.length p'.Profile.points);
+  Alcotest.(check string) "re-serializes to v2, byte-identical" s
+    (Profile_io.to_string p')
+
+let test_rejects_negative_total () =
+  let prog = program () in
+  let v1 = v1_of_v2 (Profile_io.to_string (Profile.run prog)) in
+  match Profile_io.of_string ~program:prog (mutate_field v1 "total" "-5") with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure msg ->
+    Alcotest.(check bool) "names the field" true
+      (Astring_contains.contains msg "total is negative");
+    Alcotest.(check bool) "cites line 3" true
+      (Astring_contains.contains msg "line 3")
+
+let test_rejects_negative_meta_count () =
+  let prog = program () in
+  let v1 = v1_of_v2 (Profile_io.to_string (Profile.run prog)) in
+  match Profile_io.of_string ~program:prog (mutate_field v1 "dynamic" "-1") with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure msg ->
+    Alcotest.(check bool) "names the field" true
+      (Astring_contains.contains msg "dynamic is negative");
+    Alcotest.(check bool) "cites line 2" true
+      (Astring_contains.contains msg "line 2")
+
+let test_rejects_nan_metric () =
+  let prog = program () in
+  let v1 = v1_of_v2 (Profile_io.to_string (Profile.run prog)) in
+  match Profile_io.of_string ~program:prog (mutate_field v1 "lvp" "nan") with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure msg ->
+    Alcotest.(check bool) "names the NaN" true
+      (Astring_contains.contains msg "lvp is NaN");
+    Alcotest.(check bool) "cites line 3" true
+      (Astring_contains.contains msg "line 3")
+
+let test_rejects_negative_tv_count () =
+  let prog = program () in
+  let v1 = v1_of_v2 (Profile_io.to_string (Profile.run prog)) in
+  let lineno = ref 0 in
+  let mutated =
+    String.split_on_char '\n' v1
+    |> List.mapi (fun i l ->
+           if !lineno = 0 && String.length l > 3 && String.sub l 0 3 = "tv "
+           then begin
+             lineno := i + 1;
+             match String.split_on_char ' ' l with
+             | [ "tv"; v; _ ] -> Printf.sprintf "tv %s -3" v
+             | _ -> l
+           end
+           else l)
+    |> String.concat "\n"
+  in
+  Alcotest.(check bool) "profile has a tv line" true (!lineno > 0);
+  match Profile_io.of_string ~program:prog mutated with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure msg ->
+    Alcotest.(check bool) "names the tv count" true
+      (Astring_contains.contains msg "tv count is negative");
+    Alcotest.(check bool) "cites the line" true
+      (Astring_contains.contains msg (Printf.sprintf "line %d" !lineno))
+
+let test_truncated_v1_failure_cites_line () =
+  (* v1 has no checksum, so truncation must still surface as a
+     line-numbered parse error *)
   let w = Workloads.find "go" in
   let prog = w.Workload.wbuild Workload.Test in
-  let s = Profile_io.to_string (Profile.run prog) in
-  (* cut the text mid-way through the last point line: parsing must report
-     a failure on that line, by number *)
+  let s = v1_of_v2 (Profile_io.to_string (Profile.run prog)) in
   let last_index_of sub =
     let sl = String.length sub in
     let rec go i best =
@@ -151,6 +325,49 @@ let test_truncated_failure_cites_line () =
     Alcotest.(check bool) "reports the missing field" true
       (Astring_contains.contains msg "missing field")
 
+let test_injected_torn_write_salvageable () =
+  let prog = program () in
+  let p = Profile.run prog in
+  let full = String.length (Profile_io.to_string p) in
+  let path = Filename.temp_file "vprof" ".profile" in
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.disarm ();
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Fault.arm
+        ~action:(Fault.Truncate (full * 2 / 3))
+        ~site:"profile_io.write" ~at:1 ();
+      (match Profile_io.write_file p path with
+       | () -> Alcotest.fail "expected the injected crash"
+       | exception Fault.Injected _ -> ());
+      Fault.disarm ();
+      (* the torn file fails its checksum on a strict load... *)
+      (match Profile_io.read_file ~program:prog path with
+       | _ -> Alcotest.fail "expected checksum failure"
+       | exception Failure _ -> ());
+      (* ...and salvage recovers the surviving prefix *)
+      let r = Profile_io.read_file ~salvage:true ~program:prog path in
+      Alcotest.(check bool) "recovered a prefix" true
+        (Array.length r.Profile.points <= Array.length p.Profile.points))
+
+let test_write_leaves_no_temp_files () =
+  let p = Profile.run (program ()) in
+  let dir = Filename.temp_file "vprof_dir" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      Profile_io.write_file p (Filename.concat dir "p.profile");
+      Alcotest.(check (list string)) "only the committed file"
+        [ "p.profile" ]
+        (Sys.readdir dir |> Array.to_list))
+
 let test_loaded_profile_drives_predictor_filtering () =
   (* the round-tripped profile is as usable as the fresh one *)
   let prog = program () in
@@ -174,7 +391,26 @@ let suite =
       test_roundtrip_real_workload;
     Alcotest.test_case "bad pc failure cites its line" `Quick
       test_bad_pc_failure_cites_line;
-    Alcotest.test_case "truncated input failure cites its line" `Quick
-      test_truncated_failure_cites_line;
+    Alcotest.test_case "v2 header and crc trailer" `Quick
+      test_v2_header_and_trailer;
+    Alcotest.test_case "corruption detected by checksum" `Quick
+      test_corruption_detected;
+    Alcotest.test_case "truncation detected, salvageable" `Quick
+      test_truncation_detected_and_salvageable;
+    QCheck_alcotest.to_alcotest prop_salvage_any_truncation;
+    Alcotest.test_case "v1 files still load" `Quick test_v1_still_loads;
+    Alcotest.test_case "rejects negative total" `Quick
+      test_rejects_negative_total;
+    Alcotest.test_case "rejects negative meta count" `Quick
+      test_rejects_negative_meta_count;
+    Alcotest.test_case "rejects NaN metric" `Quick test_rejects_nan_metric;
+    Alcotest.test_case "rejects negative tv count" `Quick
+      test_rejects_negative_tv_count;
+    Alcotest.test_case "truncated v1 failure cites its line" `Quick
+      test_truncated_v1_failure_cites_line;
+    Alcotest.test_case "injected torn write is salvageable" `Quick
+      test_injected_torn_write_salvageable;
+    Alcotest.test_case "atomic write leaves no temp files" `Quick
+      test_write_leaves_no_temp_files;
     Alcotest.test_case "loaded profile usable" `Quick
       test_loaded_profile_drives_predictor_filtering ]
