@@ -1,8 +1,8 @@
 (* vprof: command-line front end for the value profiler.
 
    Subcommands: list, run, disasm, emit, profile, memory, procs,
-   registers, contexts, phases, trivial, speculate, sample, specialize,
-   memoize, diff, experiment, experiments.
+   registers, contexts, phases, trivial, speculate, sample, fused,
+   specialize, memoize, diff, experiment, experiments.
 
    Shared flags (workload/input selection, --fuel, --jobs) live in
    Cli_common; any command that needs more than one profiler run pushes
@@ -302,8 +302,8 @@ let sample_cmd =
       { Sampler.default_config with burst; initial_skip = skip; epsilon }
     in
     let sconfig = { Sampler.Profiler.default_config with sampler = config } in
-    (* the sampled run and its full-profile reference are independent
-       machines: run them as two driver jobs *)
+    (* two driver jobs sharing the (workload, input, fuel) key: the
+       scheduler fuses them onto one machine execution *)
     match
       Driver.run_jobs ~jobs:(effective_jobs jobs)
         [ Driver.job (module Sampler.Profiler) ~config:sconfig ?fuel
@@ -778,6 +778,170 @@ let run_experiments id csv jobs checkpoint resume retries fail_fast =
          dir;
        exit 1)
 
+(* fused *)
+
+(* One driver job per requested profiler, every job sharing the same
+   (workload, input, fuel) key, so Driver.run_jobs coalesces them into a
+   single machine execution. Each finish continuation reduces the typed
+   result to (name, one-line summary, dynamic instructions, counters). *)
+let fused_job (w : Workload.t) input fuel name =
+  let ok j = Ok j in
+  match name with
+  | "profile" ->
+    ok
+      (Driver.job (module Profile.Profiler) ?fuel
+         ~finish:(fun (p : Profile.t) ->
+           ( name,
+             Printf.sprintf "%d points, %s profiled events" p.instrumented
+               (Table.count p.profiled_events),
+             p.dynamic_instructions, Profile.Profiler.stats p ))
+         w input)
+  | "sample" ->
+    ok
+      (Driver.job (module Sampler.Profiler) ?fuel
+         ~finish:(fun (s : Sampler.t) ->
+           ( name,
+             Printf.sprintf "overhead %.2f%% (%s of %s events)"
+               (100. *. s.overhead)
+               (Table.count s.profiled_events)
+               (Table.count s.total_events),
+             s.dynamic_instructions, Sampler.Profiler.stats s ))
+         w input)
+  | "memory" ->
+    ok
+      (Driver.job (module Memprof.Profiler) ?fuel
+         ~finish:(fun (m : Memprof.t) ->
+           ( name,
+             Printf.sprintf "%d locations, %s tracked events"
+               (Array.length m.locations)
+               (Table.count m.tracked_events),
+             m.dynamic_instructions, Memprof.Profiler.stats m ))
+         w input)
+  | "procs" ->
+    let config = { Procprof.default_config with arities = w.warities } in
+    ok
+      (Driver.job (module Procprof.Profiler) ~config ?fuel
+         ~finish:(fun (p : Procprof.t) ->
+           ( name,
+             Printf.sprintf "%d procedures, %s calls" (Array.length p.procs)
+               (Table.count p.total_calls),
+             p.dynamic_instructions, Procprof.Profiler.stats p ))
+         w input)
+  | "registers" ->
+    ok
+      (Driver.job (module Regprof.Profiler) ?fuel
+         ~finish:(fun (r : Regprof.t) ->
+           ( name,
+             Printf.sprintf "%d registers written, %s writes"
+               (Array.length r.regs)
+               (Table.count r.total_writes),
+             r.dynamic_instructions, Regprof.Profiler.stats r ))
+         w input)
+  | "contexts" ->
+    let config = { Ctxprof.default_config with arities = w.warities } in
+    ok
+      (Driver.job (module Ctxprof.Profiler) ~config ?fuel
+         ~finish:(fun (c : Ctxprof.t) ->
+           ( name,
+             Printf.sprintf "%d contexts, %s untracked calls"
+               (Array.length c.contexts)
+               (Table.count c.untracked_calls),
+             c.dynamic_instructions, Ctxprof.Profiler.stats c ))
+         w input)
+  | "phases" ->
+    ok
+      (Driver.job (module Phaseprof.Profiler) ?fuel
+         ~finish:(fun (p : Phaseprof.t) ->
+           ( name,
+             Printf.sprintf "%d points, mean drift %.2f%%"
+               (Array.length p.points)
+               (100. *. Phaseprof.mean_drift p),
+             p.dynamic_instructions, Phaseprof.Profiler.stats p ))
+         w input)
+  | "trivial" ->
+    ok
+      (Driver.job (module Trivprof.Profiler) ?fuel
+         ~finish:(fun (t : Trivprof.t) ->
+           ( name,
+             Printf.sprintf "%s ALU events, %.2f%% trivial"
+               (Table.count t.alu_events)
+               (100. *. Trivprof.trivial_fraction t),
+             t.dynamic_instructions, Trivprof.Profiler.stats t ))
+         w input)
+  | "speculate" ->
+    ok
+      (Driver.job (module Specul.Profiler) ?fuel
+         ~finish:(fun (s : Specul.t) ->
+           ( name,
+             Printf.sprintf "%d loads, %s conflicts in %s executions"
+               (Array.length s.loads)
+               (Table.count s.total_conflicts)
+               (Table.count s.total_executions),
+             s.dynamic_instructions, Specul.Profiler.stats s ))
+         w input)
+  | other -> Error other
+
+let fused_cmd =
+  let profilers_arg =
+    Arg.(
+      value
+      & opt string "profile,memory,procs"
+      & info [ "profilers" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated profilers to fuse onto one machine \
+             execution: profile, sample, memory, procs, registers, \
+             contexts, phases, trivial, speculate.")
+  in
+  let run (w : Workload.t) input profilers fuel jobs stats =
+    let names =
+      String.split_on_char ',' profilers
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+    in
+    if names = [] then `Error (true, "--profilers: empty list")
+    else
+      match
+        List.fold_left
+          (fun acc name ->
+            match (acc, fused_job w input fuel name) with
+            | Error e, _ -> Error e
+            | Ok js, Ok j -> Ok (j :: js)
+            | Ok _, Error other -> Error other)
+          (Ok []) names
+      with
+      | Error other ->
+        `Error (true, Printf.sprintf "--profilers: unknown profiler %S" other)
+      | Ok rev_jobs ->
+        let js = List.rev rev_jobs in
+        Printf.printf "schedule: %s\n" (String.concat "; " (Driver.plan js));
+        let results = Driver.run_jobs ~jobs:(effective_jobs jobs) js in
+        (match results with
+         | (_, _, dyn, _) :: _ ->
+           Printf.printf
+             "%s (%s): %d profilers, one machine execution, %s machine steps\n"
+             w.wname
+             (Workload.string_of_input input)
+             (List.length results) (Table.count dyn)
+         | [] -> ());
+        List.iter
+          (fun (name, line, _, c) ->
+            Printf.printf "  %-10s %s\n" name line;
+            print_stats stats name c)
+          results;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "fused"
+       ~doc:
+         "Run several profilers over ONE machine execution. Jobs sharing \
+          a (workload, input, fuel) key coalesce in the driver, so the \
+          workload executes once however many profilers observe it; each \
+          profiler's result is identical to its solo run.")
+    Term.(
+      ret
+        (const run $ workload_arg $ input_arg $ profilers_arg $ fuel_arg
+        $ jobs_arg $ stats_arg))
+
 let experiment_cmd =
   let id_arg =
     Arg.(
@@ -829,8 +993,8 @@ let () =
     Cmd.group info
       [ list_cmd; run_cmd; disasm_cmd; emit_cmd; profile_cmd; memory_cmd;
         procs_cmd; registers_cmd; contexts_cmd; phases_cmd; trivial_cmd;
-        speculate_cmd; sample_cmd; specialize_cmd; memoize_cmd; diff_cmd;
-        experiment_cmd; experiments_cmd ]
+        speculate_cmd; sample_cmd; fused_cmd; specialize_cmd; memoize_cmd;
+        diff_cmd; experiment_cmd; experiments_cmd ]
   in
   (* Exit-code contract: 0 success; 1 runtime failure (a machine trap, an
      injected fault, a failed experiment); 2 usage error (bad flags,

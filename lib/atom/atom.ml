@@ -21,17 +21,17 @@ let dynamic_events machine pcs =
   List.fold_left (fun acc pc -> acc + Machine.exec_count machine pc) 0 pcs
 
 let instrument machine pcs make_hook =
-  List.iter (fun pc -> Machine.set_hook machine pc (make_hook pc)) pcs;
+  List.iter (fun pc -> Machine.add_hook machine pc (make_hook pc)) pcs;
   List.length pcs
 
 let instrument_proc_entries machine (prog : Asm.program) f =
   Array.iter
-    (fun (p : Asm.proc) -> Machine.set_proc_entry_hook machine p.pindex (f p))
+    (fun (p : Asm.proc) -> Machine.add_proc_entry_hook machine p.pindex (f p))
     prog.procs
 
 let instrument_proc_returns machine (prog : Asm.program) f =
   Array.iter
-    (fun (p : Asm.proc) -> Machine.set_proc_return_hook machine p.pindex (f p))
+    (fun (p : Asm.proc) -> Machine.add_proc_return_hook machine p.pindex (f p))
     prog.procs
 
 let category_census (prog : Asm.program) =

@@ -21,7 +21,8 @@ val select : Asm.program -> selection -> int list
 val dynamic_events : Machine.t -> int list -> int
 
 (** [instrument machine pcs make_hook] attaches [make_hook pc] at each
-    selected pc. Returns the number of instrumentation points. *)
+    selected pc. Attachment is additive — observers already subscribed at
+    a pc keep firing. Returns the number of instrumentation points. *)
 val instrument : Machine.t -> int list -> (int -> Machine.hook) -> int
 
 (** [instrument_proc_entries machine prog f] attaches [f proc] as the entry

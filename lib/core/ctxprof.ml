@@ -18,6 +18,7 @@ type t = {
   contexts : context_report array;
   untracked_calls : int;
   dynamic_instructions : int;
+  stats : Counters.t;
 }
 
 type cstate = {
@@ -31,13 +32,17 @@ type live = {
   table : (int * int, cstate) Hashtbl.t; (* (proc index, site) *)
   config : config;
   mutable untracked : int;
+  started : float;
 }
 
 let arg_regs = [| Isa.a0; Isa.a1; Isa.a2; Isa.a3; Isa.a4; Isa.a5 |]
 
 let attach ?(config = default_config) machine =
   let prog = Machine.program machine in
-  let live = { machine; table = Hashtbl.create 256; config; untracked = 0 } in
+  let live =
+    { machine; table = Hashtbl.create 256; config; untracked = 0;
+      started = Counters.now () }
+  in
   Atom.instrument_proc_entries machine prog (fun p m ->
       match List.assoc_opt p.pname config.arities with
       | None | Some 0 -> ()
@@ -86,15 +91,53 @@ let collect live =
     |> Array.of_list
   in
   Array.sort (fun a b -> compare b.c_calls a.c_calls) contexts;
+  let stats = Counters.create () in
+  let tracked_calls =
+    Array.fold_left (fun acc c -> acc + c.c_calls) 0 contexts
+  in
+  stats.Counters.events_seen <- tracked_calls + live.untracked;
+  stats.Counters.events_profiled <-
+    Array.fold_left
+      (fun acc c ->
+        Array.fold_left (fun acc m -> acc + m.Metrics.total) acc c.c_params)
+      0 contexts;
+  Hashtbl.iter
+    (fun _ st ->
+      Array.iter
+        (fun vs ->
+          stats.Counters.tnv_clears <-
+            stats.Counters.tnv_clears + Vstate.tnv_clears vs;
+          stats.Counters.tnv_replacements <-
+            stats.Counters.tnv_replacements + Vstate.tnv_replacements vs)
+        st.params)
+    live.table;
+  stats.Counters.wall_seconds <- Counters.now () -. live.started;
   { contexts;
     untracked_calls = live.untracked;
-    dynamic_instructions = Machine.icount live.machine }
+    dynamic_instructions = Machine.icount live.machine;
+    stats }
 
 let run ?config ?fuel prog =
   let machine = Machine.create prog in
   let live = attach ?config machine in
   ignore (Machine.run ?fuel machine);
   collect live
+
+module Profiler = struct
+  let name = "contexts"
+
+  type nonrec config = config
+
+  let default_config = default_config
+
+  type result = t
+  type nonrec live = live
+
+  let attach = attach
+  let collect = collect
+  let run ?config ?fuel prog = run ?config ?fuel prog
+  let stats (r : result) = r.stats
+end
 
 let weighted_param_invariance t =
   let metrics =

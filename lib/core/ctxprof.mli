@@ -26,6 +26,7 @@ type t = {
   contexts : context_report array;  (** descending by call count *)
   untracked_calls : int;
   dynamic_instructions : int;
+  stats : Counters.t;  (** run cost counters *)
 }
 
 type live
@@ -35,6 +36,9 @@ val attach : ?config:config -> Machine.t -> live
 val collect : live -> t
 
 val run : ?config:config -> ?fuel:int -> Asm.program -> t
+
+module Profiler :
+  Profiler_intf.S with type result = t and type config = config
 
 (** Call-weighted mean parameter Inv-Top across all contexts of all
     procedures with declared arguments. *)

@@ -1,0 +1,72 @@
+type 'a item =
+  | Item : {
+      profiler :
+        (module Profiler_intf.S with type result = 'r and type config = 'c);
+      config : 'c option;
+      finish : 'r -> 'a;
+    }
+      -> 'a item
+
+let item ?config ~finish profiler = Item { profiler; config; finish }
+
+let item_name (Item { profiler = (module P); _ }) = P.name
+
+type 'a live = {
+  machine : Machine.t;
+  cells : (unit -> 'a * Counters.t) list;
+  started : float;
+}
+
+type 'a t = {
+  results : 'a list;
+  counters : Counters.t list;
+  machine_steps : int;
+  wall_seconds : float;
+}
+
+let attach machine items =
+  let started = Counters.now () in
+  let cells =
+    List.map
+      (fun (Item { profiler = (module P); config; finish }) ->
+        let live = P.attach ?config machine in
+        fun () ->
+          let r = P.collect live in
+          (finish r, P.stats r))
+      items
+  in
+  { machine; cells; started }
+
+let collect live =
+  let pairs = List.map (fun cell -> cell ()) live.cells in
+  let wall = Counters.now () -. live.started in
+  (* every member saw the same single execution, so the shared wall clock
+     replaces whatever each profiler measured for itself — reporting the
+     full wall per member would count the run K times *)
+  let counters =
+    List.map (fun (_, c) -> { c with Counters.wall_seconds = wall }) pairs
+  in
+  { results = List.map fst pairs;
+    counters;
+    machine_steps = Machine.icount live.machine;
+    wall_seconds = wall }
+
+let run ?fuel prog items =
+  let machine = Machine.create prog in
+  let live = attach machine items in
+  ignore (Machine.run ?fuel machine);
+  collect live
+
+let total t =
+  let agg = Counters.create () in
+  List.iter
+    (fun (c : Counters.t) ->
+      agg.Counters.events_seen <- agg.Counters.events_seen + c.Counters.events_seen;
+      agg.Counters.events_profiled <-
+        agg.Counters.events_profiled + c.Counters.events_profiled;
+      agg.Counters.tnv_clears <- agg.Counters.tnv_clears + c.Counters.tnv_clears;
+      agg.Counters.tnv_replacements <-
+        agg.Counters.tnv_replacements + c.Counters.tnv_replacements)
+    t.counters;
+  agg.Counters.wall_seconds <- t.wall_seconds;
+  agg

@@ -1,0 +1,49 @@
+(** Fusing profilers: K profilers, one machine execution.
+
+    Because machine instrumentation is additive (see {!Machine.add_hook}),
+    any number of profilers can attach to the same machine and each sees
+    every event it would have seen solo. This module packages that as a
+    combinator over {!Profiler_intf.S}: a heterogeneous list of packed
+    profilers becomes one attach, one run, and per-profiler results —
+    the workload executes once instead of K times.
+
+    Cost attribution: each member's {!Counters.t} keeps its own event and
+    TNV counts (what {e that} profiler saw and recorded), while the wall
+    clock is measured once around the shared run and stamped identically
+    on every member — summing member walls would count the single
+    execution K times. *)
+
+(** One member of a fused run: a profiler, an optional config, and the
+    [finish] continuation mapping its typed result to the caller's
+    element type (same device as {!Driver.job}). *)
+type 'a item
+
+val item :
+  ?config:'c ->
+  finish:('r -> 'a) ->
+  (module Profiler_intf.S with type result = 'r and type config = 'c) ->
+  'a item
+
+(** The member profiler's [name]. *)
+val item_name : 'a item -> string
+
+type 'a live
+
+type 'a t = {
+  results : 'a list;  (** per member, in item order *)
+  counters : Counters.t list;  (** per member, in item order *)
+  machine_steps : int;  (** dynamic instructions of the ONE execution *)
+  wall_seconds : float;  (** the shared attach-to-collect wall clock *)
+}
+
+(** Attach every member to the machine (in list order; observers at a
+    shared pc fire in that order). *)
+val attach : Machine.t -> 'a item list -> 'a live
+
+val collect : 'a live -> 'a t
+
+(** Build one machine, attach all members, run once, collect all. *)
+val run : ?fuel:int -> Asm.program -> 'a item list -> 'a t
+
+(** Aggregate counters: member counts summed, wall taken once. *)
+val total : 'a t -> Counters.t

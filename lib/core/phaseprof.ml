@@ -19,6 +19,7 @@ type point = {
 type t = {
   points : point array;
   dynamic_instructions : int;
+  stats : Counters.t;
 }
 
 type state = {
@@ -34,6 +35,7 @@ type state = {
 type live = {
   machine : Machine.t;
   states : state list;
+  started : float;
 }
 
 let close_window st =
@@ -69,9 +71,9 @@ let attach ?(config = default_config) machine selection =
              cfg = config })
   in
   List.iter
-    (fun st -> Machine.set_hook machine st.pc (fun value _addr -> observe st value))
+    (fun st -> Machine.add_hook machine st.pc (fun value _addr -> observe st value))
     states;
-  { machine; states }
+  { machine; states; started = Counters.now () }
 
 let collect live =
   let prog = Machine.program live.machine in
@@ -101,7 +103,19 @@ let collect live =
              ph_drift = drift })
     |> Array.of_list
   in
-  { points; dynamic_instructions = Machine.icount live.machine }
+  let stats = Counters.create () in
+  let profiled = Array.fold_left (fun acc p -> acc + p.ph_total) 0 points in
+  stats.Counters.events_seen <- profiled;
+  stats.Counters.events_profiled <- profiled;
+  List.iter
+    (fun st ->
+      stats.Counters.tnv_clears <-
+        stats.Counters.tnv_clears + Vstate.tnv_clears st.overall;
+      stats.Counters.tnv_replacements <-
+        stats.Counters.tnv_replacements + Vstate.tnv_replacements st.overall)
+    live.states;
+  stats.Counters.wall_seconds <- Counters.now () -. live.started;
+  { points; dynamic_instructions = Machine.icount live.machine; stats }
 
 let run ?config ?(selection = `All) ?fuel prog =
   let machine = Machine.create prog in
@@ -118,3 +132,25 @@ let mean_drift t =
       den := !den +. w)
     t.points;
   if !den = 0. then 0. else !num /. !den
+
+module Profiler = struct
+  let name = "phases"
+
+  type nonrec config = { phase : config; selection : Atom.selection }
+
+  (* the CLI profiles loads by default; the adapter matches it *)
+  let default_config = { phase = default_config; selection = `Loads }
+
+  type result = t
+  type nonrec live = live
+
+  let attach ?(config = default_config) machine =
+    attach ~config:config.phase machine config.selection
+
+  let collect = collect
+
+  let run ?(config = default_config) ?fuel prog =
+    run ~config:config.phase ~selection:config.selection ?fuel prog
+
+  let stats (r : result) = r.stats
+end

@@ -29,6 +29,7 @@ type point = {
 type t = {
   points : point array;  (** ascending pc *)
   dynamic_instructions : int;
+  stats : Counters.t;  (** run cost counters *)
 }
 
 type live
@@ -43,3 +44,9 @@ val run :
 (** Execution-weighted mean drift — one number for "how phased is this
     program". *)
 val mean_drift : t -> float
+
+module Profiler : sig
+  type nonrec config = { phase : config; selection : Atom.selection }
+
+  include Profiler_intf.S with type result = t and type config := config
+end

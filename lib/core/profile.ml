@@ -25,7 +25,7 @@ let attach ?config machine selection =
   let states = List.map (fun pc -> (pc, Vstate.create ?config ())) pcs in
   List.iter
     (fun (pc, vs) ->
-      Machine.set_hook machine pc (fun value _addr -> Vstate.observe vs value))
+      Machine.add_hook machine pc (fun value _addr -> Vstate.observe vs value))
     states;
   { machine; states; started = Counters.now () }
 

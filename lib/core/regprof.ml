@@ -12,11 +12,13 @@ type t = {
   regs : reg_report array;
   total_writes : int;
   dynamic_instructions : int;
+  stats : Counters.t;
 }
 
 type live = {
   machine : Machine.t;
   states : Vstate.t array; (* indexed by register number *)
+  started : float;
 }
 
 let attach ?(config = default_config) machine =
@@ -31,9 +33,9 @@ let attach ?(config = default_config) machine =
       | None -> ()
       | Some rd ->
         let vs = states.(rd) in
-        Machine.set_hook machine pc (fun value _addr -> Vstate.observe vs value))
+        Machine.add_hook machine pc (fun value _addr -> Vstate.observe vs value))
     pcs;
-  { machine; states }
+  { machine; states; started = Counters.now () }
 
 let collect live =
   let regs =
@@ -44,9 +46,21 @@ let collect live =
     |> Array.of_list
   in
   Array.sort (fun a b -> compare b.g_writes a.g_writes) regs;
+  let total_writes = Array.fold_left (fun acc g -> acc + g.g_writes) 0 regs in
+  let stats = Counters.create () in
+  stats.Counters.events_seen <- total_writes;
+  stats.Counters.events_profiled <- total_writes;
+  Array.iter
+    (fun vs ->
+      stats.Counters.tnv_clears <- stats.Counters.tnv_clears + Vstate.tnv_clears vs;
+      stats.Counters.tnv_replacements <-
+        stats.Counters.tnv_replacements + Vstate.tnv_replacements vs)
+    live.states;
+  stats.Counters.wall_seconds <- Counters.now () -. live.started;
   { regs;
-    total_writes = Array.fold_left (fun acc g -> acc + g.g_writes) 0 regs;
-    dynamic_instructions = Machine.icount live.machine }
+    total_writes;
+    dynamic_instructions = Machine.icount live.machine;
+    stats }
 
 let run ?config ?fuel prog =
   let machine = Machine.create prog in
@@ -57,3 +71,19 @@ let run ?config ?fuel prog =
 let mean_metric t field =
   Metrics.weighted_mean field
     (Array.to_list t.regs |> List.map (fun g -> g.g_metrics))
+
+module Profiler = struct
+  let name = "registers"
+
+  type nonrec config = config
+
+  let default_config = default_config
+
+  type result = t
+  type nonrec live = live
+
+  let attach = attach
+  let collect = collect
+  let run ?config ?fuel prog = run ?config ?fuel prog
+  let stats (r : result) = r.stats
+end

@@ -20,6 +20,7 @@ type t = {
   regs : reg_report array;  (** descending by write count; only written registers *)
   total_writes : int;
   dynamic_instructions : int;
+  stats : Counters.t;  (** run cost counters *)
 }
 
 type live
@@ -32,3 +33,6 @@ val run : ?config:config -> ?fuel:int -> Asm.program -> t
 
 (** Execution-weighted mean of a metric over all registers. *)
 val mean_metric : t -> (Metrics.t -> float) -> float
+
+module Profiler :
+  Profiler_intf.S with type result = t and type config = config

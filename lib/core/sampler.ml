@@ -121,7 +121,7 @@ let attach ?(config = default_config) ?vconfig machine selection =
   let states = List.map (fun pc -> (pc, make_state config vconfig)) pcs in
   List.iter
     (fun (pc, st) ->
-      Machine.set_hook machine pc (fun value _addr -> observe st value))
+      Machine.add_hook machine pc (fun value _addr -> observe st value))
     states;
   { machine; states; started = Counters.now () }
 

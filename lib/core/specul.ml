@@ -10,6 +10,7 @@ type t = {
   total_executions : int;
   total_conflicts : int;
   dynamic_instructions : int;
+  stats : Counters.t;
 }
 
 type load_state = {
@@ -30,6 +31,8 @@ type live = {
   content : (int64, int64) Hashtbl.t;
   mutable clock : int;
   states : load_state list;
+  mutable store_events : int;
+  started : float;
 }
 
 let attach ?(max_tracked = 1 lsl 16) machine =
@@ -42,14 +45,16 @@ let attach ?(max_tracked = 1 lsl 16) machine =
   in
   let live =
     { machine; max_tracked; mod_seq = Hashtbl.create 4096;
-      content = Hashtbl.create 4096; clock = 0; states }
+      content = Hashtbl.create 4096; clock = 0; states;
+      store_events = 0; started = Counters.now () }
   in
   (* a store bumps its address's sequence only when it changes content —
      silent stores would pass the value check *)
   let store_pcs = Atom.select prog `Stores in
   List.iter
     (fun pc ->
-      Machine.set_hook machine pc (fun value addr ->
+      Machine.add_hook machine pc (fun value addr ->
+          live.store_events <- live.store_events + 1;
           let changed =
             match Hashtbl.find_opt live.content addr with
             | Some old -> not (Int64.equal old value)
@@ -66,7 +71,7 @@ let attach ?(max_tracked = 1 lsl 16) machine =
     store_pcs;
   List.iter
     (fun st ->
-      Machine.set_hook machine st.pc (fun value addr ->
+      Machine.add_hook machine st.pc (fun value addr ->
           Hashtbl.replace live.content addr value;
           st.executions <- st.executions + 1;
           let last_mod =
@@ -102,17 +107,45 @@ let collect live =
     |> Array.of_list
   in
   Array.sort (fun a b -> compare b.sl_executions a.sl_executions) loads;
+  let total_executions =
+    Array.fold_left (fun acc l -> acc + l.sl_executions) 0 loads
+  in
+  let stats = Counters.create () in
+  stats.Counters.events_seen <- total_executions + live.store_events;
+  stats.Counters.events_profiled <- total_executions;
+  stats.Counters.wall_seconds <- Counters.now () -. live.started;
   { loads;
-    total_executions =
-      Array.fold_left (fun acc l -> acc + l.sl_executions) 0 loads;
+    total_executions;
     total_conflicts = Array.fold_left (fun acc l -> acc + l.sl_conflicts) 0 loads;
-    dynamic_instructions = Machine.icount live.machine }
+    dynamic_instructions = Machine.icount live.machine;
+    stats }
 
 let run ?max_tracked ?fuel prog =
   let machine = Machine.create prog in
   let live = attach ?max_tracked machine in
   ignore (Machine.run ?fuel machine);
   collect live
+
+module Profiler = struct
+  let name = "speculate"
+
+  type config = { max_tracked : int }
+
+  let default_config = { max_tracked = 1 lsl 16 }
+
+  type result = t
+  type nonrec live = live
+
+  let attach ?(config = default_config) machine =
+    attach ~max_tracked:config.max_tracked machine
+
+  let collect = collect
+
+  let run ?(config = default_config) ?fuel prog =
+    run ~max_tracked:config.max_tracked ?fuel prog
+
+  let stats (r : result) = r.stats
+end
 
 let conflict_rate t ~select =
   let execs = ref 0 and conflicts = ref 0 in

@@ -24,6 +24,7 @@ type t = {
   total_executions : int;
   total_conflicts : int;
   dynamic_instructions : int;
+  stats : Counters.t;  (** run cost counters *)
 }
 
 type live
@@ -40,3 +41,9 @@ val run : ?max_tracked:int -> ?fuel:int -> Asm.program -> t
 (** Overall conflict rate of the load subset accepted by [select]
     (e.g. loads whose profiled Inv-Top clears a threshold). *)
 val conflict_rate : t -> select:(load_report -> bool) -> float
+
+module Profiler : sig
+  type config = { max_tracked : int }
+
+  include Profiler_intf.S with type result = t and type config := config
+end

@@ -5,6 +5,7 @@ type t = {
   trivial_dyn : int;
   by_kind : (string * int) list;
   dynamic_instructions : int;
+  stats : Counters.t;
 }
 
 let trivial_fraction t =
@@ -18,6 +19,7 @@ type live = {
   mutable trivial_imm : int;
   mutable trivial_dyn : int;
   kinds : (string, int ref) Hashtbl.t;
+  started : float;
 }
 
 (* The kind of triviality, if any, for [a op b]. *)
@@ -58,7 +60,7 @@ let record live kind imm =
 let attach machine =
   let live =
     { machine; alu_events = 0; measured = 0; trivial_imm = 0; trivial_dyn = 0;
-      kinds = Hashtbl.create 8 }
+      kinds = Hashtbl.create 8; started = Counters.now () }
   in
   let prog = Machine.program machine in
   Array.iteri
@@ -70,7 +72,7 @@ let attach machine =
           && (match operand with Isa.Reg rb -> rc <> rb | Isa.Imm _ -> true)
         in
         if sources_survive then
-          Machine.set_hook machine pc (fun _value _addr ->
+          Machine.add_hook machine pc (fun _value _addr ->
               live.alu_events <- live.alu_events + 1;
               live.measured <- live.measured + 1;
               let a = Machine.reg machine ra in
@@ -83,7 +85,7 @@ let attach machine =
               | Some kind -> record live kind imm
               | None -> ())
         else
-          Machine.set_hook machine pc (fun _value _addr ->
+          Machine.add_hook machine pc (fun _value _addr ->
               live.alu_events <- live.alu_events + 1)
       | _ -> ())
     prog.Asm.code;
@@ -94,15 +96,36 @@ let collect live =
     Hashtbl.fold (fun k r acc -> (k, !r) :: acc) live.kinds []
     |> List.sort (fun (_, a) (_, b) -> compare b a)
   in
+  let stats = Counters.create () in
+  stats.Counters.events_seen <- live.alu_events;
+  stats.Counters.events_profiled <- live.measured;
+  stats.Counters.wall_seconds <- Counters.now () -. live.started;
   { alu_events = live.alu_events;
     measured = live.measured;
     trivial_imm = live.trivial_imm;
     trivial_dyn = live.trivial_dyn;
     by_kind;
-    dynamic_instructions = Machine.icount live.machine }
+    dynamic_instructions = Machine.icount live.machine;
+    stats }
 
 let run ?fuel prog =
   let machine = Machine.create prog in
   let live = attach machine in
   ignore (Machine.run ?fuel machine);
   collect live
+
+module Profiler = struct
+  let name = "trivial"
+
+  type config = unit
+
+  let default_config = ()
+
+  type result = t
+  type nonrec live = live
+
+  let attach ?config:_ machine = attach machine
+  let collect = collect
+  let run ?config:_ ?fuel prog = run ?fuel prog
+  let stats (r : result) = r.stats
+end

@@ -18,6 +18,7 @@ type t = {
   trivial_dyn : int;  (** trivial thanks to a run-time register value *)
   by_kind : (string * int) list;  (** e.g. [("mul by 0/1", …)] — descending *)
   dynamic_instructions : int;
+  stats : Counters.t;  (** run cost counters *)
 }
 
 (** Fraction of measured events that were trivial (either kind). *)
@@ -30,3 +31,6 @@ val attach : Machine.t -> live
 val collect : live -> t
 
 val run : ?fuel:int -> Asm.program -> t
+
+module Profiler :
+  Profiler_intf.S with type result = t and type config = unit

@@ -28,7 +28,102 @@ let run_job_with_fuel ~fuel:override
   let prog = workload.Workload.wbuild input in
   finish (P.run ?config ?fuel prog)
 
-let run_jobs ?jobs js = Pool.map ?jobs run_job js
+(* A schedulable unit: one machine execution serving one or more jobs.
+   Members keep their submission index so results scatter back into
+   submission order whatever the grouping did. *)
+type 'a funit = {
+  u_workload : Workload.t;
+  u_input : Workload.input;
+  u_fuel : int option;
+  u_members : (int * 'a job) list; (* ascending submission index *)
+}
+
+let solo js =
+  List.mapi
+    (fun i (Job { workload; input; fuel; _ } as j) ->
+      { u_workload = workload; u_input = input; u_fuel = fuel;
+        u_members = [ (i, j) ] })
+    js
+
+(* Group jobs sharing a (workload, input, fuel) key, preserving the
+   submission order of first occurrences (and of members within a unit),
+   so a fused schedule is a deterministic function of the job list. *)
+let fuse js =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iteri
+    (fun i (Job { workload; input; fuel; _ } as j) ->
+      let key = (workload.Workload.wname, input, fuel) in
+      match Hashtbl.find_opt tbl key with
+      | Some cell -> cell := (i, j) :: !cell
+      | None ->
+        let cell = ref [ (i, j) ] in
+        Hashtbl.add tbl key cell;
+        order := cell :: !order)
+    js;
+  List.rev_map
+    (fun cell ->
+      match List.rev !cell with
+      | [] -> assert false
+      | (_, Job { workload; input; fuel; _ }) :: _ as members ->
+        { u_workload = workload; u_input = input; u_fuel = fuel;
+          u_members = members })
+    !order
+
+let unit_members u = u.u_members
+
+let unit_name u =
+  match u.u_members with
+  | [ (_, j) ] -> job_name j
+  | members ->
+    Printf.sprintf "fused[%s]:%s:%s"
+      (String.concat "+"
+         (List.map
+            (fun (_, Job { profiler = (module P); _ }) -> P.name)
+            members))
+      u.u_workload.Workload.wname
+      (Workload.string_of_input u.u_input)
+
+let unit_fuel u = u.u_fuel
+
+let run_unit_with_fuel ~fuel:override u =
+  let fuel = match override with Some _ -> override | None -> u.u_fuel in
+  let prog = u.u_workload.Workload.wbuild u.u_input in
+  match u.u_members with
+  | [ (i, Job { profiler = (module P); config; finish; _ }) ] ->
+    (* solo units take the profiler's own entry point, exactly the
+       pre-fusion code path *)
+    [ (i, finish (P.run ?config ?fuel prog)) ]
+  | members ->
+    let items =
+      List.map
+        (fun (_, Job { profiler; config; finish; _ }) ->
+          Fused.item ?config ~finish profiler)
+        members
+    in
+    let f = Fused.run ?fuel prog items in
+    List.map2 (fun (i, _) r -> (i, r)) members f.Fused.results
+
+let run_unit u = run_unit_with_fuel ~fuel:None u
+
+let fuse_units = fuse
+
+let units ~fuse js = if fuse then fuse_units js else solo js
+
+let scatter n per_unit =
+  let slots = Array.make n None in
+  List.iter (List.iter (fun (i, v) -> slots.(i) <- Some v)) per_unit;
+  Array.to_list slots
+  |> List.map (function Some v -> v | None -> assert false)
+
+let run_jobs ?jobs ?(fuse = true) js =
+  match js with
+  | [] -> []
+  | _ ->
+    Pool.map ?jobs run_unit (units ~fuse js)
+    |> scatter (List.length js)
+
+let plan ?(fuse = true) js = List.map unit_name (units ~fuse js)
 
 let default_jobs = Pool.default_jobs
 

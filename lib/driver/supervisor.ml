@@ -119,13 +119,39 @@ let map ?policy ?jobs ~name f items =
   supervise ?policy ?jobs
     (List.map (fun x -> (name x, None, fun ~fuel:_ -> f x)) items)
 
-let run_jobs ?policy ?jobs djobs =
-  supervise ?policy ?jobs
-    (List.map
-       (fun j ->
-         (Driver.job_name j, Driver.job_fuel j,
-          fun ~fuel -> Driver.run_job_with_fuel ~fuel j))
-       djobs)
+let run_jobs ?policy ?jobs ?(fuse = true) djobs =
+  (* supervision works on fused units: one unit = one machine execution =
+     one retry/classification scope, however many jobs it serves. Unit
+     outcomes are then expanded back to per-job outcomes in submission
+     order — a unit's failure (or attempt count) is every member's. *)
+  let units = if fuse then Driver.fuse djobs else Driver.solo djobs in
+  let unit_report =
+    supervise ?policy ?jobs
+      (List.map
+         (fun u ->
+           ( Driver.unit_name u, Driver.unit_fuel u,
+             fun ~fuel -> Driver.run_unit_with_fuel ~fuel u ))
+         units)
+  in
+  let n = List.length djobs in
+  let slots = Array.make n None in
+  List.iter2
+    (fun u o ->
+      List.iter
+        (fun (i, j) ->
+          let o_result =
+            match o.o_result with
+            | Ok pairs -> Ok (List.assoc i pairs)
+            | Error e -> Error e
+          in
+          slots.(i) <-
+            Some { o_name = Driver.job_name j; o_attempts = o.o_attempts;
+                   o_result })
+        (Driver.unit_members u))
+    units unit_report.outcomes;
+  report_of
+    (Array.to_list slots
+    |> List.map (function Some o -> o | None -> assert false))
 
 let run_strings ?policy ?jobs ?checkpoint named =
   match checkpoint with

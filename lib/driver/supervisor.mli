@@ -80,10 +80,16 @@ val map :
   'a list ->
   'b report
 
-(** Supervised {!Driver.run_jobs}: each {!Driver.job} runs under the
-    policy, retries widening the fuel budget (the job's own fuel, else
-    [policy.fuel_timeout], doubles on every attempt). *)
-val run_jobs : ?policy:policy -> ?jobs:int -> 'a Driver.job list -> 'a report
+(** Supervised {!Driver.run_jobs}: jobs coalesce into fused units (one
+    machine execution per [(workload, input, fuel)] key; [~fuse:false]
+    disables), and each {e unit} runs under the policy — one
+    classification and one retry scope per unit per attempt, a retry
+    re-running the whole unit. Retries widen the fuel budget (the unit's
+    own fuel, else [policy.fuel_timeout], doubles on every attempt). The
+    report still carries one outcome per {e job}, in submission order: a
+    fused unit's error and attempt count are replicated to each member. *)
+val run_jobs :
+  ?policy:policy -> ?jobs:int -> ?fuse:bool -> 'a Driver.job list -> 'a report
 
 (** Supervised map over string-payload jobs with optional
     checkpoint/resume: a job already committed in [checkpoint] is not run

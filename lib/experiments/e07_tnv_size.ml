@@ -26,7 +26,7 @@ let measure (w : Workload.t) =
   in
   List.iter
     (fun (pc, st) ->
-      Machine.set_hook machine pc (fun value _addr ->
+      Machine.add_hook machine pc (fun value _addr ->
           Oracle.observe st.oracle value;
           List.iter (fun (_, tnv) -> Tnv.add tnv value) st.tnvs))
     states;

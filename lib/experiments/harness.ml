@@ -1,35 +1,48 @@
 let workloads = Workloads.all
 
-(* Domain-safe once-per-key caches: when the parallel driver runs several
-   experiments at once, the first to need a profile computes it and the
-   rest block on the latch instead of duplicating the run. *)
+(* Domain-safe once-per-key cache: when the parallel driver runs several
+   experiments at once, the first to need a workload's data computes it
+   and the rest block on the latch instead of duplicating the run.
 
-let profile_cache : (string * Workload.input, Profile.t) Memo_cache.t =
+   One entry serves all three consumers — the plain machine state, the
+   full value profile, and the procedure profile — from a SINGLE machine
+   execution: instrumentation is additive, so the full profiler and the
+   procedure profiler attach to the same machine, and hooks never perturb
+   architectural state (registers, memory, icount, exec counts), so the
+   machine doubles as the "plain run". Before fusion the suite executed
+   every workload/input up to three times. *)
+
+type entry = {
+  e_machine : Machine.t;
+  e_profile : Profile.t;
+  e_procprof : Procprof.t;
+}
+
+let cache : (string * Workload.input, entry) Memo_cache.t =
   Memo_cache.create ~size:32 ()
 
-let run_cache : (string * Workload.input, Machine.t) Memo_cache.t =
-  Memo_cache.create ~size:32 ()
-
-let procprof_cache : (string * Workload.input, Procprof.t) Memo_cache.t =
-  Memo_cache.create ~size:32 ()
-
-let full_profile (w : Workload.t) input =
-  Memo_cache.find_or_compute profile_cache (w.wname, input) (fun () ->
-      Profile.run ~selection:`All (w.wbuild input))
-
-let plain_run (w : Workload.t) input =
-  Memo_cache.find_or_compute run_cache (w.wname, input) (fun () ->
-      Machine.execute (w.wbuild input))
-
-let proc_profile (w : Workload.t) input =
-  Memo_cache.find_or_compute procprof_cache (w.wname, input) (fun () ->
+let entry (w : Workload.t) input =
+  Memo_cache.find_or_compute cache (w.wname, input) (fun () ->
+      let machine = Machine.create (w.wbuild input) in
+      let profile_live = Profile.attach machine `All in
       let config = { Procprof.default_config with arities = w.warities } in
-      Procprof.run ~config (w.wbuild input))
+      let proc_live = Procprof.attach ~config machine in
+      ignore (Machine.run machine);
+      { e_machine = machine;
+        e_profile = Profile.collect profile_live;
+        e_procprof = Procprof.collect proc_live })
 
-let clear_cache () =
-  Memo_cache.clear profile_cache;
-  Memo_cache.clear run_cache;
-  Memo_cache.clear procprof_cache
+let full_profile w input = (entry w input).e_profile
+
+let plain_run w input = (entry w input).e_machine
+
+let proc_profile w input = (entry w input).e_procprof
+
+(* Machine executions performed so far (tests assert fusion: one per
+   workload/input however many accessors were hit). *)
+let machine_runs () = Memo_cache.computations cache
+
+let clear_cache () = Memo_cache.clear cache
 
 let load_points p = Profile.points_by_category p Isa.Load
 

@@ -1,9 +1,10 @@
 (** Shared plumbing for the experiment drivers: the workload list in table
-    order and memoized full profiles/runs (several experiments consume the
-    same profile; profiling a workload twice would double the suite's run
-    time for no reason). The memo tables are domain-safe {!Memo_cache}s,
-    so experiments scheduled in parallel by the driver still compute each
-    profile exactly once. *)
+    order and one memoized {e fused} execution per workload/input — the
+    plain machine state, the full value profile, and the procedure profile
+    all come from a single machine run (instrumentation is additive; hooks
+    never perturb architectural state). The memo table is a domain-safe
+    {!Memo_cache}, so experiments scheduled in parallel by the driver
+    still execute each workload/input exactly once. *)
 
 (** All workloads, table order. *)
 val workloads : Workload.t list
@@ -11,11 +12,17 @@ val workloads : Workload.t list
 (** Memoized full value profile (selection [`All]) of a workload/input. *)
 val full_profile : Workload.t -> Workload.input -> Profile.t
 
-(** Memoized plain (uninstrumented) run. *)
+(** Memoized machine state after a full run. The machine carries the
+    profilers' hooks but identical architectural state (registers, memory,
+    counters) to an uninstrumented run. *)
 val plain_run : Workload.t -> Workload.input -> Machine.t
 
 (** Memoized procedure profile (with the workload's declared arities). *)
 val proc_profile : Workload.t -> Workload.input -> Procprof.t
+
+(** Machine executions performed since the last [clear_cache] — at most
+    one per workload/input, however many accessors were consulted. *)
+val machine_runs : unit -> int
 
 (** Drop every memoized result (tests use this to keep fixtures
     independent). *)

@@ -30,9 +30,18 @@ type t = {
   mutable stack : frame list;
   mutable depth : int;
   proc_of : int array; (* pc -> proc index, -1 outside any proc *)
+  (* What the interpreter dispatches through: at most one closure per
+     point, so the hot path is the same single load + option test whether
+     a point has zero, one, or many observers. With several observers the
+     closure is a pre-built fan-out over a flat array (see [add_sub]). *)
   hooks : hook option array;
   entry_hooks : (t -> unit) option array;
   return_hooks : (t -> int64 -> unit) option array;
+  (* The actual subscriber lists (attach order), kept cold: only [add_*]
+     and [hook_count] read them. *)
+  hook_subs : hook list array;
+  entry_subs : (t -> unit) list array;
+  return_subs : (t -> int64 -> unit) list array;
 }
 
 let build_proc_of (prog : Asm.program) =
@@ -66,7 +75,10 @@ let create prog =
       proc_of = build_proc_of prog;
       hooks = Array.make (Array.length prog.code) None;
       entry_hooks = Array.make (Array.length prog.procs) None;
-      return_hooks = Array.make (Array.length prog.procs) None }
+      return_hooks = Array.make (Array.length prog.procs) None;
+      hook_subs = Array.make (Array.length prog.code) [];
+      entry_subs = Array.make (Array.length prog.procs) [];
+      return_subs = Array.make (Array.length prog.procs) [] }
   in
   init_regs t.regs;
   load_data t;
@@ -99,11 +111,61 @@ let caller_pc t =
   match t.stack with
   | [] -> None
   | frame :: _ -> Some (frame.return_pc - 1)
-let set_hook t pc h = t.hooks.(pc) <- Some h
-let clear_hook t pc = t.hooks.(pc) <- None
-let clear_all_hooks t = Array.fill t.hooks 0 (Array.length t.hooks) None
-let set_proc_entry_hook t i h = t.entry_hooks.(i) <- Some h
-let set_proc_return_hook t i h = t.return_hooks.(i) <- Some h
+(* Additive subscription. The first observer at a point is installed
+   directly, so a singly-instrumented point dispatches straight to the
+   profiler's closure — zero cost over the pre-fan-out machine. When a
+   second (or later) observer attaches, the dispatcher is rebuilt as a
+   loop over a flat array of the subscribers in attach order; the array
+   is built here, at attach time, so firing never allocates. *)
+
+let add_hook t pc h =
+  t.hook_subs.(pc) <- t.hook_subs.(pc) @ [ h ];
+  match t.hook_subs.(pc) with
+  | [ h ] -> t.hooks.(pc) <- Some h
+  | hs ->
+    let fs = Array.of_list hs in
+    t.hooks.(pc) <-
+      Some
+        (fun v a ->
+          for i = 0 to Array.length fs - 1 do
+            (Array.unsafe_get fs i) v a
+          done)
+
+let clear_hook t pc =
+  t.hooks.(pc) <- None;
+  t.hook_subs.(pc) <- []
+
+let clear_all_hooks t =
+  Array.fill t.hooks 0 (Array.length t.hooks) None;
+  Array.fill t.hook_subs 0 (Array.length t.hook_subs) []
+
+let hook_count t pc = List.length t.hook_subs.(pc)
+
+let add_proc_entry_hook t i h =
+  t.entry_subs.(i) <- t.entry_subs.(i) @ [ h ];
+  match t.entry_subs.(i) with
+  | [ h ] -> t.entry_hooks.(i) <- Some h
+  | hs ->
+    let fs = Array.of_list hs in
+    t.entry_hooks.(i) <-
+      Some
+        (fun m ->
+          for k = 0 to Array.length fs - 1 do
+            (Array.unsafe_get fs k) m
+          done)
+
+let add_proc_return_hook t i h =
+  t.return_subs.(i) <- t.return_subs.(i) @ [ h ];
+  match t.return_subs.(i) with
+  | [ h ] -> t.return_hooks.(i) <- Some h
+  | hs ->
+    let fs = Array.of_list hs in
+    t.return_hooks.(i) <-
+      Some
+        (fun m v ->
+          for k = 0 to Array.length fs - 1 do
+            (Array.unsafe_get fs k) m v
+          done)
 
 let eval_binop op pc a b =
   match op with
@@ -146,12 +208,14 @@ let enter_proc t target =
   if callee >= 0 then
     match t.entry_hooks.(callee) with None -> () | Some h -> h t
 
-(* Deliver the per-pc hook. Each [step] arm ends here with the value and
-   address it produced (0L where the instruction has none), so the
+(* Deliver the per-pc dispatcher. Each [step] arm ends here with the value
+   and address it produced (0L where the instruction has none), so the
    interpreter never materializes a (value, addr) pair — the old ref-cell
    plumbing cost two allocations and two write barriers per instruction.
-   [pc] was bounds-checked on entry to [step] and [hooks] matches the code
-   array's length. *)
+   Zero or one observer costs one unsafe load plus an option test; several
+   observers cost the same dispatch into a pre-built fan-out closure (see
+   [add_hook]). [pc] was bounds-checked on entry to [step] and [hooks]
+   matches the code array's length. *)
 let[@inline] fire_hook t pc v a =
   match Array.unsafe_get t.hooks pc with None -> () | Some h -> h v a
 

@@ -11,6 +11,14 @@
     - a per-procedure {e return} hook, fired at [Ret], with the value of
       [v0].
 
+    Subscription is {e additive}: every [add_*] call attaches one more
+    observer to the point; observers at the same point fire in attach
+    order. A point with a single observer costs what the machine has
+    always paid (one load, one option test, one call); several observers
+    dispatch through a fan-out closure built at attach time that loops
+    over a flat array — still one load on the hot path, and never an
+    allocation while the machine runs.
+
     Uninstrumented execution pays only an array lookup per instruction. *)
 
 type trap =
@@ -67,14 +75,25 @@ val call_depth : t -> int
     site (context-sensitive profiling uses it). *)
 val caller_pc : t -> int option
 
-val set_hook : t -> int -> hook -> unit
+(** [add_hook t pc h] subscribes one more per-PC observer at [pc];
+    earlier observers keep firing (in attach order, before [h]). *)
+val add_hook : t -> int -> hook -> unit
+
+(** Remove {e every} observer at the pc. *)
 val clear_hook : t -> int -> unit
+
 val clear_all_hooks : t -> unit
-val set_proc_entry_hook : t -> int -> (t -> unit) -> unit
+
+(** Observers currently subscribed at a pc (0 when uninstrumented). *)
+val hook_count : t -> int -> int
+
+(** Subscribe an entry observer on a procedure (additive, like
+    {!add_hook}). *)
+val add_proc_entry_hook : t -> int -> (t -> unit) -> unit
 
 (** Hook invoked as [f machine return_value] whenever the given procedure
-    executes [Ret]. *)
-val set_proc_return_hook : t -> int -> (t -> int64 -> unit) -> unit
+    executes [Ret]. Additive, like {!add_hook}. *)
+val add_proc_return_hook : t -> int -> (t -> int64 -> unit) -> unit
 
 (** Execute one instruction. Raises {!Trap}; no-op once halted. *)
 val step : t -> unit

@@ -235,7 +235,7 @@ let simulate ?(selection = `All) ?fuel prog predictors =
   let pcs = Atom.select prog selection in
   List.iter
     (fun pc ->
-      Machine.set_hook machine pc (fun value _addr ->
+      Machine.add_hook machine pc (fun value _addr ->
           incr events;
           for i = 0 to n - 1 do
             (match preds.(i).ppredict ~pc with

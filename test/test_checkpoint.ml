@@ -177,6 +177,87 @@ let test_kill_and_resume_byte_identical () =
          exactly once across both runs — nothing was recomputed *)
       Alcotest.(check (array int)) "no job body ran twice" [| 1; 1; 1 |] runs)
 
+(* A fused grid under checkpointing: jobs rendering different profilers
+   of the same workload/input all draw on one memoized machine execution
+   (the harness), and a killed-then-resumed grid still produces
+   byte-identical output, re-fusing whatever it reruns. *)
+let grid_workload builds =
+  { Workload.wname = "ckpt-fused";
+    wmimics = "";
+    wdescr = "fused-grid checkpoint workload";
+    wbuild =
+      (fun _ ->
+        Atomic.incr builds;
+        let b = Asm.create () in
+        Asm.proc b "main" (fun b ->
+            Asm.ldi b Isa.t0 6L;
+            Asm.ldi b Isa.t1 768L;
+            Asm.label b "loop";
+            Asm.st b ~src:Isa.t0 ~base:Isa.t1 ~off:0;
+            Asm.ld b ~dst:Isa.t2 ~base:Isa.t1 ~off:0;
+            Asm.subi b ~dst:Isa.t0 Isa.t0 1L;
+            Asm.br b Isa.Gt Isa.t0 "loop";
+            Asm.halt b);
+        Asm.assemble b ~entry:"main");
+    warities = [] }
+
+let test_fused_grid_kill_and_resume_byte_identical () =
+  let builds = Atomic.make 0 in
+  let w = grid_workload builds in
+  let jobs () =
+    [ ( "profile",
+        fun () ->
+          let p = Harness.full_profile w Workload.Test in
+          Printf.sprintf "profile %d %d\n" p.Profile.profiled_events
+            p.Profile.dynamic_instructions );
+      ( "procs",
+        fun () ->
+          let p = Harness.proc_profile w Workload.Test in
+          Printf.sprintf "procs %d %d\n" p.Procprof.total_calls
+            p.Procprof.dynamic_instructions );
+      ( "plain",
+        fun () ->
+          let m = Harness.plain_run w Workload.Test in
+          Printf.sprintf "plain %d\n" (Machine.icount m) ) ]
+  in
+  let concat rep = String.concat "" (Supervisor.oks rep) in
+  (* fault-free reference: the whole grid shares one machine execution *)
+  Harness.clear_cache ();
+  let reference = concat (Supervisor.run_strings ~jobs:1 (jobs ())) in
+  Alcotest.(check int) "grid fused onto one machine execution" 1
+    (Harness.machine_runs ());
+  Alcotest.(check int) "one program build" 1 (Atomic.get builds);
+  with_store (fun dir ->
+      with_faults (fun () ->
+          (* kill the grid on its second job *)
+          Fault.arm ~site:"supervisor.job" ~at:2 ();
+          Harness.clear_cache ();
+          let ck = Checkpoint.create ~resume:false dir in
+          let rep =
+            Supervisor.run_strings
+              ~policy:
+                { Supervisor.default_policy with retries = 0;
+                  on_error = `Abort }
+              ~jobs:1 ~checkpoint:ck (jobs ())
+          in
+          Alcotest.(check int) "first job committed before the crash" 1
+            rep.Supervisor.completed);
+      (* resume after a "restart": cold cache, fault disarmed *)
+      Harness.clear_cache ();
+      let ck = Checkpoint.create ~resume:true dir in
+      let rep = Supervisor.run_strings ~jobs:1 ~checkpoint:ck (jobs ()) in
+      Alcotest.(check int) "everything completed" 3 rep.Supervisor.completed;
+      Alcotest.(check string) "resumed output byte-identical" reference
+        (concat rep);
+      Alcotest.(check int) "resumed jobs re-fused onto one execution" 1
+        (Harness.machine_runs ());
+      (match rep.Supervisor.outcomes with
+       | [ a; _; _ ] ->
+         Alcotest.(check int) "committed job served from the store" 0
+           a.Supervisor.o_attempts
+       | _ -> Alcotest.fail "expected three outcomes"));
+  Harness.clear_cache ()
+
 let test_run_strings_commits_as_it_goes () =
   with_store (fun dir ->
       let ck = Checkpoint.create ~resume:false dir in
@@ -206,5 +287,7 @@ let suite =
       test_rejects_file_as_dir;
     Alcotest.test_case "kill and resume is byte-identical" `Quick
       test_kill_and_resume_byte_identical;
+    Alcotest.test_case "fused grid kill/resume byte-identical" `Quick
+      test_fused_grid_kill_and_resume_byte_identical;
     Alcotest.test_case "commits as it goes" `Quick
       test_run_strings_commits_as_it_goes ]

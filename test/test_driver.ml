@@ -198,6 +198,74 @@ let test_job_name () =
   in
   Alcotest.(check string) "job name" "profile:go:train" (Driver.job_name j)
 
+(* ---- fused scheduling --------------------------------------------
+
+   Jobs sharing a (workload, input, fuel) key must coalesce onto one
+   machine execution; counting [wbuild] calls observes how many programs
+   (hence machines) the schedule actually built. *)
+
+let counting_workload ?(name = "tinyw") builds =
+  { Workload.wname = name;
+    wmimics = "";
+    wdescr = "synthetic fused-scheduling workload";
+    wbuild =
+      (fun _ ->
+        Atomic.incr builds;
+        let b = Asm.create () in
+        Asm.proc b "main" (fun b ->
+            Asm.ldi b Isa.t0 5L;
+            Asm.ldi b Isa.t1 512L;
+            Asm.label b "loop";
+            Asm.st b ~src:Isa.t0 ~base:Isa.t1 ~off:0;
+            Asm.ld b ~dst:Isa.t2 ~base:Isa.t1 ~off:0;
+            Asm.subi b ~dst:Isa.t0 Isa.t0 1L;
+            Asm.br b Isa.Gt Isa.t0 "loop";
+            Asm.halt b);
+        Asm.assemble b ~entry:"main");
+    warities = [] }
+
+let test_fuse_coalesces_shared_executions () =
+  let builds = Atomic.make 0 in
+  let w = counting_workload builds in
+  let jobs () =
+    [ Driver.job (module Profile.Profiler)
+        ~finish:(fun (p : Profile.t) -> p.profiled_events)
+        w Workload.Test;
+      Driver.job (module Memprof.Profiler)
+        ~finish:(fun (m : Memprof.t) -> m.tracked_events)
+        w Workload.Test;
+      Driver.job (module Regprof.Profiler)
+        ~finish:(fun (r : Regprof.t) -> r.total_writes)
+        w Workload.Test ]
+  in
+  let fused = Driver.run_jobs (jobs ()) in
+  Alcotest.(check int) "one build serves the fused unit" 1
+    (Atomic.get builds);
+  let solo = Driver.run_jobs ~fuse:false (jobs ()) in
+  Alcotest.(check int) "one build per job when not fused" 4
+    (Atomic.get builds);
+  Alcotest.(check (list int)) "fused results equal solo" solo fused
+
+let test_plan_names_fused_units () =
+  let wa = counting_workload ~name:"wa" (Atomic.make 0) in
+  let wb = counting_workload ~name:"wb" (Atomic.make 0) in
+  let pj w = Driver.job (module Profile.Profiler) ~finish:ignore w Workload.Test in
+  let mj w = Driver.job (module Memprof.Profiler) ~finish:ignore w Workload.Test in
+  let js = [ pj wa; pj wb; mj wa ] in
+  Alcotest.(check (list string)) "fused plan, first-occurrence order"
+    [ "fused[profile+memory]:wa:test"; "profile:wb:test" ]
+    (Driver.plan js);
+  Alcotest.(check (list string)) "solo plan is one unit per job"
+    [ "profile:wa:test"; "profile:wb:test"; "memory:wa:test" ]
+    (Driver.plan ~fuse:false js);
+  let fueled =
+    Driver.job (module Profile.Profiler) ~fuel:100_000 ~finish:ignore wa
+      Workload.Test
+  in
+  Alcotest.(check (list string)) "a different fuel does not fuse"
+    [ "profile:wa:test"; "profile:wa:test" ]
+    (Driver.plan [ pj wa; fueled ])
+
 (* Capture stdout into a string across [f ()] by swapping the fd — the
    experiments print with raw [Printf], so buffer tricks would not do. *)
 let capture_stdout f =
@@ -252,5 +320,9 @@ let suite =
       test_profiler_adapters_match_direct;
     Alcotest.test_case "sampler adapter" `Slow test_sampler_adapter_runs;
     Alcotest.test_case "job name" `Quick test_job_name;
+    Alcotest.test_case "fuse coalesces shared executions" `Quick
+      test_fuse_coalesces_shared_executions;
+    Alcotest.test_case "plan names fused units" `Quick
+      test_plan_names_fused_units;
     Alcotest.test_case "print_all parallel == serial (bytes)" `Slow
       test_print_all_parallel_byte_identical ]

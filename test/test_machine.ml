@@ -243,7 +243,7 @@ let test_hooks_see_values () =
   let m = Machine.create prog in
   let events = ref [] in
   for pc = 0 to 3 do
-    Machine.set_hook m pc (fun value addr -> events := (pc, value, addr) :: !events)
+    Machine.add_hook m pc (fun value addr -> events := (pc, value, addr) :: !events)
   done;
   ignore (Machine.run m);
   let events = List.rev !events in
@@ -275,9 +275,9 @@ let test_proc_hooks () =
   let m = Machine.create prog in
   let callee = Asm.find_proc prog "callee" in
   let entries = ref [] and returns = ref [] in
-  Machine.set_proc_entry_hook m callee.Asm.pindex (fun m ->
+  Machine.add_proc_entry_hook m callee.Asm.pindex (fun m ->
       entries := Machine.reg m a0 :: !entries);
-  Machine.set_proc_return_hook m callee.Asm.pindex (fun _m v ->
+  Machine.add_proc_return_hook m callee.Asm.pindex (fun _m v ->
       returns := v :: !returns);
   ignore (Machine.run m);
   Alcotest.(check (list int64)) "entry args" [ 10L; 20L ] (List.rev !entries);
@@ -339,7 +339,7 @@ let test_caller_pc () =
   Alcotest.(check (option int)) "no frame yet" None (Machine.caller_pc m);
   let callee = Asm.find_proc prog "callee" in
   let seen = ref None in
-  Machine.set_proc_entry_hook m callee.Asm.pindex (fun m ->
+  Machine.add_proc_entry_hook m callee.Asm.pindex (fun m ->
       seen := Machine.caller_pc m);
   ignore (Machine.run m);
   (match !seen with
@@ -361,7 +361,7 @@ let test_indirect_call_fires_entry_hook () =
   let prog = Asm.assemble b ~entry:"main" in
   let m = Machine.create prog in
   let fired = ref 0 in
-  Machine.set_proc_entry_hook m (Asm.find_proc prog "callee").Asm.pindex
+  Machine.add_proc_entry_hook m (Asm.find_proc prog "callee").Asm.pindex
     (fun _ -> incr fired);
   ignore (Machine.run m);
   Alcotest.(check int) "entry hook on indirect call" 1 !fired
@@ -375,8 +375,8 @@ let test_clear_hooks () =
   in
   let m = Machine.create prog in
   let hits = ref 0 in
-  Machine.set_hook m 0 (fun _ _ -> incr hits);
-  Machine.set_hook m 1 (fun _ _ -> incr hits);
+  Machine.add_hook m 0 (fun _ _ -> incr hits);
+  Machine.add_hook m 1 (fun _ _ -> incr hits);
   Machine.clear_hook m 0;
   ignore (Machine.run m);
   Alcotest.(check int) "only pc 1 fires" 1 !hits;
@@ -385,6 +385,74 @@ let test_clear_hooks () =
   hits := 0;
   ignore (Machine.run m);
   Alcotest.(check int) "none fire" 0 !hits
+
+(* Subscription is additive: a second observer on the same pc must not
+   silently replace the first (the pre-observer API's footgun). *)
+let test_hook_fan_out_order () =
+  let prog =
+    build (fun b ->
+        Asm.ldi b t0 7L;
+        Asm.halt b)
+  in
+  let m = Machine.create prog in
+  let log = ref [] in
+  Machine.add_hook m 0 (fun v _ -> log := ("first", v) :: !log);
+  Machine.add_hook m 0 (fun v _ -> log := ("second", v) :: !log);
+  Machine.add_hook m 0 (fun v _ -> log := ("third", v) :: !log);
+  Alcotest.(check int) "three subscribers" 3 (Machine.hook_count m 0);
+  ignore (Machine.run m);
+  Alcotest.(check (list (pair string int64)))
+    "all fire, in attach order"
+    [ ("first", 7L); ("second", 7L); ("third", 7L) ]
+    (List.rev !log)
+
+let test_clear_hook_removes_all_subscribers () =
+  let prog =
+    build (fun b ->
+        Asm.ldi b t0 1L;
+        Asm.halt b)
+  in
+  let m = Machine.create prog in
+  let hits = ref 0 in
+  Machine.add_hook m 0 (fun _ _ -> incr hits);
+  Machine.add_hook m 0 (fun _ _ -> incr hits);
+  Machine.clear_hook m 0;
+  Alcotest.(check int) "no subscribers left" 0 (Machine.hook_count m 0);
+  ignore (Machine.run m);
+  Alcotest.(check int) "neither fires" 0 !hits;
+  (* re-attaching after a clear starts a fresh subscriber list *)
+  Machine.reset m;
+  Machine.add_hook m 0 (fun _ _ -> incr hits);
+  ignore (Machine.run m);
+  Alcotest.(check int) "fresh subscription fires once" 1 !hits
+
+let test_proc_hook_fan_out () =
+  let b = Asm.create () in
+  Asm.proc b "callee" (fun b ->
+      Asm.addi b ~dst:v0 a0 1L;
+      Asm.ret b);
+  Asm.proc b "main" (fun b ->
+      Asm.ldi b a0 10L;
+      Asm.call b "callee";
+      Asm.ldi b a0 20L;
+      Asm.call b "callee";
+      Asm.halt b);
+  let prog = Asm.assemble b ~entry:"main" in
+  let m = Machine.create prog in
+  let callee = (Asm.find_proc prog "callee").Asm.pindex in
+  let e1 = ref 0 and e2 = ref [] and r1 = ref 0 and r2 = ref [] in
+  Machine.add_proc_entry_hook m callee (fun _ -> incr e1);
+  Machine.add_proc_entry_hook m callee (fun m ->
+      e2 := Machine.reg m a0 :: !e2);
+  Machine.add_proc_return_hook m callee (fun _ _ -> incr r1);
+  Machine.add_proc_return_hook m callee (fun _ v -> r2 := v :: !r2);
+  ignore (Machine.run m);
+  Alcotest.(check int) "first entry observer" 2 !e1;
+  Alcotest.(check (list int64)) "second entry observer sees args"
+    [ 10L; 20L ] (List.rev !e2);
+  Alcotest.(check int) "first return observer" 2 !r1;
+  Alcotest.(check (list int64)) "second return observer sees values"
+    [ 11L; 21L ] (List.rev !r2)
 
 let test_step_after_halt_is_noop () =
   let m = Machine.execute (build (fun b -> Asm.halt b)) in
@@ -422,5 +490,9 @@ let suite =
     Alcotest.test_case "indirect call entry hook" `Quick
       test_indirect_call_fires_entry_hook;
     Alcotest.test_case "clear hooks" `Quick test_clear_hooks;
+    Alcotest.test_case "hook fan-out order" `Quick test_hook_fan_out_order;
+    Alcotest.test_case "clear hook removes all" `Quick
+      test_clear_hook_removes_all_subscribers;
+    Alcotest.test_case "proc hook fan-out" `Quick test_proc_hook_fan_out;
     Alcotest.test_case "step after halt" `Quick test_step_after_halt_is_noop;
     Alcotest.test_case "initial sp" `Quick test_sp_initial ]

@@ -86,7 +86,7 @@ let test_oracle_agreement () =
   let oracle = Oracle.create () in
   let vstate = Vstate.create () in
   let pc = List.hd (Atom.select prog `Loads) in
-  Machine.set_hook machine pc (fun value _ ->
+  Machine.add_hook machine pc (fun value _ ->
       Vstate.observe vstate value;
       Oracle.observe oracle value);
   ignore (Machine.run machine);

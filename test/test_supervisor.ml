@@ -244,6 +244,91 @@ let test_pool_worker_fault_classified () =
         Alcotest.(check string) "typed as injected" "injected" (result_label o1)
       | _ -> Alcotest.fail "expected three outcomes")
 
+(* ---- fused units under supervision --------------------------------
+
+   Jobs sharing a (workload, input, fuel) key run as ONE unit: one
+   classification per failure, one retry scope, one program build per
+   attempt. Counting [wbuild] calls makes the unit boundary visible. *)
+
+let counting_workload builds prog_of =
+  { Workload.wname = "tinyw";
+    wmimics = "";
+    wdescr = "synthetic fused-supervision workload";
+    wbuild = (fun _ -> Atomic.incr builds; prog_of ());
+    warities = [] }
+
+let fused_jobs w =
+  [ Driver.job (module Profile.Profiler)
+      ~finish:(fun (p : Profile.t) -> p.Profile.profiled_events)
+      w Workload.Test;
+    Driver.job (module Memprof.Profiler)
+      ~finish:(fun (m : Memprof.t) -> m.Memprof.tracked_events)
+      w Workload.Test;
+    Driver.job (module Regprof.Profiler)
+      ~finish:(fun (r : Regprof.t) -> r.Regprof.total_writes)
+      w Workload.Test ]
+
+let trap_program () =
+  let b = Asm.create () in
+  Asm.proc b "main" (fun b ->
+      Asm.ldi b t0 1L;
+      Asm.divi b ~dst:t0 t0 0L;
+      Asm.halt b);
+  Asm.assemble b ~entry:"main"
+
+let test_fused_unit_trap_classified_once () =
+  let builds = Atomic.make 0 in
+  let w = counting_workload builds trap_program in
+  let rep =
+    Supervisor.run_jobs
+      ~policy:{ Supervisor.default_policy with retries = 0 }
+      ~jobs:1 (fused_jobs w)
+  in
+  (* one build = the unit trapped once, not once per member *)
+  Alcotest.(check int) "one classification scope" 1 (Atomic.get builds);
+  Alcotest.(check int) "failed" 3 rep.Supervisor.failed;
+  Alcotest.(check (list string)) "the unit's trap replicated to members"
+    [ "trap"; "trap"; "trap" ]
+    (List.map result_label rep.Supervisor.outcomes);
+  List.iter
+    (fun (o : _ Supervisor.outcome) ->
+      (match o.Supervisor.o_result with
+       | Error (Supervisor.Trap (Machine.Div_by_zero _)) -> ()
+       | _ -> Alcotest.failf "%s: expected the unit's Div_by_zero" o.o_name);
+      Alcotest.(check int) "one attempt each" 1 o.Supervisor.o_attempts)
+    rep.Supervisor.outcomes
+
+let test_fused_retry_reruns_whole_unit () =
+  with_faults (fun () ->
+      let builds = Atomic.make 0 in
+      let w = counting_workload builds (fun () -> loop_program 50L) in
+      (* kill the fused unit's first execution mid-run; the armed site
+         fires exactly once, so the retry completes *)
+      Fault.arm ~site:"machine.step" ~at:40 ();
+      let rep = Supervisor.run_jobs ~jobs:1 (fused_jobs w) in
+      Alcotest.(check int) "all members complete" 3 rep.Supervisor.completed;
+      Alcotest.(check int) "one build per attempt, not per member" 2
+        (Atomic.get builds);
+      List.iter
+        (fun (o : _ Supervisor.outcome) ->
+          Alcotest.(check int) "members share the unit's attempts" 2
+            o.Supervisor.o_attempts;
+          Alcotest.(check bool) "member succeeded" true
+            (Result.is_ok o.Supervisor.o_result))
+        rep.Supervisor.outcomes)
+
+let test_fused_results_equal_unfused () =
+  let w = counting_workload (Atomic.make 0) (fun () -> loop_program 50L) in
+  let fused = Supervisor.run_jobs ~jobs:1 (fused_jobs w) in
+  let solo = Supervisor.run_jobs ~fuse:false ~jobs:1 (fused_jobs w) in
+  Alcotest.(check (list int)) "payloads identical" (Supervisor.oks solo)
+    (Supervisor.oks fused);
+  Alcotest.(check (list string)) "outcome names stay per-job"
+    (List.map (fun (o : _ Supervisor.outcome) -> o.Supervisor.o_name)
+       solo.Supervisor.outcomes)
+    (List.map (fun (o : _ Supervisor.outcome) -> o.Supervisor.o_name)
+       fused.Supervisor.outcomes)
+
 let test_attempt_counts_in_string_of_error () =
   Alcotest.(check bool) "timeout names the budget" true
     (Astring_contains.contains
@@ -276,5 +361,11 @@ let suite =
       test_injected_fault_recorded_when_retries_exhausted;
     Alcotest.test_case "pool.worker fault classified" `Quick
       test_pool_worker_fault_classified;
+    Alcotest.test_case "fused unit trap classified once" `Quick
+      test_fused_unit_trap_classified_once;
+    Alcotest.test_case "fused retry re-runs whole unit" `Quick
+      test_fused_retry_reruns_whole_unit;
+    Alcotest.test_case "fused results equal unfused" `Quick
+      test_fused_results_equal_unfused;
     Alcotest.test_case "error messages carry detail" `Quick
       test_attempt_counts_in_string_of_error ]
