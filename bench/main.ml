@@ -15,7 +15,10 @@
 
    Part 4 writes the machine-readable perf baseline BENCH_tnv.json:
    events/sec for the TNV hot path, the full profiler, the convergent
-   sampler, and the driver job set on 1 vs N domains. `--smoke` (the CI
+   sampler, and the driver job set on 1 vs N domains. Each measurement is
+   published into the metrics registry under bench.<name> and the file is
+   rendered from the registry values, so the JSON baseline and a
+   --metrics-style consumer see the same numbers. `--smoke` (the CI
    configuration) runs only this part. *)
 
 open Bechamel
@@ -213,6 +216,17 @@ let fused_3_profilers () =
   in
   f.Fused.machine_steps
 
+(* One Part-4 measurement. [bdomains] carries the worker-domain count for
+   driver entries, so the domain count lives in data rather than being
+   mangled into the name (which previously produced the near-duplicate
+   names driver_1_domain / driver_1_domains on a 1-core machine). *)
+type bench_entry = {
+  bname : string;
+  bdomains : int option;
+  bevents : int;
+  bseconds : float;
+}
+
 let bench_json () =
   let reps = 5 in
   let iters = 10 in
@@ -258,43 +272,72 @@ let bench_json () =
     |> List.fold_left ( + ) 0
   in
   let n = Driver.default_jobs () in
-  [ ("tnv_add", timed_events reps tnv_add);
-    ("full_profile", timed_events ~iters reps full_profile);
-    ("sampler", timed_events ~iters reps sampler);
-    ("solo_3_profilers", timed_events ~iters reps solo_3_profilers);
-    ("fused_3_profilers", timed_events ~iters reps fused_3_profilers);
-    ("driver_1_domain", timed_events 1 (driver 1));
-    ("driver_supervised_1_domain", timed_events 1 (supervised 1));
-    (Printf.sprintf "driver_%d_domains" n, timed_events 1 (driver n)) ]
+  let entry ?domains bname (bevents, bseconds) =
+    { bname; bdomains = domains; bevents; bseconds }
+  in
+  [ entry "tnv_add" (timed_events reps tnv_add);
+    entry "full_profile" (timed_events ~iters reps full_profile);
+    entry "sampler" (timed_events ~iters reps sampler);
+    entry "solo_3_profilers" (timed_events ~iters reps solo_3_profilers);
+    entry "fused_3_profilers" (timed_events ~iters reps fused_3_profilers);
+    entry ~domains:1 "driver_1_domain" (timed_events 1 (driver 1));
+    entry ~domains:1 "driver_supervised_1_domain" (timed_events 1 (supervised 1));
+    entry ~domains:n "driver_N_domains" (timed_events 1 (driver n)) ]
+
+(* Publish one entry into the registry and hand back the handles; the
+   JSON below is then read from the registry, not from the raw record, so
+   the file is by construction a view of the same substrate every other
+   consumer of Obs.Metrics sees. *)
+let publish_entry e =
+  let evs = Obs.Metrics.counter (Printf.sprintf "bench.%s.events" e.bname) in
+  Obs.Metrics.add evs e.bevents;
+  let secs = Obs.Metrics.gauge (Printf.sprintf "bench.%s.seconds" e.bname) in
+  Obs.Metrics.set_gauge secs e.bseconds;
+  let rate =
+    Obs.Metrics.gauge (Printf.sprintf "bench.%s.events_per_sec" e.bname)
+  in
+  Obs.Metrics.set_gauge rate
+    (if e.bseconds > 0. then float_of_int e.bevents /. e.bseconds else 0.);
+  (evs, secs, rate)
+
+let json_of_entry e =
+  let evs, secs, rate = publish_entry e in
+  Obs.Json.Obj
+    (("name", Obs.Json.Str e.bname)
+     ::
+     (match e.bdomains with
+      | Some d -> [ ("domains", Obs.Json.Num (float_of_int d)) ]
+      | None -> [])
+    @ [ ("events",
+         Obs.Json.Num (float_of_int (Obs.Metrics.counter_value evs)));
+        ("seconds", Obs.Json.Num (Obs.Metrics.gauge_value secs));
+        ("events_per_sec",
+         Obs.Json.Num (Float.round (Obs.Metrics.gauge_value rate))) ])
 
 let write_bench_json path =
   let entries = bench_json () in
+  let json =
+    Obs.Json.Obj
+      [ ("bench", Obs.Json.Str "BENCH_tnv");
+        ("workload", Obs.Json.Str bench_workload.Workload.wname);
+        ("input", Obs.Json.Str "test");
+        ("runs", Obs.Json.List (List.map json_of_entry entries)) ]
+  in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      Printf.fprintf oc "{\n";
-      Printf.fprintf oc "  \"bench\": \"BENCH_tnv\",\n";
-      Printf.fprintf oc "  \"workload\": \"%s\",\n" bench_workload.Workload.wname;
-      Printf.fprintf oc "  \"input\": \"test\",\n";
-      Printf.fprintf oc "  \"runs\": [\n";
-      List.iteri
-        (fun i (name, (events, seconds)) ->
-          Printf.fprintf oc
-            "    { \"name\": \"%s\", \"events\": %d, \"seconds\": %.6f, \
-             \"events_per_sec\": %.0f }%s\n"
-            name events seconds
-            (if seconds > 0. then float_of_int events /. seconds else 0.)
-            (if i < List.length entries - 1 then "," else ""))
-        entries;
-      Printf.fprintf oc "  ]\n";
-      Printf.fprintf oc "}\n");
+      output_string oc (Obs.Json.to_string json);
+      output_char oc '\n');
   Printf.printf "wrote %s\n" path;
   List.iter
-    (fun (name, (events, seconds)) ->
-      Printf.printf "  %-20s %12d events  %8.3fs  %12.0f events/s\n" name
-        events seconds
-        (if seconds > 0. then float_of_int events /. seconds else 0.))
+    (fun e ->
+      Printf.printf "  %-26s %12d events  %8.3fs  %12.0f events/s%s\n" e.bname
+        e.bevents e.bseconds
+        (if e.bseconds > 0. then float_of_int e.bevents /. e.bseconds else 0.)
+        (match e.bdomains with
+         | Some d -> Printf.sprintf "  (%d domains)" d
+         | None -> ""))
     entries
 
 let () =

@@ -98,6 +98,54 @@ let stats_arg =
           "Also print the run's cost counters: events seen and profiled, \
            TNV clears and evictions, and attach-to-collect wall clock.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a structured trace of the command (machine runs, driver \
+           units, supervisor jobs, ...) and write it to FILE as Chrome \
+           trace_event JSON, loadable in chrome://tracing or Perfetto.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the metrics registry (counters, gauges, histograms \
+           accumulated during the command) to FILE as JSON on exit.")
+
+(* Wrap a subcommand body in the observability sinks: tracing is enabled
+   for exactly the wrapped call when --trace was given, and both files are
+   written on the way out — exceptions included, so a failing run still
+   leaves its telemetry behind. The writes are silent: subcommand stdout
+   stays byte-identical with and without the flags. *)
+let with_obs ~trace ~metrics f =
+  (match trace with
+   | Some _ ->
+     Obs.Trace.reset ();
+     Obs.Trace.set_enabled true
+   | None -> ());
+  let finish () =
+    (match trace with
+     | Some path ->
+       Obs.Trace.set_enabled false;
+       Obs.Trace.write_file path
+     | None -> ());
+    match metrics with
+    | Some path -> Obs.Metrics.write_file path
+    | None -> ()
+  in
+  match f () with
+  | v ->
+    finish ();
+    v
+  | exception e ->
+    finish ();
+    raise e
+
 (* One spelling of the --stats output across subcommands. *)
 let print_stats enabled name (c : Counters.t) =
   if enabled then Printf.printf "%s stats: %s\n" name (Counters.to_string c)

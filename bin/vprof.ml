@@ -36,7 +36,8 @@ let list_cmd =
 (* run *)
 
 let run_cmd =
-  let run (w : Workload.t) input fuel _jobs =
+  let run (w : Workload.t) input fuel _jobs trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let prog = w.wbuild input in
     let m = Machine.execute ?fuel prog in
     Printf.printf "%s (%s): %s dynamic instructions, v0 = %Ld\n" w.wname
@@ -46,7 +47,9 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a workload without instrumentation.")
-    Term.(const run $ workload_arg $ input_arg $ fuel_arg $ jobs_arg)
+    Term.(
+      const run $ workload_arg $ input_arg $ fuel_arg $ jobs_arg $ trace_arg
+      $ metrics_arg)
 
 (* disasm *)
 
@@ -92,7 +95,8 @@ let save_arg =
 
 let profile_cmd =
   let run (w : Workload.t) input selection top tnv_size clear_interval save
-      fuel jobs stats =
+      fuel jobs stats trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let vconfig =
       { Vstate.default_config with
         tnv_capacity = tnv_size; clear_interval }
@@ -102,7 +106,7 @@ let profile_cmd =
         Driver.run_jobs ~jobs:(effective_jobs jobs)
           [ Driver.job
               (module Profile.Profiler)
-              ~config:{ Profile.Profiler.vconfig; selection }
+              ~config:{ Profile.vconfig; selection }
               ?fuel ~finish:Fun.id w input ]
       with
       | [ p ] -> p
@@ -158,12 +162,13 @@ let profile_cmd =
     Term.(
       const run $ workload_arg $ input_arg $ selection_arg $ top_arg
       $ tnv_size_arg $ clear_interval_arg $ save_arg $ fuel_arg $ jobs_arg
-      $ stats_arg)
+      $ stats_arg $ trace_arg $ metrics_arg)
 
 (* memory *)
 
 let memory_cmd =
-  let run (w : Workload.t) input top fuel jobs stats =
+  let run (w : Workload.t) input top fuel jobs stats trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let r =
       match
         Driver.run_jobs ~jobs:(effective_jobs jobs)
@@ -203,12 +208,13 @@ let memory_cmd =
     (Cmd.info "memory" ~doc:"Profile memory locations (Chapter VII).")
     Term.(
       const run $ workload_arg $ input_arg $ top_arg $ fuel_arg $ jobs_arg
-      $ stats_arg)
+      $ stats_arg $ trace_arg $ metrics_arg)
 
 (* procs *)
 
 let procs_cmd =
-  let run (w : Workload.t) input fuel jobs stats =
+  let run (w : Workload.t) input fuel jobs stats trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let config = { Procprof.default_config with arities = w.warities } in
     let pp =
       match
@@ -247,12 +253,14 @@ let procs_cmd =
   Cmd.v
     (Cmd.info "procs" ~doc:"Profile procedure parameters and returns.")
     Term.(
-      const run $ workload_arg $ input_arg $ fuel_arg $ jobs_arg $ stats_arg)
+      const run $ workload_arg $ input_arg $ fuel_arg $ jobs_arg $ stats_arg
+      $ trace_arg $ metrics_arg)
 
 (* registers *)
 
 let registers_cmd =
-  let run (w : Workload.t) input fuel _jobs =
+  let run (w : Workload.t) input fuel _jobs trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let r = Regprof.run ?fuel (w.wbuild input) in
     let table =
       Table.create
@@ -280,7 +288,9 @@ let registers_cmd =
   Cmd.v
     (Cmd.info "registers"
        ~doc:"Profile values written per architectural register.")
-    Term.(const run $ workload_arg $ input_arg $ fuel_arg $ jobs_arg)
+    Term.(
+      const run $ workload_arg $ input_arg $ fuel_arg $ jobs_arg $ trace_arg
+      $ metrics_arg)
 
 (* sample *)
 
@@ -297,11 +307,13 @@ let sample_cmd =
     Arg.(value & opt float Sampler.default_config.epsilon
          & info [ "epsilon" ] ~docv:"E" ~doc:"Convergence threshold.")
   in
-  let run (w : Workload.t) input burst skip epsilon fuel jobs stats =
+  let run (w : Workload.t) input burst skip epsilon fuel jobs stats trace
+      metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let config =
       { Sampler.default_config with burst; initial_skip = skip; epsilon }
     in
-    let sconfig = { Sampler.Profiler.default_config with sampler = config } in
+    let sconfig = { Sampler.Profiler.default_config with Sampler.sampler = config } in
     (* two driver jobs sharing the (workload, input, fuel) key: the
        scheduler fuses them onto one machine execution *)
     match
@@ -327,12 +339,13 @@ let sample_cmd =
     (Cmd.info "sample" ~doc:"Convergent (sampled) value profiling.")
     Term.(
       const run $ workload_arg $ input_arg $ burst $ skip $ epsilon $ fuel_arg
-      $ jobs_arg $ stats_arg)
+      $ jobs_arg $ stats_arg $ trace_arg $ metrics_arg)
 
 (* specialize *)
 
 let specialize_cmd =
-  let run (w : Workload.t) input fuel _jobs =
+  let run (w : Workload.t) input fuel _jobs trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let config = { Procprof.default_config with arities = w.warities } in
     let prog = w.wbuild input in
     let pp = Procprof.run ~config ?fuel prog in
@@ -361,12 +374,15 @@ let specialize_cmd =
   Cmd.v
     (Cmd.info "specialize"
        ~doc:"Specialize the best semi-invariant procedure parameter.")
-    Term.(const run $ workload_arg $ input_arg $ fuel_arg $ jobs_arg)
+    Term.(
+      const run $ workload_arg $ input_arg $ fuel_arg $ jobs_arg $ trace_arg
+      $ metrics_arg)
 
 (* trivial *)
 
 let trivial_cmd =
-  let run (w : Workload.t) input fuel _jobs =
+  let run (w : Workload.t) input fuel _jobs trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let r = Trivprof.run ?fuel (w.wbuild input) in
     Printf.printf
       "%s (%s): %s ALU events, %s measured, %.1f%% trivial (%s via immediates, %s via run-time values)\n"
@@ -384,12 +400,15 @@ let trivial_cmd =
   Cmd.v
     (Cmd.info "trivial"
        ~doc:"Profile trivial arithmetic operands (Richardson [32]).")
-    Term.(const run $ workload_arg $ input_arg $ fuel_arg $ jobs_arg)
+    Term.(
+      const run $ workload_arg $ input_arg $ fuel_arg $ jobs_arg $ trace_arg
+      $ metrics_arg)
 
 (* speculate *)
 
 let speculate_cmd =
-  let run (w : Workload.t) input top fuel _jobs =
+  let run (w : Workload.t) input top fuel _jobs trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let prog = w.wbuild input in
     let t = Specul.run ?fuel prog in
     Printf.printf
@@ -420,7 +439,8 @@ let speculate_cmd =
          "Profile speculative-load value-check conflicts (Moudgill & \
           Moreno [29]).")
     Term.(
-      const run $ workload_arg $ input_arg $ top_arg $ fuel_arg $ jobs_arg)
+      const run $ workload_arg $ input_arg $ top_arg $ fuel_arg $ jobs_arg
+      $ trace_arg $ metrics_arg)
 
 (* phases *)
 
@@ -430,7 +450,8 @@ let phases_cmd =
       value & opt int Phaseprof.default_config.window
       & info [ "window" ] ~docv:"N" ~doc:"Executions per window.")
   in
-  let run (w : Workload.t) input top window fuel _jobs =
+  let run (w : Workload.t) input top window fuel _jobs trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let config = { Phaseprof.default_config with window } in
     let t = Phaseprof.run ~config ~selection:`Loads ?fuel (w.wbuild input) in
     Printf.printf "%s (%s): mean load-invariance drift %.1f%% (window %d)\n"
@@ -468,12 +489,13 @@ let phases_cmd =
        ~doc:"Windowed (phase) profiling of load invariance over time.")
     Term.(
       const run $ workload_arg $ input_arg $ top_arg $ window_arg $ fuel_arg
-      $ jobs_arg)
+      $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* contexts *)
 
 let contexts_cmd =
-  let run (w : Workload.t) input fuel jobs =
+  let run (w : Workload.t) input fuel jobs trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let prog = w.wbuild input in
     let config = { Ctxprof.default_config with arities = w.warities } in
     let flat_config = { Procprof.default_config with arities = w.warities } in
@@ -505,7 +527,9 @@ let contexts_cmd =
   Cmd.v
     (Cmd.info "contexts"
        ~doc:"Call-site-sensitive parameter profiling (Young & Smith [40]).")
-    Term.(const run $ workload_arg $ input_arg $ fuel_arg $ jobs_arg)
+    Term.(
+      const run $ workload_arg $ input_arg $ fuel_arg $ jobs_arg $ trace_arg
+      $ metrics_arg)
 
 (* memoize *)
 
@@ -525,7 +549,8 @@ let memoize_cmd =
       value & opt int 1
       & info [ "a"; "arity" ] ~docv:"N" ~doc:"Number of arguments (1-6).")
   in
-  let run (w : Workload.t) input proc arity _jobs =
+  let run (w : Workload.t) input proc arity _jobs trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let prog = w.wbuild input in
     match Memoize.memoize prog ~proc ~arity with
     | report ->
@@ -544,12 +569,14 @@ let memoize_cmd =
     (Cmd.info "memoize"
        ~doc:"Install a memoization cache on a pure procedure (Richardson [32]).")
     Term.(
-      const run $ workload_arg $ input_arg $ proc_arg $ arity_arg $ jobs_arg)
+      const run $ workload_arg $ input_arg $ proc_arg $ arity_arg $ jobs_arg
+      $ trace_arg $ metrics_arg)
 
 (* diff *)
 
 let diff_cmd =
-  let run (w : Workload.t) top fuel jobs =
+  let run (w : Workload.t) top fuel jobs trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let pt, ptr =
       match
         Driver.run_jobs ~jobs:(effective_jobs jobs)
@@ -610,7 +637,9 @@ let diff_cmd =
   Cmd.v
     (Cmd.info "diff"
        ~doc:"Compare a workload's test and train profiles (Table V.5 style).")
-    Term.(const run $ workload_arg $ top_arg $ fuel_arg $ jobs_arg)
+    Term.(
+      const run $ workload_arg $ top_arg $ fuel_arg $ jobs_arg $ trace_arg
+      $ metrics_arg)
 
 (* experiment / experiments *)
 
@@ -716,7 +745,8 @@ let write_failure_report dir (rep : string Supervisor.report) =
                 o.Supervisor.o_attempts)
           failures)
 
-let run_experiments id csv jobs checkpoint resume retries fail_fast =
+let run_experiments id csv jobs checkpoint resume retries fail_fast fuel trace
+    metrics =
   let specs =
     if id = "all" then Experiments.all
     else
@@ -728,15 +758,20 @@ let run_experiments id csv jobs checkpoint resume retries fail_fast =
              (List.map (fun (s : Experiments.spec) -> s.id) Experiments.all));
         exit 2
   in
-  let policy =
-    { Supervisor.default_policy with
-      Supervisor.retries = max 0 retries;
-      on_error = (if fail_fast then `Abort else `Skip) }
+  (* the one run_config both entry points below share — the sinks ride in
+     the config, so the library (not the CLI) owns enabling/writing them *)
+  let config =
+    { Experiments.default_run_config with
+      Experiments.rc_jobs = Some (effective_jobs jobs);
+      rc_fuel = fuel;
+      rc_retries = max 0 retries;
+      rc_fail_fast = fail_fast;
+      rc_trace = trace;
+      rc_metrics = metrics }
   in
-  let jobs = effective_jobs jobs in
   match checkpoint with
   | None ->
-    let rep = Experiments.run_specs ~policy ~jobs specs in
+    let rep = Experiments.run ~config specs in
     List.iter (fun r -> print_spec_tables csv r) rep.Experiments.results;
     if rep.Experiments.failures <> [] then begin
       report_failures rep.Experiments.failures;
@@ -750,7 +785,11 @@ let run_experiments id csv jobs checkpoint resume retries fail_fast =
       exit 2
     end;
     let ck = Checkpoint.create ~resume dir in
-    let rep = Experiments.run_specs_strings ~policy ~jobs ~checkpoint:ck specs in
+    let rep =
+      Experiments.run_strings
+        ~config:{ config with Experiments.rc_checkpoint = Some ck }
+        specs
+    in
     List.iter
       (fun (o : string Supervisor.outcome) ->
         match o.Supervisor.o_result with
@@ -892,7 +931,8 @@ let fused_cmd =
              execution: profile, sample, memory, procs, registers, \
              contexts, phases, trivial, speculate.")
   in
-  let run (w : Workload.t) input profilers fuel jobs stats =
+  let run (w : Workload.t) input profilers fuel jobs stats trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let names =
       String.split_on_char ',' profilers
       |> List.map String.trim
@@ -940,7 +980,7 @@ let fused_cmd =
     Term.(
       ret
         (const run $ workload_arg $ input_arg $ profilers_arg $ fuel_arg
-        $ jobs_arg $ stats_arg))
+        $ jobs_arg $ stats_arg $ trace_arg $ metrics_arg))
 
 let experiment_cmd =
   let id_arg =
@@ -953,7 +993,8 @@ let experiment_cmd =
        ~doc:"Regenerate the paper's tables and figures (see DESIGN.md).")
     Term.(
       const run_experiments $ id_arg $ csv_arg $ jobs_arg $ checkpoint_arg
-      $ resume_arg $ retries_arg $ fail_fast_arg)
+      $ resume_arg $ retries_arg $ fail_fast_arg $ fuel_arg $ trace_arg
+      $ metrics_arg)
 
 let experiments_cmd =
   let all_arg =
@@ -968,9 +1009,25 @@ let experiments_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"ID" ~doc:"Experiment id (e01..e24); omit for all.")
   in
-  let run all id csv jobs checkpoint resume retries fail_fast =
-    let id = if all then "all" else Option.value id ~default:"all" in
-    run_experiments id csv jobs checkpoint resume retries fail_fast
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Run only the quick smoke experiment (e01) — enough to \
+             exercise the machine, driver and supervisor layers; CI pairs \
+             it with $(b,--trace)/$(b,--metrics) to validate the \
+             telemetry pipeline cheaply.")
+  in
+  let run all id smoke csv jobs checkpoint resume retries fail_fast fuel trace
+      metrics =
+    let id =
+      if smoke then "e01"
+      else if all then "all"
+      else Option.value id ~default:"all"
+    in
+    run_experiments id csv jobs checkpoint resume retries fail_fast fuel trace
+      metrics
   in
   Cmd.v
     (Cmd.info "experiments"
@@ -981,8 +1038,9 @@ let experiments_cmd =
           reported instead of aborting the rest; $(b,--checkpoint) makes \
           the run crash-safe and $(b,--resume) continues one.")
     Term.(
-      const run $ all_arg $ id_arg $ csv_arg $ jobs_arg $ checkpoint_arg
-      $ resume_arg $ retries_arg $ fail_fast_arg)
+      const run $ all_arg $ id_arg $ smoke_arg $ csv_arg $ jobs_arg
+      $ checkpoint_arg $ resume_arg $ retries_arg $ fail_fast_arg $ fuel_arg
+      $ trace_arg $ metrics_arg)
 
 let () =
   let info =

@@ -123,7 +123,7 @@ let run ?config ?fuel prog =
   ignore (Machine.run ?fuel machine);
   collect live
 
-module Profiler = struct
+module Profiler = Profiler_intf.Make (struct
   let name = "contexts"
 
   type nonrec config = config
@@ -133,11 +133,10 @@ module Profiler = struct
   type result = t
   type nonrec live = live
 
-  let attach = attach
+  let attach config machine = attach ~config machine
   let collect = collect
-  let run ?config ?fuel prog = run ?config ?fuel prog
   let stats (r : result) = r.stats
-end
+end)
 
 let weighted_param_invariance t =
   let metrics =

@@ -51,7 +51,13 @@ let collect live =
     machine_steps = Machine.icount live.machine;
     wall_seconds = wall }
 
+let m_runs = Obs.Metrics.counter "fused.runs"
+let m_members = Obs.Metrics.counter "fused.members"
+
 let run ?fuel prog items =
+  Obs.Metrics.incr m_runs;
+  Obs.Metrics.add m_members (List.length items);
+  Obs.Trace.with_span ~cat:"core" "fused.run" @@ fun () ->
   let machine = Machine.create prog in
   let live = attach machine items in
   ignore (Machine.run ?fuel machine);
@@ -59,14 +65,9 @@ let run ?fuel prog items =
 
 let total t =
   let agg = Counters.create () in
-  List.iter
-    (fun (c : Counters.t) ->
-      agg.Counters.events_seen <- agg.Counters.events_seen + c.Counters.events_seen;
-      agg.Counters.events_profiled <-
-        agg.Counters.events_profiled + c.Counters.events_profiled;
-      agg.Counters.tnv_clears <- agg.Counters.tnv_clears + c.Counters.tnv_clears;
-      agg.Counters.tnv_replacements <-
-        agg.Counters.tnv_replacements + c.Counters.tnv_replacements)
-    t.counters;
+  (* members share one execution and [collect] already stamped each with
+     the shared wall clock, so sum everything and then overwrite the wall
+     with the single shared measurement *)
+  List.iter (fun c -> Counters.accumulate ~into:agg c) t.counters;
   agg.Counters.wall_seconds <- t.wall_seconds;
   agg

@@ -107,7 +107,7 @@ let mean_metric t field =
   Metrics.weighted_mean field
     (Array.to_list t.locations |> List.map (fun l -> l.l_metrics))
 
-module Profiler = struct
+module Profiler = Profiler_intf.Make (struct
   let name = "memory"
 
   type nonrec config = config
@@ -117,8 +117,7 @@ module Profiler = struct
   type result = t
   type nonrec live = live
 
-  let attach = attach
+  let attach config machine = attach ~config machine
   let collect = collect
-  let run = run
   let stats (r : result) = r.stats
-end
+end)

@@ -133,10 +133,12 @@ let mean_drift t =
     t.points;
   if !den = 0. then 0. else !num /. !den
 
-module Profiler = struct
+type profiler_config = { phase : config; selection : Atom.selection }
+
+module Profiler = Profiler_intf.Make (struct
   let name = "phases"
 
-  type nonrec config = { phase : config; selection : Atom.selection }
+  type config = profiler_config
 
   (* the CLI profiles loads by default; the adapter matches it *)
   let default_config = { phase = default_config; selection = `Loads }
@@ -144,13 +146,9 @@ module Profiler = struct
   type result = t
   type nonrec live = live
 
-  let attach ?(config = default_config) machine =
+  let attach config machine =
     attach ~config:config.phase machine config.selection
 
   let collect = collect
-
-  let run ?(config = default_config) ?fuel prog =
-    run ~config:config.phase ~selection:config.selection ?fuel prog
-
   let stats (r : result) = r.stats
-end
+end)

@@ -45,8 +45,7 @@ val run :
     program". *)
 val mean_drift : t -> float
 
-module Profiler : sig
-  type nonrec config = { phase : config; selection : Atom.selection }
+type profiler_config = { phase : config; selection : Atom.selection }
 
-  include Profiler_intf.S with type result = t and type config := config
-end
+module Profiler :
+  Profiler_intf.S with type result = t and type config = profiler_config

@@ -132,7 +132,7 @@ let memo_hit_rate t =
     t.procs;
   if !calls = 0 then 0. else float_of_int !hits /. float_of_int !calls
 
-module Profiler = struct
+module Profiler = Profiler_intf.Make (struct
   let name = "procs"
 
   type nonrec config = config
@@ -142,8 +142,7 @@ module Profiler = struct
   type result = t
   type nonrec live = live
 
-  let attach = attach
+  let attach config machine = attach ~config machine
   let collect = collect
-  let run = run
   let stats (r : result) = r.stats
-end
+end)

@@ -81,23 +81,21 @@ let weighted points field =
 
 let point_at t pc = Array.find_opt (fun p -> p.p_pc = pc) t.points
 
-module Profiler = struct
+type profiler_config = { vconfig : Vstate.config; selection : Atom.selection }
+
+module Profiler = Profiler_intf.Make (struct
   let name = "profile"
 
-  type config = { vconfig : Vstate.config; selection : Atom.selection }
+  type config = profiler_config
 
   let default_config = { vconfig = Vstate.default_config; selection = `All }
 
   type result = t
   type nonrec live = live
 
-  let attach ?(config = default_config) machine =
+  let attach config machine =
     attach ~config:config.vconfig machine config.selection
 
   let collect = collect
-
-  let run ?(config = default_config) ?fuel prog =
-    run ~config:config.vconfig ~selection:config.selection ?fuel prog
-
   let stats (r : result) = r.stats
-end
+end)

@@ -51,8 +51,7 @@ val point_at : t -> int -> point option
 (** The {!Profiler_intf.S} view of this profiler, for the parallel driver:
     the TNV configuration and the instruction selection packed into one
     config value. *)
-module Profiler : sig
-  type config = { vconfig : Vstate.config; selection : Atom.selection }
+type profiler_config = { vconfig : Vstate.config; selection : Atom.selection }
 
-  include Profiler_intf.S with type result = t and type config := config
-end
+module Profiler :
+  Profiler_intf.S with type result = t and type config = profiler_config

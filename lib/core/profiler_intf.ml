@@ -46,3 +46,57 @@ end
     (the configuration type stays existential — pair the module with a
     config of the right type at pack time if you need a non-default one). *)
 type 'r t = (module S with type result = 'r)
+
+(** What a concrete profiler supplies to {!Make}: the irreducible kernel
+    of {!S} — a name, a config with its default, and the
+    attach/collect/stats triple with [attach] taking the config
+    {e positionally} (the functor owns the optional-argument and
+    machine-building conventions, so nine adapters stop restating
+    them). *)
+module type Spec = sig
+  val name : string
+
+  type config
+
+  val default_config : config
+
+  type result
+  type live
+
+  val attach : config -> Machine.t -> live
+  val collect : live -> result
+  val stats : result -> Counters.t
+end
+
+(** The one adapter. Beyond satisfying {!S}, [collect] publishes the
+    run's cost counters into the metrics registry under
+    ["profiler.<name>.*"] (see {!Obs.publish_profiler_run}), so every
+    profiler feeds the same aggregation substrate without touching the
+    registry itself. *)
+module Make (X : Spec) :
+  S with type config = X.config and type result = X.result and type live = X.live =
+struct
+  let name = X.name
+
+  type config = X.config
+
+  let default_config = X.default_config
+
+  type result = X.result
+  type live = X.live
+
+  let attach ?(config = X.default_config) machine = X.attach config machine
+
+  let collect live =
+    let r = X.collect live in
+    Obs.publish_profiler_run ~name:X.name (X.stats r);
+    r
+
+  let run ?(config = X.default_config) ?fuel prog =
+    let machine = Machine.create prog in
+    let live = X.attach config machine in
+    ignore (Machine.run ?fuel machine);
+    collect live
+
+  let stats = X.stats
+end

@@ -72,7 +72,7 @@ let mean_metric t field =
   Metrics.weighted_mean field
     (Array.to_list t.regs |> List.map (fun g -> g.g_metrics))
 
-module Profiler = struct
+module Profiler = Profiler_intf.Make (struct
   let name = "registers"
 
   type nonrec config = config
@@ -82,8 +82,7 @@ module Profiler = struct
   type result = t
   type nonrec live = live
 
-  let attach = attach
+  let attach config machine = attach ~config machine
   let collect = collect
-  let run ?config ?fuel prog = run ?config ?fuel prog
   let stats (r : result) = r.stats
-end
+end)

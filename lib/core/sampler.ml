@@ -50,9 +50,14 @@ let burst_is_quiet st inv top =
      | Some a, Some b -> Int64.equal a b
      | Some _, None | None, Some _ | None, None -> false)
 
+let m_bursts = Obs.Metrics.counter "sampler.bursts"
+let m_backoffs = Obs.Metrics.counter "sampler.backoffs"
+let m_deconverged = Obs.Metrics.counter "sampler.deconverged"
+
 let end_of_burst st =
   let inv = Vstate.inv_top st.vs in
   let top = Vstate.top_value st.vs in
+  Obs.Metrics.incr m_bursts;
   if burst_is_quiet st inv top then begin
     st.streak <- st.streak + 1;
     (* Back off on every quiet re-check burst, not only the one that first
@@ -61,6 +66,8 @@ let end_of_burst st =
        guard here froze the gap at one widening forever.) *)
     if st.streak >= st.cfg.consecutive then begin
       st.converged <- true;
+      Obs.Metrics.incr m_backoffs;
+      Obs.Trace.instant ~cat:"sampler" "sampler.backoff";
       let widened = int_of_float (float_of_int st.skip *. st.cfg.backoff) in
       st.skip <- min st.cfg.max_skip (max st.skip widened)
     end
@@ -70,6 +77,8 @@ let end_of_burst st =
     (* A converged instruction that moved again is profiled eagerly anew. *)
     if st.converged then begin
       st.converged <- false;
+      Obs.Metrics.incr m_deconverged;
+      Obs.Trace.instant ~cat:"sampler" "sampler.deconverged";
       st.skip <- st.cfg.initial_skip
     end
   end;
@@ -185,14 +194,16 @@ let invariance_error sampled full =
     sampled.points;
   Stats.weighted_mean (Array.of_list !errors) (Array.of_list !weights)
 
-module Profiler = struct
+type profiler_config = {
+  sampler : config;
+  vconfig : Vstate.config;
+  selection : Atom.selection;
+}
+
+module Profiler = Profiler_intf.Make (struct
   let name = "sample"
 
-  type nonrec config = {
-    sampler : config;
-    vconfig : Vstate.config;
-    selection : Atom.selection;
-  }
+  type config = profiler_config
 
   let default_config =
     { sampler = default_config;
@@ -202,18 +213,13 @@ module Profiler = struct
   type result = t
   type nonrec live = live
 
-  let attach ?(config = default_config) machine =
+  let attach config machine =
     attach ~config:config.sampler ~vconfig:config.vconfig machine
       config.selection
 
   let collect = collect
-
-  let run ?(config = default_config) ?fuel prog =
-    run ~config:config.sampler ~vconfig:config.vconfig
-      ~selection:config.selection ?fuel prog
-
   let stats (r : result) = r.stats
-end
+end)
 
 (* Test-only window into the per-point burst machinery, so the back-off
    behaviour can be asserted directly instead of through a whole machine

@@ -75,15 +75,14 @@ val invariance_error : t -> Profile.t -> float
 (** The {!Profiler_intf.S} view of this profiler, for the parallel driver:
     sampling parameters, TNV configuration and instruction selection
     packed into one config value. *)
-module Profiler : sig
-  type nonrec config = {
-    sampler : config;
-    vconfig : Vstate.config;
-    selection : Atom.selection;
-  }
+type profiler_config = {
+  sampler : config;
+  vconfig : Vstate.config;
+  selection : Atom.selection;
+}
 
-  include Profiler_intf.S with type result = t and type config := config
-end
+module Profiler :
+  Profiler_intf.S with type result = t and type config = profiler_config
 
 (** Test-only access to a single point's burst/skip state machine, so the
     convergent back-off can be exercised deterministically (each quiet

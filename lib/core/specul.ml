@@ -126,26 +126,22 @@ let run ?max_tracked ?fuel prog =
   ignore (Machine.run ?fuel machine);
   collect live
 
-module Profiler = struct
+type profiler_config = { max_tracked : int }
+
+module Profiler = Profiler_intf.Make (struct
   let name = "speculate"
 
-  type config = { max_tracked : int }
+  type config = profiler_config
 
   let default_config = { max_tracked = 1 lsl 16 }
 
   type result = t
   type nonrec live = live
 
-  let attach ?(config = default_config) machine =
-    attach ~max_tracked:config.max_tracked machine
-
+  let attach config machine = attach ~max_tracked:config.max_tracked machine
   let collect = collect
-
-  let run ?(config = default_config) ?fuel prog =
-    run ~max_tracked:config.max_tracked ?fuel prog
-
   let stats (r : result) = r.stats
-end
+end)
 
 let conflict_rate t ~select =
   let execs = ref 0 and conflicts = ref 0 in

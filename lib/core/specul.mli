@@ -42,8 +42,7 @@ val run : ?max_tracked:int -> ?fuel:int -> Asm.program -> t
     (e.g. loads whose profiled Inv-Top clears a threshold). *)
 val conflict_rate : t -> select:(load_report -> bool) -> float
 
-module Profiler : sig
-  type config = { max_tracked : int }
+type profiler_config = { max_tracked : int }
 
-  include Profiler_intf.S with type result = t and type config := config
-end
+module Profiler :
+  Profiler_intf.S with type result = t and type config = profiler_config

@@ -114,7 +114,7 @@ let run ?fuel prog =
   ignore (Machine.run ?fuel machine);
   collect live
 
-module Profiler = struct
+module Profiler = Profiler_intf.Make (struct
   let name = "trivial"
 
   type config = unit
@@ -124,8 +124,7 @@ module Profiler = struct
   type result = t
   type nonrec live = live
 
-  let attach ?config:_ machine = attach machine
+  let attach () machine = attach machine
   let collect = collect
-  let run ?config:_ ?fuel prog = run ?fuel prog
   let stats (r : result) = r.stats
-end
+end)

@@ -188,6 +188,8 @@ let completed t =
   Mutex.unlock t.c_mu;
   n
 
+let m_commits = Obs.Metrics.counter "checkpoint.commits"
+
 let record t ~name ~payload =
   if String.contains name '\n' then
     invalid_arg "Checkpoint.record: job names may not contain newlines";
@@ -195,6 +197,8 @@ let record t ~name ~payload =
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.c_mu)
     (fun () ->
+      Obs.Metrics.incr m_commits;
+      Obs.Trace.with_span ~cat:"driver" "checkpoint.commit" @@ fun () ->
       (* payload first, manifest second: a crash in between leaves an
          unreferenced payload file, which merely reruns the job *)
       write_atomic ~dir:t.c_dir

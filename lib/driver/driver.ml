@@ -86,15 +86,21 @@ let unit_name u =
 
 let unit_fuel u = u.u_fuel
 
+let m_units = Obs.Metrics.counter "driver.units"
+let m_fused_units = Obs.Metrics.counter "driver.fused_units"
+
 let run_unit_with_fuel ~fuel:override u =
   let fuel = match override with Some _ -> override | None -> u.u_fuel in
   let prog = u.u_workload.Workload.wbuild u.u_input in
+  Obs.Metrics.incr m_units;
+  Obs.Trace.with_span ~cat:"driver" "driver.unit" @@ fun () ->
   match u.u_members with
   | [ (i, Job { profiler = (module P); config; finish; _ }) ] ->
     (* solo units take the profiler's own entry point, exactly the
        pre-fusion code path *)
     [ (i, finish (P.run ?config ?fuel prog)) ]
   | members ->
+    Obs.Metrics.incr m_fused_units;
     let items =
       List.map
         (fun (_, Job { profiler; config; finish; _ }) ->

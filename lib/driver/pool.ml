@@ -47,16 +47,23 @@ let cancellation () = Atomic.make false
 let cancel c = Atomic.set c true
 let cancelled c = Atomic.get c
 
+let m_jobs = Obs.Metrics.counter "pool.jobs"
+let m_errors = Obs.Metrics.counter "pool.errors"
+let m_workers = Obs.Metrics.counter "pool.workers_spawned"
+
 let map_result ?jobs ?cancel:(flag = cancellation ()) ?(stop_on_error = false)
     f items =
   let run_one x =
+    Obs.Metrics.incr m_jobs;
     match
-      (Fault.point ~site:"pool.worker";
-       f x)
+      Obs.Trace.with_span ~cat:"driver" "pool.job" (fun () ->
+          Fault.point ~site:"pool.worker";
+          f x)
     with
     | v -> Ok v
     | exception e ->
       let err = Error (e, Printexc.get_raw_backtrace ()) in
+      Obs.Metrics.incr m_errors;
       if stop_on_error then Atomic.set flag true;
       err
   in
@@ -71,18 +78,21 @@ let map_result ?jobs ?cancel:(flag = cancellation ()) ?(stop_on_error = false)
     let results = Array.make n None in
     let work = deque_of_list (List.init n Fun.id) in
     let worker () =
-      let rec loop () =
-        if not (Atomic.get flag) then
-          match pop_front work with
-          | None -> ()
-          | Some i ->
-            (* distinct indices: no two domains ever write the same slot;
-               the worker's backtrace is captured with the exception so the
-               re-raise on the caller's domain points at the real failure *)
-            results.(i) <- Some (run_one items.(i));
-            loop ()
-      in
-      loop ()
+      Obs.Metrics.incr m_workers;
+      Obs.Trace.with_span ~cat:"driver" "pool.worker" (fun () ->
+          let rec loop () =
+            if not (Atomic.get flag) then
+              match pop_front work with
+              | None -> ()
+              | Some i ->
+                (* distinct indices: no two domains ever write the same slot;
+                   the worker's backtrace is captured with the exception so
+                   the re-raise on the caller's domain points at the real
+                   failure *)
+                results.(i) <- Some (run_one items.(i));
+                loop ()
+          in
+          loop ())
     in
     let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
     worker ();

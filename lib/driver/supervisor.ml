@@ -72,33 +72,52 @@ let attempt_fuel policy base k =
     let widened = f lsl k in
     Some (if k >= 62 || widened < f then max_int else widened)
 
+let m_sup_jobs = Obs.Metrics.counter "supervisor.jobs"
+let m_sup_retries = Obs.Metrics.counter "supervisor.retries"
+let m_sup_timeouts = Obs.Metrics.counter "supervisor.timeouts"
+let m_sup_failures = Obs.Metrics.counter "supervisor.failures"
+let m_sup_cancelled = Obs.Metrics.counter "supervisor.cancelled"
+
 (* The supervised core: every item is a (name, base_fuel, run) triple;
    [run ~fuel] performs one attempt under the given budget. *)
 let supervise ?(policy = default_policy) ?jobs items =
   let flag = Pool.cancellation () in
   let cancelled_outcome name =
+    Obs.Metrics.incr m_sup_cancelled;
     { o_name = name; o_attempts = 0; o_result = Error Cancelled }
   in
   let run_one (name, base, run) =
     (* a worker may pop a job between a fatal failure and its cancel
        becoming visible; honour the flag here too *)
     if Pool.cancelled flag then cancelled_outcome name
-    else
-      let rec go k =
-        match
-          (Fault.point ~site:"supervisor.job";
-           run ~fuel:(attempt_fuel policy base k))
-        with
-        | v -> { o_name = name; o_attempts = k + 1; o_result = Ok v }
-        | exception e ->
-          let err = classify e in
-          if k < policy.retries then go (k + 1)
-          else begin
-            if policy.on_error = `Abort then Pool.cancel flag;
-            { o_name = name; o_attempts = k + 1; o_result = Error err }
-          end
-      in
-      go 0
+    else begin
+      Obs.Metrics.incr m_sup_jobs;
+      Obs.Trace.with_span ~cat:"supervisor" ("supervisor.job:" ^ name)
+        (fun () ->
+          let rec go k =
+            match
+              (Fault.point ~site:"supervisor.job";
+               run ~fuel:(attempt_fuel policy base k))
+            with
+            | v -> { o_name = name; o_attempts = k + 1; o_result = Ok v }
+            | exception e ->
+              let err = classify e in
+              (match err with
+               | Timeout _ -> Obs.Metrics.incr m_sup_timeouts
+               | Trap _ | Io _ | Injected _ | Cancelled | Crash _ -> ());
+              if k < policy.retries then begin
+                Obs.Metrics.incr m_sup_retries;
+                Obs.Trace.instant ~cat:"supervisor" "supervisor.retry";
+                go (k + 1)
+              end
+              else begin
+                Obs.Metrics.incr m_sup_failures;
+                if policy.on_error = `Abort then Pool.cancel flag;
+                { o_name = name; o_attempts = k + 1; o_result = Error err }
+              end
+          in
+          go 0)
+    end
   in
   let slots = Pool.map_result ?jobs ~cancel:flag run_one items in
   report_of

@@ -93,11 +93,75 @@ type report = {
   failures : failure list;
 }
 
-let run_specs ?policy ?jobs specs =
+type run_config = {
+  rc_jobs : int option;
+  rc_fuel : int option;
+  rc_retries : int;
+  rc_fail_fast : bool;
+  rc_checkpoint : Checkpoint.t option;
+  rc_trace : string option;
+  rc_metrics : string option;
+}
+
+let default_run_config =
+  { rc_jobs = None;
+    rc_fuel = Supervisor.default_policy.Supervisor.fuel_timeout;
+    rc_retries = Supervisor.default_policy.Supervisor.retries;
+    rc_fail_fast = false;
+    rc_checkpoint = None;
+    rc_trace = None;
+    rc_metrics = None }
+
+let policy_of_config c =
+  { Supervisor.retries = c.rc_retries;
+    fuel_timeout = c.rc_fuel;
+    on_error = (if c.rc_fail_fast then `Abort else `Skip) }
+
+let config_of_policy ?jobs ?checkpoint (p : Supervisor.policy) =
+  { default_run_config with
+    rc_jobs = jobs;
+    rc_fuel = p.Supervisor.fuel_timeout;
+    rc_retries = p.Supervisor.retries;
+    rc_fail_fast = p.Supervisor.on_error = `Abort;
+    rc_checkpoint = checkpoint }
+
+(* Sink plumbing: if the config names a trace sink, the trace is reset
+   and enabled for exactly this run and written (disabled again) on the
+   way out, exceptions included; a metrics sink snapshots the registry on
+   the way out. Both writes are silent — callers own stdout. *)
+let with_sinks cfg f =
+  (match cfg.rc_trace with
+   | Some _ ->
+     Obs.Trace.reset ();
+     Obs.Trace.set_enabled true
+   | None -> ());
+  let finish () =
+    (match cfg.rc_trace with
+     | Some path ->
+       Obs.Trace.set_enabled false;
+       Obs.Trace.write_file path
+     | None -> ());
+    match cfg.rc_metrics with
+    | Some path -> Obs.Metrics.write_file path
+    | None -> ()
+  in
+  match f () with
+  | v ->
+    finish ();
+    v
+  | exception e ->
+    finish ();
+    raise e
+
+let run_spec_traced spec =
+  Obs.Trace.with_span ~cat:"experiments" ("experiment:" ^ spec.id) spec.run
+
+let run ?(config = default_run_config) specs =
+  with_sinks config @@ fun () ->
   let rep =
-    Supervisor.map ?policy ?jobs
+    Supervisor.map ~policy:(policy_of_config config) ?jobs:config.rc_jobs
       ~name:(fun s -> s.id)
-      (fun spec -> (spec, spec.run ()))
+      (fun spec -> (spec, run_spec_traced spec))
       specs
   in
   let failures =
@@ -112,11 +176,25 @@ let run_specs ?policy ?jobs specs =
   in
   { results = Supervisor.oks rep; failures }
 
+let run_strings ?(config = default_run_config) specs =
+  with_sinks config @@ fun () ->
+  Supervisor.run_strings ~policy:(policy_of_config config)
+    ?jobs:config.rc_jobs ?checkpoint:config.rc_checkpoint
+    (List.map
+       (fun spec -> (spec.id, fun () -> render spec (run_spec_traced spec)))
+       specs)
+
+(* --- deprecated wrappers (one release): callers should build a
+   [run_config] and use {!run} / {!run_strings} --- *)
+
+let run_specs ?(policy = Supervisor.default_policy) ?jobs specs =
+  run ~config:(config_of_policy ?jobs policy) specs
+
 let run_all ?policy ?jobs () = run_specs ?policy ?jobs all
 
-let run_specs_strings ?policy ?jobs ?checkpoint specs =
-  Supervisor.run_strings ?policy ?jobs ?checkpoint
-    (List.map (fun spec -> (spec.id, fun () -> render spec (spec.run ()))) specs)
+let run_specs_strings ?(policy = Supervisor.default_policy) ?jobs ?checkpoint
+    specs =
+  run_strings ~config:(config_of_policy ?jobs ?checkpoint policy) specs
 
 let string_of_failure f =
   Printf.sprintf "experiment %s FAILED after %d attempt%s: %s" f.f_spec.id

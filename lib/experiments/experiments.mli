@@ -40,20 +40,47 @@ type report = {
 
 val string_of_failure : failure -> string
 
-(** Run a subset of the suite under supervision (see {!Supervisor}):
-    each experiment is retried per [policy] (default
-    {!Supervisor.default_policy}) and recorded as a {!failure} instead of
-    raising. [jobs] sizes the worker pool ([0] = recommended count). *)
+(** Everything a supervised suite run is parameterized by, in one record:
+    the CLI, the tests and CI all build the same value instead of
+    threading separate [?policy]/[?jobs]/[?checkpoint] options. *)
+type run_config = {
+  rc_jobs : int option;  (** worker pool size; [None] = recommended count *)
+  rc_fuel : int option;  (** per-attempt fuel budget; [None] = unlimited *)
+  rc_retries : int;  (** extra attempts per experiment after the first *)
+  rc_fail_fast : bool;  (** abort the suite on the first hard failure *)
+  rc_checkpoint : Checkpoint.t option;  (** crash-safe resume store *)
+  rc_trace : string option;  (** write a Chrome trace of the run here *)
+  rc_metrics : string option;  (** write a registry snapshot here *)
+}
+
+(** Serial, one retry, no fuel limit, no checkpoint, no sinks. *)
+val default_run_config : run_config
+
+(** The supervisor policy a config induces (retries / fuel / skip-vs-abort). *)
+val policy_of_config : run_config -> Supervisor.policy
+
+(** Run a subset of the suite under supervision (see {!Supervisor}): each
+    experiment runs in an ["experiment:<id>"] trace span, is retried per
+    the config and recorded as a {!failure} instead of raising. If the
+    config names trace/metrics sinks they are written on the way out
+    (tracing is enabled for exactly this run). *)
+val run : ?config:run_config -> spec list -> report
+
+(** Supervised run yielding each experiment's {!render}ed bytes, with
+    crash-safe checkpoint/resume when [rc_checkpoint] is set (see
+    {!Checkpoint}): committed experiments are served from the store
+    without rerunning; fresh ones are committed as they finish. *)
+val run_strings : ?config:run_config -> spec list -> string Supervisor.report
+
+(** @deprecated Build a {!run_config} and call {!run}. *)
 val run_specs : ?policy:Supervisor.policy -> ?jobs:int -> spec list -> report
 
 (** [run_specs] over the whole registry. Safe at any [jobs]: the harness
-    memo caches are domain-safe and each run owns its machines. *)
+    memo caches are domain-safe and each run owns its machines.
+    @deprecated Build a {!run_config} and call {!run}. *)
 val run_all : ?policy:Supervisor.policy -> ?jobs:int -> unit -> report
 
-(** Supervised run yielding each experiment's {!render}ed bytes, with
-    optional crash-safe checkpoint/resume (see {!Checkpoint}): committed
-    experiments are served from the store without rerunning; fresh ones
-    are committed as they finish. *)
+(** @deprecated Build a {!run_config} and call {!run_strings}. *)
 val run_specs_strings :
   ?policy:Supervisor.policy ->
   ?jobs:int ->

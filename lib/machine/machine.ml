@@ -285,12 +285,23 @@ let step t =
       fire_hook t pc 0L 0L
   end
 
+let m_runs = Obs.Metrics.counter "machine.runs"
+let m_steps = Obs.Metrics.counter "machine.steps"
+
 let run ?(fuel = 500_000_000) t =
   (* counting down in a tail-recursive loop keeps the budget in a register
      instead of a heap-allocated ref dereferenced every instruction; the
      fault-injection flag is read once, so a fault-free run's loop carries
-     only a perfectly-predicted register test per step *)
+     only a perfectly-predicted register test per step. Observability sits
+     entirely outside the loop: a span around the whole run and two
+     counter adds after it, never per step. *)
   let faults = Fault.enabled () in
+  let start_icount = t.icount in
+  let finish () =
+    Obs.Metrics.incr m_runs;
+    Obs.Metrics.add m_steps (t.icount - start_icount)
+  in
+  Obs.Trace.begin_span ~cat:"machine" "machine.run";
   let rec loop remaining =
     if not t.halted then
       if remaining <= 0 then raise (Trap (Fuel_exhausted fuel))
@@ -300,7 +311,14 @@ let run ?(fuel = 500_000_000) t =
         loop (remaining - 1)
       end
   in
-  loop fuel;
+  (match loop fuel with
+   | () -> ()
+   | exception e ->
+     finish ();
+     Obs.Trace.end_span ~cat:"machine" "machine.run";
+     raise e);
+  finish ();
+  Obs.Trace.end_span ~cat:"machine" "machine.run";
   t.icount
 
 let execute ?fuel prog =

@@ -82,8 +82,13 @@ let steady t = t.cap / 2
    in place: [kept] is preallocated scratch, and the top-k selection is
    O(cap * k) scans over the (cache-resident) counts, so the clear
    allocates nothing. Ties on count keep the lowest-numbered slot. *)
+let m_clears = Obs.Metrics.counter "tnv.clears"
+let m_evictions = Obs.Metrics.counter "tnv.evictions"
+
 let periodic_clear t =
   t.clears <- t.clears + 1;
+  Obs.Metrics.incr m_clears;
+  Obs.Trace.instant ~cat:"tnv" "tnv.clear";
   t.last_slot <- -1;
   let k = steady t in
   Array.fill t.kept 0 t.cap false;
@@ -120,6 +125,7 @@ let index_of_min t key =
 
 let replace t victim v =
   t.replacements <- t.replacements + 1;
+  Obs.Metrics.incr m_evictions;
   t.values.(victim) <- v;
   t.counts.(victim) <- 1;
   t.stamps.(victim) <- t.total;

@@ -15,6 +15,13 @@ let create () =
 
 let now () = Unix.gettimeofday ()
 
+let accumulate ~into c =
+  into.events_seen <- into.events_seen + c.events_seen;
+  into.events_profiled <- into.events_profiled + c.events_profiled;
+  into.tnv_clears <- into.tnv_clears + c.tnv_clears;
+  into.tnv_replacements <- into.tnv_replacements + c.tnv_replacements;
+  into.wall_seconds <- into.wall_seconds +. c.wall_seconds
+
 let events_per_sec c =
   if c.wall_seconds > 0. then float_of_int c.events_seen /. c.wall_seconds
   else 0.

@@ -24,6 +24,10 @@ val create : unit -> t
 (** Wall clock for stamping [wall_seconds] ([Unix.gettimeofday]). *)
 val now : unit -> float
 
+(** [accumulate ~into c] adds every field of [c] onto [into] (wall time
+    included), for summing costs across fused profilers or runs. *)
+val accumulate : into:t -> t -> unit
+
 (** [events_seen] per wall second; 0 when no time elapsed. *)
 val events_per_sec : t -> float
 

@@ -1,0 +1,179 @@
+(* Tests for the observability substrate (lib/obs): the hand-rolled JSON
+   round trip, the metrics registry — including the qcheck property that
+   histogram percentiles are exactly Stats.percentile — and the span
+   tracer's structural guarantees: well-nestedness per domain, a parseable
+   Chrome export, and byte-identical structure across identical runs. *)
+
+open Isa
+
+(* A tiny load loop; enough to exercise machine.run and the TNV path
+   without slowing the suite down. *)
+let program () =
+  let b = Asm.create () in
+  let base = Asm.data b (Array.init 64 (fun i -> Int64.of_int (i land 7))) in
+  Asm.proc b "main" (fun b ->
+      Asm.ldi b t0 0L;
+      Asm.ldi b t1 base;
+      Asm.label b "loop";
+      Asm.cmplti b ~dst:t2 t0 64L;
+      Asm.br b Eq t2 "done";
+      Asm.add b ~dst:t3 t1 t0;
+      Asm.ld b ~dst:t4 ~base:t3 ~off:0;
+      Asm.addi b ~dst:t0 t0 1L;
+      Asm.jmp b "loop";
+      Asm.label b "done";
+      Asm.halt b);
+  Asm.assemble b ~entry:"main"
+
+(* The registry is process-global and cumulative, so every test mints its
+   own metric names and asserts only on what it created. *)
+let fresh =
+  let n = ref 0 in
+  fun kind ->
+    incr n;
+    Printf.sprintf "test_obs.%s.%d" kind !n
+
+(* --- JSON --- *)
+
+let test_json_roundtrip () =
+  let open Obs.Json in
+  let v =
+    Obj
+      [ ("a", List [ Num 1.; Num 2.5; Str "x\n\"y\\z\t" ]);
+        ("b", Null);
+        ("c", Bool true);
+        ("big", Num 1234567.);
+        ("neg", Num (-3.25));
+        ("empty", List []);
+        ("nested", Obj [ ("k", Str "") ]) ]
+  in
+  match parse (to_string v) with
+  | Ok v' -> Alcotest.(check bool) "round-trips" true (v = v')
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_json_parse_and_member () =
+  let open Obs.Json in
+  (match parse {|{"a": [1, true, null, "A"]}|} with
+   | Ok v ->
+     (match member "a" v with
+      | Some (List [ Num 1.; Bool true; Null; Str "A" ]) -> ()
+      | _ -> Alcotest.fail "member \"a\" mismatch");
+     Alcotest.(check bool) "missing member" true (member "zz" v = None)
+   | Error e -> Alcotest.failf "parse failed: %s" e);
+  List.iter
+    (fun bad ->
+      match parse bad with
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" bad
+      | Error _ -> ())
+    [ {|{"a": }|}; "[1, 2"; ""; "nul"; {|"unterminated|}; "{} trailing" ]
+
+(* --- metrics registry --- *)
+
+let test_metrics_counter_gauge () =
+  let cname = fresh "counter" in
+  let c = Obs.Metrics.counter cname in
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 41;
+  Alcotest.(check int) "counter value" 42 (Obs.Metrics.counter_value c);
+  Alcotest.(check int) "same name, same counter" 42
+    (Obs.Metrics.counter_value (Obs.Metrics.counter cname));
+  let g = Obs.Metrics.gauge (fresh "gauge") in
+  Obs.Metrics.set_gauge g 2.5;
+  Alcotest.(check (float 0.)) "gauge value" 2.5 (Obs.Metrics.gauge_value g);
+  (match Obs.Metrics.gauge cname with
+   | _ -> Alcotest.fail "kind mismatch must raise"
+   | exception Invalid_argument _ -> ());
+  let names = List.map fst (Obs.Metrics.snapshot ()) in
+  Alcotest.(check bool) "snapshot name-sorted" true
+    (names = List.sort compare names);
+  Alcotest.(check bool) "snapshot has the counter" true (List.mem cname names)
+
+let test_metrics_json_parses () =
+  ignore (Obs.Metrics.counter (fresh "counter"));
+  let h = Obs.Metrics.histogram (fresh "hist") in
+  List.iter (Obs.Metrics.observe h) [ 3.; 1.; 2. ];
+  match Obs.Json.parse (Obs.Json.to_string (Obs.Metrics.to_json ())) with
+  | Ok v ->
+    (match Obs.Json.member "metrics" v with
+     | Some (Obs.Json.List (_ :: _)) -> ()
+     | _ -> Alcotest.fail "missing metrics array")
+  | Error e -> Alcotest.failf "metrics JSON does not parse: %s" e
+
+(* The registry adds no second quantile estimator: a histogram's
+   percentile must be Stats.percentile of its samples, exactly. *)
+let prop_histogram_percentile_matches_stats =
+  let arg =
+    QCheck.make
+      QCheck.Gen.(
+        pair
+          (array_size (int_range 1 50) (float_bound_inclusive 1000.))
+          (float_bound_inclusive 100.))
+  in
+  QCheck.Test.make ~name:"histogram percentile = Stats.percentile" ~count:200
+    arg
+    (fun (xs, p) ->
+      let h = Obs.Metrics.histogram (fresh "qhist") in
+      Array.iter (Obs.Metrics.observe h) xs;
+      Obs.Metrics.histogram_percentile h p = Stats.percentile p xs)
+
+(* --- tracer --- *)
+
+(* One deterministic traced run through the stack: a supervised pool job
+   (supervisor + driver spans) running a full profile (machine span, TNV
+   instants). jobs=1 keeps everything on one domain. *)
+let traced_structure () =
+  Obs.Trace.reset ();
+  Obs.Trace.set_enabled true;
+  ignore
+    (Supervisor.map ~jobs:1
+       ~name:(fun _ -> "obs")
+       (fun () -> ignore (Profile.run ~selection:`Loads (program ())))
+       [ () ]);
+  Obs.Trace.set_enabled false;
+  Obs.Trace.structure ()
+
+let test_trace_well_nested_and_layers () =
+  let s = traced_structure () in
+  (match Obs.Trace.well_nested () with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "not well nested: %s" e);
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true
+        (Astring_contains.contains s needle))
+    [ "machine.run"; "pool.job"; "supervisor.job:obs" ]
+
+let test_trace_json_parses () =
+  ignore (traced_structure ());
+  match Obs.Json.parse (Obs.Json.to_string (Obs.Trace.to_json ())) with
+  | Ok v ->
+    (match Obs.Json.member "traceEvents" v with
+     | Some (Obs.Json.List (_ :: _)) -> ()
+     | _ -> Alcotest.fail "missing traceEvents")
+  | Error e -> Alcotest.failf "trace JSON does not parse: %s" e
+
+let test_trace_structure_deterministic () =
+  let a = traced_structure () in
+  let b = traced_structure () in
+  Alcotest.(check string) "byte-identical structure" a b
+
+let test_trace_off_records_nothing () =
+  Obs.Trace.reset ();
+  ignore (Profile.run ~selection:`Loads (program ()));
+  Alcotest.(check int) "no events while off" 0
+    (List.length (Obs.Trace.events ()))
+
+let suite =
+  [ Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json parse and member" `Quick
+      test_json_parse_and_member;
+    Alcotest.test_case "counters and gauges" `Quick test_metrics_counter_gauge;
+    Alcotest.test_case "metrics JSON parses" `Quick test_metrics_json_parses;
+    QCheck_alcotest.to_alcotest prop_histogram_percentile_matches_stats;
+    Alcotest.test_case "trace well-nested, all layers" `Quick
+      test_trace_well_nested_and_layers;
+    Alcotest.test_case "trace JSON parses" `Quick test_trace_json_parses;
+    Alcotest.test_case "trace structure deterministic" `Quick
+      test_trace_structure_deterministic;
+    Alcotest.test_case "trace off records nothing" `Quick
+      test_trace_off_records_nothing ]

@@ -1,0 +1,113 @@
+(* CI checker for the observability artifacts.
+
+   Validates that a --trace file is well-formed Chrome trace_event JSON
+   whose spans nest properly per thread and cover the expected layers
+   (machine, driver, supervisor), and that a --metrics file is a
+   well-formed registry dump. Exits 0 when both pass, 1 with a diagnostic
+   on the first defect, 2 on usage errors.
+
+   Usage: check_obs TRACE.json METRICS.json *)
+
+let fail fmt =
+  Printf.ksprintf (fun s -> prerr_endline ("check_obs: " ^ s); exit 1) fmt
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> s
+  | exception Sys_error e -> fail "%s" e
+
+let parse path =
+  match Obs.Json.parse (read_file path) with
+  | Ok v -> v
+  | Error e -> fail "%s: %s" path e
+
+let str = function Obs.Json.Str s -> Some s | _ -> None
+let num = function Obs.Json.Num n -> Some n | _ -> None
+
+let check_trace path =
+  let v = parse path in
+  let events =
+    match Obs.Json.member "traceEvents" v with
+    | Some (Obs.Json.List l) -> l
+    | _ -> fail "%s: missing traceEvents array" path
+  in
+  if events = [] then fail "%s: empty trace" path;
+  let cats = Hashtbl.create 8 in
+  (* one begin/end stack per tid: every "E" must close the innermost open
+     "B" of the same name on its own thread, and nothing may stay open *)
+  let stacks : (float, string list ref) Hashtbl.t = Hashtbl.create 4 in
+  let stack tid =
+    match Hashtbl.find_opt stacks tid with
+    | Some s -> s
+    | None ->
+      let s = ref [] in
+      Hashtbl.add stacks tid s;
+      s
+  in
+  List.iteri
+    (fun i ev ->
+      let field name conv =
+        match Option.bind (Obs.Json.member name ev) conv with
+        | Some x -> x
+        | None -> fail "%s: event %d: missing or ill-typed %S" path i name
+      in
+      let name = field "name" str in
+      let ph = field "ph" str in
+      let tid = field "tid" num in
+      ignore (field "ts" num);
+      (match Obs.Json.member "cat" ev with
+       | Some (Obs.Json.Str c) -> Hashtbl.replace cats c ()
+       | _ -> ());
+      let s = stack tid in
+      match ph with
+      | "B" -> s := name :: !s
+      | "E" ->
+        (match !s with
+         | top :: rest when top = name -> s := rest
+         | top :: _ ->
+           fail "%s: event %d: end of %S while %S is open" path i name top
+         | [] -> fail "%s: event %d: end of %S with no open span" path i name)
+      | "i" -> ()
+      | other -> fail "%s: event %d: unknown phase %S" path i other)
+    events;
+  Hashtbl.iter
+    (fun tid s ->
+      match !s with
+      | [] -> ()
+      | top :: _ -> fail "%s: tid %.0f: span %S left open" path tid top)
+    stacks;
+  List.iter
+    (fun layer ->
+      if not (Hashtbl.mem cats layer) then
+        fail "%s: no spans from the %s layer" path layer)
+    [ "machine"; "driver"; "supervisor" ];
+  Printf.printf "%s: %d events, spans well nested, layers covered\n" path
+    (List.length events)
+
+let check_metrics path =
+  let v = parse path in
+  let metrics =
+    match Obs.Json.member "metrics" v with
+    | Some (Obs.Json.List l) -> l
+    | _ -> fail "%s: missing metrics array" path
+  in
+  if metrics = [] then fail "%s: empty registry dump" path;
+  List.iteri
+    (fun i m ->
+      match
+        ( Option.bind (Obs.Json.member "name" m) str,
+          Option.bind (Obs.Json.member "type" m) str )
+      with
+      | Some _, Some _ -> ()
+      | _ -> fail "%s: metric %d: missing name or type" path i)
+    metrics;
+  Printf.printf "%s: %d metrics\n" path (List.length metrics)
+
+let () =
+  match Sys.argv with
+  | [| _; trace; metrics |] ->
+    check_trace trace;
+    check_metrics metrics
+  | _ ->
+    prerr_endline "usage: check_obs TRACE.json METRICS.json";
+    exit 2
