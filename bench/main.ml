@@ -219,11 +219,21 @@ let fused_3_profilers () =
 (* One Part-4 measurement. [bdomains] carries the worker-domain count for
    driver entries, so the domain count lives in data rather than being
    mangled into the name (which previously produced the near-duplicate
-   names driver_1_domain / driver_1_domains on a 1-core machine). *)
+   names driver_1_domain / driver_1_domains on a 1-core machine).
+
+   [bevents] keeps each entry's own natural unit (solo_3_profilers counts
+   the steps of all 3 passes, fused_3_profilers the steps of its single
+   execution), which makes the events_per_sec of such pairs incomparable
+   — dividing by different denominators read as a fused slowdown when
+   wall-clock was ~1.7x faster. [bmachine_events], when set, is the
+   SHARED denominator (machine events of one workload execution x iters)
+   published as machine_events / machine_events_per_sec alongside, so
+   entries that do the same profiling work compare on the same scale. *)
 type bench_entry = {
   bname : string;
   bdomains : int option;
   bevents : int;
+  bmachine_events : int option;
   bseconds : float;
 }
 
@@ -272,17 +282,63 @@ let bench_json () =
     |> List.fold_left ( + ) 0
   in
   let n = Driver.default_jobs () in
-  let entry ?domains bname (bevents, bseconds) =
-    { bname; bdomains = domains; bevents; bseconds }
+  let entry ?domains ?machine_events bname (bevents, bseconds) =
+    { bname; bdomains = domains; bevents; bmachine_events = machine_events;
+      bseconds }
   in
+  (* The shared denominator: machine events of ONE go/test execution,
+     times the iterations each rep performs. Every entry whose repetition
+     is exactly one logical execution of the workload carries it, so
+     solo/fused/sharded/full compare on the same scale. *)
+  let steps1 =
+    let m = Machine.create bench_program in
+    ignore (Machine.run m);
+    Machine.icount m
+  in
+  let shared = iters * steps1 in
+  (* Sharded collection of the same profile: plans are built once per K
+     outside the clock (the steady-state cost a repeated collector pays);
+     the timed body is the K windowed executions plus the merge. *)
+  let sharded plan () =
+    let p = Shard.profile_plan ~jobs:n plan in
+    p.Profile.profiled_events
+  in
+  let shard_counts = List.sort_uniq compare (2 :: if n > 2 then [ n ] else []) in
+  let sharded_entries =
+    List.map
+      (fun k ->
+        let pl = Shard.plan bench_workload Workload.Test ~shards:k in
+        entry
+          ~domains:(min n (Shard.plan_size pl))
+          ~machine_events:shared
+          (Printf.sprintf "sharded_%d" k)
+          (timed_events ~iters reps (sharded pl)))
+      shard_counts
+  in
+  (* The driver entry records the domain count that actually resolves
+     (never more workers than jobs); on a 1-core machine the N-domain
+     entry would duplicate driver_1_domain under a misleading name, so it
+     is skipped instead of published with domains = 1. *)
+  let resolved = min n (List.length Workloads.all) in
   [ entry "tnv_add" (timed_events reps tnv_add);
-    entry "full_profile" (timed_events ~iters reps full_profile);
-    entry "sampler" (timed_events ~iters reps sampler);
-    entry "solo_3_profilers" (timed_events ~iters reps solo_3_profilers);
-    entry "fused_3_profilers" (timed_events ~iters reps fused_3_profilers);
+    entry ~machine_events:shared "full_profile"
+      (timed_events ~iters reps full_profile);
+    entry ~machine_events:shared "sampler" (timed_events ~iters reps sampler);
+    entry ~machine_events:shared "solo_3_profilers"
+      (timed_events ~iters reps solo_3_profilers);
+    entry ~machine_events:shared "fused_3_profilers"
+      (timed_events ~iters reps fused_3_profilers);
     entry ~domains:1 "driver_1_domain" (timed_events 1 (driver 1));
-    entry ~domains:1 "driver_supervised_1_domain" (timed_events 1 (supervised 1));
-    entry ~domains:n "driver_N_domains" (timed_events 1 (driver n)) ]
+    entry ~domains:1 "driver_supervised_1_domain" (timed_events 1 (supervised 1)) ]
+  @ (if resolved > 1 then
+       [ entry ~domains:resolved "driver_N_domains"
+           (timed_events 1 (driver resolved)) ]
+     else begin
+       Printf.printf
+         "  (driver_N_domains skipped: only 1 worker domain resolves here)\n";
+       []
+     end)
+  @ sharded_entries
 
 (* Publish one entry into the registry and hand back the handles; the
    JSON below is then read from the registry, not from the raw record, so
@@ -298,10 +354,26 @@ let publish_entry e =
   in
   Obs.Metrics.set_gauge rate
     (if e.bseconds > 0. then float_of_int e.bevents /. e.bseconds else 0.);
-  (evs, secs, rate)
+  let shared =
+    match e.bmachine_events with
+    | None -> None
+    | Some me ->
+      let mevs =
+        Obs.Metrics.counter (Printf.sprintf "bench.%s.machine_events" e.bname)
+      in
+      Obs.Metrics.add mevs me;
+      let mrate =
+        Obs.Metrics.gauge
+          (Printf.sprintf "bench.%s.machine_events_per_sec" e.bname)
+      in
+      Obs.Metrics.set_gauge mrate
+        (if e.bseconds > 0. then float_of_int me /. e.bseconds else 0.);
+      Some (mevs, mrate)
+  in
+  (evs, secs, rate, shared)
 
 let json_of_entry e =
-  let evs, secs, rate = publish_entry e in
+  let evs, secs, rate, shared = publish_entry e in
   Obs.Json.Obj
     (("name", Obs.Json.Str e.bname)
      ::
@@ -312,7 +384,14 @@ let json_of_entry e =
          Obs.Json.Num (float_of_int (Obs.Metrics.counter_value evs)));
         ("seconds", Obs.Json.Num (Obs.Metrics.gauge_value secs));
         ("events_per_sec",
-         Obs.Json.Num (Float.round (Obs.Metrics.gauge_value rate))) ])
+         Obs.Json.Num (Float.round (Obs.Metrics.gauge_value rate))) ]
+    @ (match shared with
+       | None -> []
+       | Some (mevs, mrate) ->
+         [ ("machine_events",
+            Obs.Json.Num (float_of_int (Obs.Metrics.counter_value mevs)));
+           ("machine_events_per_sec",
+            Obs.Json.Num (Float.round (Obs.Metrics.gauge_value mrate))) ]))
 
 let write_bench_json path =
   let entries = bench_json () in
@@ -332,9 +411,14 @@ let write_bench_json path =
   Printf.printf "wrote %s\n" path;
   List.iter
     (fun e ->
-      Printf.printf "  %-26s %12d events  %8.3fs  %12.0f events/s%s\n" e.bname
+      Printf.printf "  %-26s %12d events  %8.3fs  %12.0f events/s%s%s\n" e.bname
         e.bevents e.bseconds
         (if e.bseconds > 0. then float_of_int e.bevents /. e.bseconds else 0.)
+        (match e.bmachine_events with
+         | Some me when e.bseconds > 0. ->
+           Printf.sprintf "  %12.0f machine-events/s"
+             (float_of_int me /. e.bseconds)
+         | _ -> "")
         (match e.bdomains with
          | Some d -> Printf.sprintf "  (%d domains)" d
          | None -> ""))

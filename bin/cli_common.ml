@@ -20,6 +20,7 @@ let workload_conv =
               wmimics = "(file)";
               wdescr = s;
               wbuild = (fun _ -> prog);
+              wshard = None;
               warities = [] }
         | exception Parser.Parse_error (line, msg) ->
           Error (`Msg (Printf.sprintf "%s:%d: %s" s line msg))
@@ -89,6 +90,21 @@ let jobs_arg =
 
 (* Map the CLI value onto the driver's convention (0 = recommended). *)
 let effective_jobs j = if j <= 0 then Driver.default_jobs () else j
+
+let shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"K"
+        ~doc:
+          "Split one workload execution into K shards profiled in \
+           parallel (per-input-chunk programs when the workload supports \
+           them, icount-window slices of the full program otherwise) and \
+           merge the K profiles in shard order. $(b,--shards 1) is \
+           byte-identical to unsharded profiling, and merged output is \
+           identical however the shards were scheduled. 0 means the \
+           machine's recommended domain count.")
+
+let effective_shards k = if k <= 0 then Driver.default_jobs () else k
 
 let stats_arg =
   Arg.(

@@ -95,22 +95,29 @@ let save_arg =
 
 let profile_cmd =
   let run (w : Workload.t) input selection top tnv_size clear_interval save
-      fuel jobs stats trace metrics =
+      fuel jobs shards stats trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
     let vconfig =
       { Vstate.default_config with
         tnv_capacity = tnv_size; clear_interval }
     in
     let profile =
-      match
-        Driver.run_jobs ~jobs:(effective_jobs jobs)
-          [ Driver.job
-              (module Profile.Profiler)
-              ~config:{ Profile.vconfig; selection }
-              ?fuel ~finish:Fun.id w input ]
-      with
-      | [ p ] -> p
-      | _ -> assert false
+      if shards <> 1 then
+        (* sharded collection: K slices of ONE execution, each on its own
+           domain, merged in shard order (deterministic output) *)
+        Shard.profile ~config:vconfig ~selection ?fuel
+          ~jobs:(effective_jobs jobs)
+          ~shards:(effective_shards shards) w input
+      else
+        match
+          Driver.run_jobs ~jobs:(effective_jobs jobs)
+            [ Driver.job
+                (module Profile.Profiler)
+                ~config:{ Profile.vconfig; selection }
+                ?fuel ~finish:Fun.id w input ]
+        with
+        | [ p ] -> p
+        | _ -> assert false
     in
     (match save with
      | Some path ->
@@ -162,7 +169,7 @@ let profile_cmd =
     Term.(
       const run $ workload_arg $ input_arg $ selection_arg $ top_arg
       $ tnv_size_arg $ clear_interval_arg $ save_arg $ fuel_arg $ jobs_arg
-      $ stats_arg $ trace_arg $ metrics_arg)
+      $ shards_arg $ stats_arg $ trace_arg $ metrics_arg)
 
 (* memory *)
 
@@ -745,8 +752,8 @@ let write_failure_report dir (rep : string Supervisor.report) =
                 o.Supervisor.o_attempts)
           failures)
 
-let run_experiments id csv jobs checkpoint resume retries fail_fast fuel trace
-    metrics =
+let run_experiments id csv jobs shards checkpoint resume retries fail_fast
+    fuel trace metrics =
   let specs =
     if id = "all" then Experiments.all
     else
@@ -767,7 +774,8 @@ let run_experiments id csv jobs checkpoint resume retries fail_fast fuel trace
       rc_retries = max 0 retries;
       rc_fail_fast = fail_fast;
       rc_trace = trace;
-      rc_metrics = metrics }
+      rc_metrics = metrics;
+      rc_shards = effective_shards shards }
   in
   match checkpoint with
   | None ->
@@ -992,9 +1000,9 @@ let experiment_cmd =
     (Cmd.info "experiment"
        ~doc:"Regenerate the paper's tables and figures (see DESIGN.md).")
     Term.(
-      const run_experiments $ id_arg $ csv_arg $ jobs_arg $ checkpoint_arg
-      $ resume_arg $ retries_arg $ fail_fast_arg $ fuel_arg $ trace_arg
-      $ metrics_arg)
+      const run_experiments $ id_arg $ csv_arg $ jobs_arg $ shards_arg
+      $ checkpoint_arg $ resume_arg $ retries_arg $ fail_fast_arg $ fuel_arg
+      $ trace_arg $ metrics_arg)
 
 let experiments_cmd =
   let all_arg =
@@ -1019,15 +1027,15 @@ let experiments_cmd =
              it with $(b,--trace)/$(b,--metrics) to validate the \
              telemetry pipeline cheaply.")
   in
-  let run all id smoke csv jobs checkpoint resume retries fail_fast fuel trace
-      metrics =
+  let run all id smoke csv jobs shards checkpoint resume retries fail_fast
+      fuel trace metrics =
     let id =
       if smoke then "e01"
       else if all then "all"
       else Option.value id ~default:"all"
     in
-    run_experiments id csv jobs checkpoint resume retries fail_fast fuel trace
-      metrics
+    run_experiments id csv jobs shards checkpoint resume retries fail_fast fuel
+      trace metrics
   in
   Cmd.v
     (Cmd.info "experiments"
@@ -1039,8 +1047,8 @@ let experiments_cmd =
           the run crash-safe and $(b,--resume) continues one.")
     Term.(
       const run $ all_arg $ id_arg $ smoke_arg $ csv_arg $ jobs_arg
-      $ checkpoint_arg $ resume_arg $ retries_arg $ fail_fast_arg $ fuel_arg
-      $ trace_arg $ metrics_arg)
+      $ shards_arg $ checkpoint_arg $ resume_arg $ retries_arg $ fail_fast_arg
+      $ fuel_arg $ trace_arg $ metrics_arg)
 
 let () =
   let info =

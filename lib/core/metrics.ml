@@ -55,6 +55,56 @@ let weighted_mean field points =
     points;
   if !den = 0. then 0. else !num /. !den
 
+(* Merging collected metrics (vs. merging live {!Vstate}s, which is
+   exact): the TNV contents are carried in [top_values], so totals,
+   [inv_top] and [inv_all] are recomputed exactly from the merged table;
+   [lvp] and [zero] are count-weighted means (exact up to the one seam
+   event, which the shards never observed in the first place). What a
+   snapshot does NOT carry is the distinct set and the stride table, so
+   [distinct] degrades to [max] (a lower bound on the union) and the
+   stride figures to a deterministic dominant-shard approximation: keep
+   whichever operand's dominant stride accounts for more weighted mass
+   (ties to the smaller stride value) and rescale its fraction to the
+   merged total — a lower bound on the true dominant-stride fraction. *)
+let merge a b =
+  if a.total = 0 then b
+  else if b.total = 0 then a
+  else begin
+    let total = a.total + b.total in
+    let ft = float_of_int total in
+    let wa = float_of_int a.total and wb = float_of_int b.total in
+    let wavg fa fb = ((fa *. wa) +. (fb *. wb)) /. ft in
+    let top_values = Tnv.merge_entries a.top_values b.top_values in
+    let covered = Array.fold_left (fun acc (_, c) -> acc + c) 0 top_values in
+    let inv_top =
+      if Array.length top_values = 0 then 0.
+      else float_of_int (snd top_values.(0)) /. ft
+    in
+    let stride_top, top_stride =
+      match (a.top_stride, b.top_stride) with
+      | None, None -> (0., None)
+      | Some s, None -> (a.stride_top *. wa /. ft, Some s)
+      | None, Some s -> (b.stride_top *. wb /. ft, Some s)
+      | Some sa, Some sb when Int64.equal sa sb ->
+        (wavg a.stride_top b.stride_top, Some sa)
+      | Some sa, Some sb ->
+        let ma = a.stride_top *. wa and mb = b.stride_top *. wb in
+        if ma > mb || (ma = mb && Int64.compare sa sb <= 0) then
+          (ma /. ft, Some sa)
+        else (mb /. ft, Some sb)
+    in
+    { total;
+      lvp = wavg a.lvp b.lvp;
+      inv_top;
+      inv_all = float_of_int covered /. ft;
+      zero = wavg a.zero b.zero;
+      distinct = max a.distinct b.distinct;
+      distinct_saturated = a.distinct_saturated || b.distinct_saturated;
+      top_values;
+      stride_top;
+      top_stride }
+  end
+
 let to_string m =
   Printf.sprintf
     "execs %d  LVP %.1f%%  InvTop %.1f%%  InvAll %.1f%%  zero %.1f%%  diff %d%s"

@@ -54,5 +54,16 @@ val string_of_predictor_class : predictor_class -> string
     a metric across points, the aggregation every results table uses. *)
 val weighted_mean : (t -> float) -> t list -> float
 
+(** [merge a b] combines two collected snapshots as if [b]'s events
+    followed [a]'s. Exact for [total], [top_values] (count-weighted union
+    via {!Tnv.merge_entries}), [inv_top]/[inv_all] (recomputed from the
+    merged table), and the count-weighted [lvp]/[zero]. Approximate where
+    a snapshot doesn't carry enough state: [distinct] is the max of the
+    operands (a lower bound on the union) and the stride figures keep the
+    dominant operand's stride, rescaled (a lower bound on the true
+    dominant-stride fraction). Deterministic; prefer merging live
+    {!Vstate}s when both are available. *)
+val merge : t -> t -> t
+
 (** One-line rendering used by the CLI ("LVP 42.0% InvTop 61.3% …"). *)
 val to_string : t -> string

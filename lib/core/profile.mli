@@ -39,6 +39,43 @@ val run :
   Asm.program ->
   t
 
+(** [merge profiles] combines collected profiles point-wise by pc (union
+    of points, ascending; metrics via {!Metrics.merge}), summing
+    [profiled_events], [dynamic_instructions] and the cost counters.
+    Deterministic in the list order; left-associated, so
+    [merge [a; b; c] = merge [merge [a; b]; c]]. Raises [Invalid_argument]
+    on the empty list. Emits a [profile.merge] span. *)
+val merge : t list -> t
+
+(** Live profiling state of one slice (shard) of a workload execution,
+    kept at the {!Vstate} level so merging shards is exact (TNV and
+    distinct-set union) where merging collected {!t}s is not. *)
+type shard
+
+(** [run_shard ~window:(lo, hi) program] executes [program] in full but
+    profiles only events whose 1-based dynamic index [i] satisfies
+    [lo < i <= hi]. Windows partitioning [1 .. total] partition the
+    profiled event stream, and the shard's accountable event count is the
+    window length, so shard counts sum to the serial run's
+    [dynamic_instructions]. Omitting [window] makes the shard own its
+    whole run — the per-input-chunk mode, where each chunk program is the
+    slice. *)
+val run_shard :
+  ?config:Vstate.config ->
+  ?selection:Atom.selection ->
+  ?window:int * int ->
+  ?fuel:int ->
+  Asm.program ->
+  shard
+
+(** [merge_shards program shards] merges the shards in list order into
+    one profile ({!Vstate.merge} per pc, then snapshot). The result is a
+    function of the shards' contents and order only — never of how they
+    were scheduled across domains. [program] supplies instruction and
+    procedure labels. Raises [Invalid_argument] on the empty list. Emits
+    a [profile.merge] span. *)
+val merge_shards : Asm.program -> shard list -> t
+
 (** Points whose instruction has the given category. *)
 val points_by_category : t -> Isa.category -> point list
 

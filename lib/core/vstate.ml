@@ -73,6 +73,11 @@ module Distinct = struct
   let mem t v =
     Bytes.unsafe_get t.present (probe t v (hash t v)) <> '\000'
 
+  let iter t f =
+    for i = 0 to t.mask do
+      if Bytes.get t.present i <> '\000' then f t.values.(i)
+    done
+
   let reset t =
     if t.mask + 1 > initial_size then begin
       t.values <- Array.make initial_size 0L;
@@ -169,6 +174,31 @@ let metrics t =
       top_values = Tnv.entries t.tnv;
       stride_top = Tnv.inv_top t.deltas;
       top_stride = Option.map fst (Tnv.top t.deltas) }
+
+(* Merge two live states as if [b]'s event stream followed [a]'s.
+
+   Exact: TNV value and stride tables (count-weighted union, no
+   truncation), the distinct-value set (true set union), zero hits, and
+   totals. Approximate only at the single seam between the two streams:
+   the serial run would compare [b]'s first value against [a]'s last for
+   one potential LVP hit and one stride observation, which the merge
+   cannot reconstruct — so [lvp_hits] and the stride table may each be
+   short by at most 1 per merge. *)
+let merge a b =
+  let distinct = Distinct.create () in
+  Distinct.iter a.distinct (fun v -> ignore (Distinct.add distinct v));
+  Distinct.iter b.distinct (fun v -> ignore (Distinct.add distinct v));
+  let distinct_cap = max a.distinct_cap b.distinct_cap in
+  { tnv = Tnv.merge a.tnv b.tnv;
+    deltas = Tnv.merge a.deltas b.deltas;
+    distinct;
+    distinct_cap;
+    saturated =
+      a.saturated || b.saturated || Distinct.length distinct > distinct_cap;
+    last = (if b.has_last then b.last else a.last);
+    has_last = a.has_last || b.has_last;
+    lvp_hits = a.lvp_hits + b.lvp_hits;
+    zero_hits = a.zero_hits + b.zero_hits }
 
 let reset t =
   Tnv.reset t.tnv;

@@ -37,4 +37,15 @@ val inv_top : t -> float
 (** Current most-frequent value, without a full snapshot. *)
 val top_value : t -> int64 option
 
+(** [merge a b] is a fresh state equivalent to observing [a]'s event
+    stream followed by [b]'s, up to the single seam between them. TNV
+    value/stride tables are merged without truncation ({!Tnv.merge}), the
+    distinct sets are set-unioned, and zero hits and totals are summed —
+    all exact. The only loss is at the seam: the serial run would compare
+    [b]'s first value against [a]'s last (one potential LVP hit, one
+    stride observation), so [lvp] and the stride table can each be short
+    by at most one event per merge. Associative, and deterministic in its
+    arguments. *)
+val merge : t -> t -> t
+
 val reset : t -> unit

@@ -68,10 +68,16 @@ let map_result ?jobs ?cancel:(flag = cancellation ()) ?(stop_on_error = false)
       err
   in
   let jobs = min (resolve_jobs jobs) (List.length items) in
-  if jobs <= 1 then
-    List.map
-      (fun x -> if Atomic.get flag then None else Some (run_one x))
-      items
+  if jobs <= 1 then begin
+    (* The caller's domain IS the one worker: emit the same span and
+       spawn counter as the parallel path so -j1 traces are not missing
+       the driver's worker layer (check_obs expects it uniformly). *)
+    Obs.Metrics.incr m_workers;
+    Obs.Trace.with_span ~cat:"driver" "pool.worker" (fun () ->
+        List.map
+          (fun x -> if Atomic.get flag then None else Some (run_one x))
+          items)
+  end
   else begin
     let items = Array.of_list items in
     let n = Array.length items in

@@ -101,6 +101,7 @@ type run_config = {
   rc_checkpoint : Checkpoint.t option;
   rc_trace : string option;
   rc_metrics : string option;
+  rc_shards : int;
 }
 
 let default_run_config =
@@ -110,7 +111,8 @@ let default_run_config =
     rc_fail_fast = false;
     rc_checkpoint = None;
     rc_trace = None;
-    rc_metrics = None }
+    rc_metrics = None;
+    rc_shards = 1 }
 
 let policy_of_config c =
   { Supervisor.retries = c.rc_retries;
@@ -158,6 +160,7 @@ let run_spec_traced spec =
 
 let run ?(config = default_run_config) specs =
   with_sinks config @@ fun () ->
+  Harness.set_shards config.rc_shards;
   let rep =
     Supervisor.map ~policy:(policy_of_config config) ?jobs:config.rc_jobs
       ~name:(fun s -> s.id)
@@ -178,6 +181,7 @@ let run ?(config = default_run_config) specs =
 
 let run_strings ?(config = default_run_config) specs =
   with_sinks config @@ fun () ->
+  Harness.set_shards config.rc_shards;
   Supervisor.run_strings ~policy:(policy_of_config config)
     ?jobs:config.rc_jobs ?checkpoint:config.rc_checkpoint
     (List.map

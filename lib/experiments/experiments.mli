@@ -51,6 +51,9 @@ type run_config = {
   rc_checkpoint : Checkpoint.t option;  (** crash-safe resume store *)
   rc_trace : string option;  (** write a Chrome trace of the run here *)
   rc_metrics : string option;  (** write a registry snapshot here *)
+  rc_shards : int;
+      (** shard count for the harness's full value profiles (see
+          {!Harness.set_shards}); 1 = serial collection *)
 }
 
 (** Serial, one retry, no fuel limit, no checkpoint, no sinks. *)

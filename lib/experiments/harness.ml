@@ -32,7 +32,29 @@ let entry (w : Workload.t) input =
         e_profile = Profile.collect profile_live;
         e_procprof = Procprof.collect proc_live })
 
-let full_profile w input = (entry w input).e_profile
+(* Sharded full profiles are memoized separately, keyed by the shard
+   count, so flipping --shards mid-process never aliases a serial result
+   and vice versa. The plain machine state and the procedure profile stay
+   with the fused single execution either way — sharding only accelerates
+   the value profile, the one consumer whose result merges. *)
+let sharded_cache : (string * Workload.input * int, Profile.t) Memo_cache.t =
+  Memo_cache.create ~size:32 ()
+
+let sharded_profile ?jobs (w : Workload.t) input ~shards =
+  let shards = max 1 shards in
+  Memo_cache.find_or_compute sharded_cache (w.wname, input, shards) (fun () ->
+      Shard.profile ?jobs ~shards w input)
+
+let shard_count = Atomic.make 1
+
+let set_shards k = Atomic.set shard_count (max 1 k)
+
+let shards () = Atomic.get shard_count
+
+let full_profile w input =
+  match shards () with
+  | 1 -> (entry w input).e_profile
+  | k -> sharded_profile w input ~shards:k
 
 let plain_run w input = (entry w input).e_machine
 
@@ -42,7 +64,9 @@ let proc_profile w input = (entry w input).e_procprof
    workload/input however many accessors were hit). *)
 let machine_runs () = Memo_cache.computations cache
 
-let clear_cache () = Memo_cache.clear cache
+let clear_cache () =
+  Memo_cache.clear cache;
+  Memo_cache.clear sharded_cache
 
 let load_points p = Profile.points_by_category p Isa.Load
 

@@ -9,8 +9,23 @@
 (** All workloads, table order. *)
 val workloads : Workload.t list
 
-(** Memoized full value profile (selection [`All]) of a workload/input. *)
+(** Memoized full value profile (selection [`All]) of a workload/input.
+    With {!set_shards} above 1, collected shardedly via {!Shard.profile}
+    (memoized per shard count); otherwise from the fused single
+    execution. *)
 val full_profile : Workload.t -> Workload.input -> Profile.t
+
+(** Memoized sharded value profile, keyed by [(workload, input, shards)]
+    — independent of the {!set_shards} toggle. *)
+val sharded_profile :
+  ?jobs:int -> Workload.t -> Workload.input -> shards:int -> Profile.t
+
+(** Shard count {!full_profile} uses (default 1 = serial). Clamped to
+    [>= 1]. The toggle changes which memo table serves the profile, never
+    the contents of either. *)
+val set_shards : int -> unit
+
+val shards : unit -> int
 
 (** Memoized machine state after a full run. The machine carries the
     profilers' hooks but identical architectural state (registers, memory,

@@ -208,7 +208,14 @@ let entries t =
     if t.counts.(i) > 0 then occupied := (t.values.(i), t.counts.(i)) :: !occupied
   done;
   let arr = Array.of_list !occupied in
-  Array.sort (fun (_, a) (_, b) -> compare b a) arr;
+  (* (count desc, value asc): Array.sort is unstable, so a count-only
+     comparison would surface equal-count entries in slot-dependent order;
+     the value tie-break makes the order a pure function of the multiset
+     of entries, which byte-identical merged output depends on. *)
+  Array.sort
+    (fun (va, ca) (vb, cb) ->
+      if ca <> cb then compare cb ca else Int64.compare va vb)
+    arr;
   arr
 
 let top t =
@@ -224,6 +231,50 @@ let inv_top t =
 
 let inv_all t =
   if t.total = 0 then 0. else float_of_int (covered t) /. float_of_int t.total
+
+(* ---- Merging ------------------------------------------------------- *)
+
+let entry_order (va, ca) (vb, cb) =
+  if ca <> cb then compare cb ca else Int64.compare va vb
+
+let merge_entries a b =
+  let tbl : (int64, int ref) Hashtbl.t =
+    Hashtbl.create (Array.length a + Array.length b)
+  in
+  let feed (v, c) =
+    match Hashtbl.find_opt tbl v with
+    | Some r -> r := !r + c
+    | None -> Hashtbl.add tbl v (ref c)
+  in
+  Array.iter feed a;
+  Array.iter feed b;
+  let out = Array.make (Hashtbl.length tbl) (0L, 0) in
+  let i = ref 0 in
+  Hashtbl.iter (fun v r -> out.(!i) <- (v, !r); incr i) tbl;
+  Array.sort entry_order out;
+  out
+
+let m_merges = Obs.Metrics.counter "tnv.merges"
+
+let merge a b =
+  Obs.Metrics.incr m_merges;
+  let union = merge_entries (entries a) (entries b) in
+  (* The merged table holds the full union: truncating to either input's
+     capacity makes merge non-associative (which side of a tie survives
+     would depend on grouping), so capacity grows to fit. *)
+  let cap = max (max a.cap b.cap) (max 1 (Array.length union)) in
+  let t = create ~policy:a.pol ~clear_interval:a.interval ~capacity:cap () in
+  Array.iteri
+    (fun s (v, c) ->
+      t.values.(s) <- v;
+      t.counts.(s) <- c)
+    union;
+  t.occupied <- Array.length union;
+  t.total <- a.total + b.total;
+  t.clears <- a.clears + b.clears;
+  t.replacements <- a.replacements + b.replacements;
+  rebuild_index t;
+  t
 
 let reset t =
   Array.fill t.values 0 t.cap 0L;

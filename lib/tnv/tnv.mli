@@ -53,8 +53,11 @@ val total : t -> int
 (** Sum of in-table counts. *)
 val covered : t -> int
 
-(** Occupied entries, most frequent first (ties broken arbitrarily but
-    deterministically). *)
+(** Occupied entries in canonical order: count descending, then value
+    ascending. The order is a pure function of the multiset of entries
+    (never of slot layout or insertion history), so two tables holding the
+    same values with the same counts render identically — the property
+    byte-identical merged profiles rely on. *)
 val entries : t -> (int64 * int) array
 
 (** Most frequent entry, when any value has been recorded. *)
@@ -73,6 +76,30 @@ val clears : t -> int
 (** Evictions performed so far ({!Lfu} and {!Lru} only; the periodic clear
     is counted by {!clears}, not here). *)
 val replacements : t -> int
+
+(** [merge_entries a b] is the count-weighted union of two {!entries}
+    arrays in canonical (count desc, value asc) order. Pure and
+    deterministic: the result depends only on the multisets of entries. *)
+val merge_entries : (int64 * int) array -> (int64 * int) array -> (int64 * int) array
+
+(** [merge a b] is a fresh table holding the count-weighted union of the
+    entries of [a] and [b]; [total], [clears] and [replacements] are
+    summed. Policy and clear interval are taken from [a]. The merged
+    capacity is [max (max (capacity a) (capacity b)) (union size)] — the
+    union is {e never} truncated, because any capacity-bounded merge is
+    non-associative (which equal-count value survives would depend on
+    grouping). Consequently [merge] is associative and commutative up to
+    [capacity]/[policy] bookkeeping: the entries of
+    [merge (merge a b) c] and [merge a (merge b c)] are identical.
+
+    Error model vs. profiling the concatenated stream: counts of values
+    that held a slot in every shard are exact; a value that was dropped in
+    some shard (table full under {!Lfu_clear}) under-counts by exactly the
+    occurrences dropped there, the same way a single table drops them. So
+    [covered] is conservative, [total] is exact, and [inv_top]/[inv_all]
+    of the merge never exceed the concatenated-stream figures by more than
+    the per-shard drop rate. *)
+val merge : t -> t -> t
 
 (** Forget everything (capacity and policy retained). *)
 val reset : t -> unit

@@ -159,4 +159,5 @@ let workload =
     wmimics = "130.li (SPEC95)";
     wdescr = "stack-machine bytecode interpreter running a guest loop";
     wbuild = build;
+    wshard = None;
     warities = [ ("arith", 3); ("vm_run", 3) ] }

@@ -199,6 +199,7 @@ let grid_workload builds =
             Asm.br b Isa.Gt Isa.t0 "loop";
             Asm.halt b);
         Asm.assemble b ~entry:"main");
+    wshard = None;
     warities = [] }
 
 let test_fused_grid_kill_and_resume_byte_identical () =

@@ -222,6 +222,7 @@ let counting_workload ?(name = "tinyw") builds =
             Asm.br b Isa.Gt Isa.t0 "loop";
             Asm.halt b);
         Asm.assemble b ~entry:"main");
+    wshard = None;
     warities = [] }
 
 let test_fuse_coalesces_shared_executions () =

@@ -177,8 +177,40 @@ let test_backoff_resets_on_noisy_burst () =
   Alcotest.(check bool) "no longer converged" false (is_converged st);
   Alcotest.(check int) "skip reset to initial" 10 (current_skip st)
 
+let test_invariance_error_no_shared_points () =
+  (* disjoint selections share no live point: the error is 0. by
+     definition — and in particular a number, never NaN *)
+  let prog = stationary_program 1_000 in
+  let sampled = Sampler.run ~selection:`Loads prog in
+  let full = Profile.run ~selection:`Alu prog in
+  let e = Sampler.invariance_error sampled full in
+  Alcotest.(check bool) "not NaN" false (Float.is_nan e);
+  Alcotest.(check (float 1e-9)) "zero by definition" 0. e
+
+let test_merge_identity_and_sum () =
+  let prog = stationary_program 5_000 in
+  let r () = Sampler.run ~selection:`Loads prog in
+  let one = r () in
+  let same = Sampler.merge [ one ] in
+  Alcotest.(check int) "merge [r] keeps totals" one.Sampler.total_events
+    same.Sampler.total_events;
+  let m = Sampler.merge [ r (); r () ] in
+  Alcotest.(check int) "events sum" (2 * one.Sampler.total_events)
+    m.Sampler.total_events;
+  Alcotest.(check int) "profiled sum" (2 * one.Sampler.profiled_events)
+    m.Sampler.profiled_events;
+  let p = m.Sampler.points.(0) and q = one.Sampler.points.(0) in
+  Alcotest.(check int) "point events sum" (2 * q.Sampler.s_events)
+    p.Sampler.s_events;
+  Alcotest.(check bool) "convergence is the conjunction" true
+    (Bool.equal p.Sampler.s_converged q.Sampler.s_converged)
+
 let suite =
   [ Alcotest.test_case "no skip equals full" `Quick test_no_skip_equals_full;
+    Alcotest.test_case "no shared live points: error is 0, not NaN" `Quick
+      test_invariance_error_no_shared_points;
+    Alcotest.test_case "merge identity and sums" `Quick
+      test_merge_identity_and_sum;
     Alcotest.test_case "skipping reduces overhead" `Quick
       test_skipping_reduces_overhead;
     Alcotest.test_case "converges on stationary stream" `Quick

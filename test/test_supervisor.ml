@@ -24,6 +24,7 @@ let loop_workload n =
     wmimics = "";
     wdescr = "synthetic supervisor-test loop";
     wbuild = (fun _ -> loop_program n);
+    wshard = None;
     warities = [] }
 
 let error_label = function
@@ -255,6 +256,7 @@ let counting_workload builds prog_of =
     wmimics = "";
     wdescr = "synthetic fused-supervision workload";
     wbuild = (fun _ -> Atomic.incr builds; prog_of ());
+    wshard = None;
     warities = [] }
 
 let fused_jobs w =

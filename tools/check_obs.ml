@@ -3,10 +3,12 @@
    Validates that a --trace file is well-formed Chrome trace_event JSON
    whose spans nest properly per thread and cover the expected layers
    (machine, driver, supervisor), and that a --metrics file is a
-   well-formed registry dump. Exits 0 when both pass, 1 with a diagnostic
-   on the first defect, 2 on usage errors.
+   well-formed registry dump. Any further arguments are span names the
+   trace must contain at least once (CI uses this to pin the sharded
+   pipeline: driver.shard, profile.merge). Exits 0 when both pass, 1
+   with a diagnostic on the first defect, 2 on usage errors.
 
-   Usage: check_obs TRACE.json METRICS.json *)
+   Usage: check_obs TRACE.json METRICS.json [SPAN_NAME...] *)
 
 let fail fmt =
   Printf.ksprintf (fun s -> prerr_endline ("check_obs: " ^ s); exit 1) fmt
@@ -24,7 +26,7 @@ let parse path =
 let str = function Obs.Json.Str s -> Some s | _ -> None
 let num = function Obs.Json.Num n -> Some n | _ -> None
 
-let check_trace path =
+let check_trace ?(required_spans = []) path =
   let v = parse path in
   let events =
     match Obs.Json.member "traceEvents" v with
@@ -33,6 +35,7 @@ let check_trace path =
   in
   if events = [] then fail "%s: empty trace" path;
   let cats = Hashtbl.create 8 in
+  let names = Hashtbl.create 32 in
   (* one begin/end stack per tid: every "E" must close the innermost open
      "B" of the same name on its own thread, and nothing may stay open *)
   let stacks : (float, string list ref) Hashtbl.t = Hashtbl.create 4 in
@@ -60,7 +63,9 @@ let check_trace path =
        | _ -> ());
       let s = stack tid in
       match ph with
-      | "B" -> s := name :: !s
+      | "B" ->
+        Hashtbl.replace names name ();
+        s := name :: !s
       | "E" ->
         (match !s with
          | top :: rest when top = name -> s := rest
@@ -81,8 +86,16 @@ let check_trace path =
       if not (Hashtbl.mem cats layer) then
         fail "%s: no spans from the %s layer" path layer)
     [ "machine"; "driver"; "supervisor" ];
-  Printf.printf "%s: %d events, spans well nested, layers covered\n" path
+  List.iter
+    (fun span ->
+      if not (Hashtbl.mem names span) then
+        fail "%s: required span %S never recorded" path span)
+    required_spans;
+  Printf.printf "%s: %d events, spans well nested, layers covered%s\n" path
     (List.length events)
+    (if required_spans = [] then ""
+     else Printf.sprintf ", required spans present (%s)"
+         (String.concat ", " required_spans))
 
 let check_metrics path =
   let v = parse path in
@@ -104,10 +117,12 @@ let check_metrics path =
   Printf.printf "%s: %d metrics\n" path (List.length metrics)
 
 let () =
-  match Sys.argv with
-  | [| _; trace; metrics |] ->
-    check_trace trace;
-    check_metrics metrics
-  | _ ->
-    prerr_endline "usage: check_obs TRACE.json METRICS.json";
+  if Array.length Sys.argv < 3 then begin
+    prerr_endline "usage: check_obs TRACE.json METRICS.json [SPAN_NAME...]";
     exit 2
+  end;
+  let required_spans =
+    Array.to_list (Array.sub Sys.argv 3 (Array.length Sys.argv - 3))
+  in
+  check_trace ~required_spans Sys.argv.(1);
+  check_metrics Sys.argv.(2)
