@@ -14,8 +14,9 @@
    1 domain vs. the machine's recommended domain count.
 
    Part 4 writes the machine-readable perf baseline BENCH_tnv.json:
-   events/sec for the TNV hot path, the full profiler, the convergent
-   sampler, and the driver job set on 1 vs N domains. Each measurement is
+   events/sec for the TNV hot path, the full profiler (bare and with an
+   armed-but-never-firing resource budget: budget_poll_overhead), the
+   convergent sampler, and the driver job set on 1 vs N domains. Each measurement is
    published into the metrics registry under bench.<name> and the file is
    rendered from the registry values, so the JSON baseline and a
    --metrics-style consumer see the same numbers. `--smoke` (the CI
@@ -251,6 +252,21 @@ let bench_json () =
     let p = Profile.run ~selection:`All bench_program in
     p.Profile.profiled_events
   in
+  (* full_profile again, but with resource governance armed on limits so
+     generous they never fire: the delta against full_profile is the
+     whole price of the machine's periodic Budget.poll (one atomic load
+     per step plus a deadline/heap check every 4096 steps). The
+     acceptance bar is <= 3% on machine_events_per_sec. *)
+  let governed_profile () =
+    Budget.govern
+      { Budget.no_limits with
+        deadline = Some 1e9;
+        max_heap_words = Some max_int;
+        degrade = true }
+      (fun () ->
+        let p = Profile.run ~selection:`All bench_program in
+        p.Profile.profiled_events)
+  in
   let sampler () =
     let s = Sampler.run bench_program in
     s.Sampler.total_events
@@ -323,6 +339,8 @@ let bench_json () =
   [ entry "tnv_add" (timed_events reps tnv_add);
     entry ~machine_events:shared "full_profile"
       (timed_events ~iters reps full_profile);
+    entry ~machine_events:shared "budget_poll_overhead"
+      (timed_events ~iters reps governed_profile);
     entry ~machine_events:shared "sampler" (timed_events ~iters reps sampler);
     entry ~machine_events:shared "solo_3_profilers"
       (timed_events ~iters reps solo_3_profilers);

@@ -133,6 +133,68 @@ let metrics_arg =
           "Write the metrics registry (counters, gauges, histograms \
            accumulated during the command) to FILE as JSON on exit.")
 
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock budget for the command. The machine polls the \
+           budget on a periodic boundary and a run past its deadline \
+           terminates cooperatively: telemetry sinks are still written \
+           and vprof exits with code 3 (supervised suites record the \
+           job as failed instead).")
+
+let max_heap_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-heap" ] ~docv:"MEGABYTES"
+        ~doc:
+          "Heap watermark in megabytes (compared against the OCaml \
+           major heap). Without $(b,--degrade), breaching it aborts the \
+           run (exit 3); with it, each breach sheds profiling precision \
+           instead — see $(b,--degrade).")
+
+let degrade_arg =
+  Arg.(
+    value & flag
+    & info [ "degrade" ]
+        ~doc:
+          "Shed precision instead of dying on memory pressure: each \
+           watermark breach widens sampler gaps, halves TNV candidate \
+           capacity at the next clear, and drops the most expensive \
+           member of fused runs. Steps are recorded as degrade.* \
+           counters and trace instants, and results report their \
+           degradation level.")
+
+(* --deadline/--max-heap/--degrade as one term, so each subcommand adds a
+   single [$ governance_arg] and wraps its body in [with_governance]. *)
+type governance = {
+  gv_deadline : float option;
+  gv_max_heap_mb : int option;
+  gv_degrade : bool;
+}
+
+let governance_arg =
+  Term.(
+    const (fun gv_deadline gv_max_heap_mb gv_degrade ->
+        { gv_deadline; gv_max_heap_mb; gv_degrade })
+    $ deadline_arg $ max_heap_arg $ degrade_arg)
+
+let words_of_mb mb = mb * (1024 * 1024 / (Sys.word_size / 8))
+
+let with_governance gv f =
+  match gv with
+  | { gv_deadline = None; gv_max_heap_mb = None; gv_degrade = false } -> f ()
+  | _ ->
+    Budget.govern
+      { Budget.no_limits with
+        deadline = gv.gv_deadline;
+        max_heap_words = Option.map words_of_mb gv.gv_max_heap_mb;
+        degrade = gv.gv_degrade }
+      f
+
 (* Wrap a subcommand body in the observability sinks: tracing is enabled
    for exactly the wrapped call when --trace was given, and both files are
    written on the way out — exceptions included, so a failing run still

@@ -11,8 +11,15 @@
    through the supervisor (retry/record instead of abort) and can be made
    crash-safe with --checkpoint/--resume.
 
+   Workload-running commands also accept --deadline / --max-heap /
+   --degrade (Cli_common.governance_arg): the run executes under a
+   resource budget (lib/util/budget) polled cooperatively by the
+   machine. A breached budget without --degrade terminates the command
+   with exit code 3 after the telemetry sinks are written; with
+   --degrade, memory pressure sheds profiling precision instead.
+
    Exit codes: 0 success, 1 runtime failure (trap / failed experiment),
-   2 usage error, 125 internal error. *)
+   2 usage error, 3 resource budget exceeded, 125 internal error. *)
 
 open Cmdliner
 open Cli_common
@@ -36,8 +43,9 @@ let list_cmd =
 (* run *)
 
 let run_cmd =
-  let run (w : Workload.t) input fuel _jobs trace metrics =
+  let run (w : Workload.t) input fuel _jobs trace metrics gov =
     with_obs ~trace ~metrics @@ fun () ->
+    with_governance gov @@ fun () ->
     let prog = w.wbuild input in
     let m = Machine.execute ?fuel prog in
     Printf.printf "%s (%s): %s dynamic instructions, v0 = %Ld\n" w.wname
@@ -49,7 +57,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Execute a workload without instrumentation.")
     Term.(
       const run $ workload_arg $ input_arg $ fuel_arg $ jobs_arg $ trace_arg
-      $ metrics_arg)
+      $ metrics_arg $ governance_arg)
 
 (* disasm *)
 
@@ -95,8 +103,9 @@ let save_arg =
 
 let profile_cmd =
   let run (w : Workload.t) input selection top tnv_size clear_interval save
-      fuel jobs shards stats trace metrics =
+      fuel jobs shards stats trace metrics gov =
     with_obs ~trace ~metrics @@ fun () ->
+    with_governance gov @@ fun () ->
     let vconfig =
       { Vstate.default_config with
         tnv_capacity = tnv_size; clear_interval }
@@ -169,13 +178,14 @@ let profile_cmd =
     Term.(
       const run $ workload_arg $ input_arg $ selection_arg $ top_arg
       $ tnv_size_arg $ clear_interval_arg $ save_arg $ fuel_arg $ jobs_arg
-      $ shards_arg $ stats_arg $ trace_arg $ metrics_arg)
+      $ shards_arg $ stats_arg $ trace_arg $ metrics_arg $ governance_arg)
 
 (* memory *)
 
 let memory_cmd =
-  let run (w : Workload.t) input top fuel jobs stats trace metrics =
+  let run (w : Workload.t) input top fuel jobs stats trace metrics gov =
     with_obs ~trace ~metrics @@ fun () ->
+    with_governance gov @@ fun () ->
     let r =
       match
         Driver.run_jobs ~jobs:(effective_jobs jobs)
@@ -215,13 +225,14 @@ let memory_cmd =
     (Cmd.info "memory" ~doc:"Profile memory locations (Chapter VII).")
     Term.(
       const run $ workload_arg $ input_arg $ top_arg $ fuel_arg $ jobs_arg
-      $ stats_arg $ trace_arg $ metrics_arg)
+      $ stats_arg $ trace_arg $ metrics_arg $ governance_arg)
 
 (* procs *)
 
 let procs_cmd =
-  let run (w : Workload.t) input fuel jobs stats trace metrics =
+  let run (w : Workload.t) input fuel jobs stats trace metrics gov =
     with_obs ~trace ~metrics @@ fun () ->
+    with_governance gov @@ fun () ->
     let config = { Procprof.default_config with arities = w.warities } in
     let pp =
       match
@@ -261,13 +272,14 @@ let procs_cmd =
     (Cmd.info "procs" ~doc:"Profile procedure parameters and returns.")
     Term.(
       const run $ workload_arg $ input_arg $ fuel_arg $ jobs_arg $ stats_arg
-      $ trace_arg $ metrics_arg)
+      $ trace_arg $ metrics_arg $ governance_arg)
 
 (* registers *)
 
 let registers_cmd =
-  let run (w : Workload.t) input fuel _jobs trace metrics =
+  let run (w : Workload.t) input fuel _jobs trace metrics gov =
     with_obs ~trace ~metrics @@ fun () ->
+    with_governance gov @@ fun () ->
     let r = Regprof.run ?fuel (w.wbuild input) in
     let table =
       Table.create
@@ -297,7 +309,7 @@ let registers_cmd =
        ~doc:"Profile values written per architectural register.")
     Term.(
       const run $ workload_arg $ input_arg $ fuel_arg $ jobs_arg $ trace_arg
-      $ metrics_arg)
+      $ metrics_arg $ governance_arg)
 
 (* sample *)
 
@@ -315,8 +327,9 @@ let sample_cmd =
          & info [ "epsilon" ] ~docv:"E" ~doc:"Convergence threshold.")
   in
   let run (w : Workload.t) input burst skip epsilon fuel jobs stats trace
-      metrics =
+      metrics gov =
     with_obs ~trace ~metrics @@ fun () ->
+    with_governance gov @@ fun () ->
     let config =
       { Sampler.default_config with burst; initial_skip = skip; epsilon }
     in
@@ -346,7 +359,7 @@ let sample_cmd =
     (Cmd.info "sample" ~doc:"Convergent (sampled) value profiling.")
     Term.(
       const run $ workload_arg $ input_arg $ burst $ skip $ epsilon $ fuel_arg
-      $ jobs_arg $ stats_arg $ trace_arg $ metrics_arg)
+      $ jobs_arg $ stats_arg $ trace_arg $ metrics_arg $ governance_arg)
 
 (* specialize *)
 
@@ -753,7 +766,7 @@ let write_failure_report dir (rep : string Supervisor.report) =
           failures)
 
 let run_experiments id csv jobs shards checkpoint resume retries fail_fast
-    fuel trace metrics =
+    fuel trace metrics gov =
   let specs =
     if id = "all" then Experiments.all
     else
@@ -777,6 +790,11 @@ let run_experiments id csv jobs shards checkpoint resume retries fail_fast
       rc_metrics = metrics;
       rc_shards = effective_shards shards }
   in
+  (* governance is armed around the whole supervised run: the supervisor
+     polls the budget between attempts and classifies Deadline /
+     Mem_pressure trips per job, so a budgeted suite records failures
+     (exit 1) rather than dying with exit 3 *)
+  with_governance gov @@ fun () ->
   match checkpoint with
   | None ->
     let rep = Experiments.run ~config specs in
@@ -939,8 +957,9 @@ let fused_cmd =
              execution: profile, sample, memory, procs, registers, \
              contexts, phases, trivial, speculate.")
   in
-  let run (w : Workload.t) input profilers fuel jobs stats trace metrics =
+  let run (w : Workload.t) input profilers fuel jobs stats trace metrics gov =
     with_obs ~trace ~metrics @@ fun () ->
+    with_governance gov @@ fun () ->
     let names =
       String.split_on_char ',' profilers
       |> List.map String.trim
@@ -988,7 +1007,7 @@ let fused_cmd =
     Term.(
       ret
         (const run $ workload_arg $ input_arg $ profilers_arg $ fuel_arg
-        $ jobs_arg $ stats_arg $ trace_arg $ metrics_arg))
+        $ jobs_arg $ stats_arg $ trace_arg $ metrics_arg $ governance_arg))
 
 let experiment_cmd =
   let id_arg =
@@ -1002,7 +1021,7 @@ let experiment_cmd =
     Term.(
       const run_experiments $ id_arg $ csv_arg $ jobs_arg $ shards_arg
       $ checkpoint_arg $ resume_arg $ retries_arg $ fail_fast_arg $ fuel_arg
-      $ trace_arg $ metrics_arg)
+      $ trace_arg $ metrics_arg $ governance_arg)
 
 let experiments_cmd =
   let all_arg =
@@ -1028,14 +1047,14 @@ let experiments_cmd =
              telemetry pipeline cheaply.")
   in
   let run all id smoke csv jobs shards checkpoint resume retries fail_fast
-      fuel trace metrics =
+      fuel trace metrics gov =
     let id =
       if smoke then "e01"
       else if all then "all"
       else Option.value id ~default:"all"
     in
     run_experiments id csv jobs shards checkpoint resume retries fail_fast fuel
-      trace metrics
+      trace metrics gov
   in
   Cmd.v
     (Cmd.info "experiments"
@@ -1048,7 +1067,7 @@ let experiments_cmd =
     Term.(
       const run $ all_arg $ id_arg $ smoke_arg $ csv_arg $ jobs_arg
       $ shards_arg $ checkpoint_arg $ resume_arg $ retries_arg $ fail_fast_arg
-      $ fuel_arg $ trace_arg $ metrics_arg)
+      $ fuel_arg $ trace_arg $ metrics_arg $ governance_arg)
 
 let () =
   let info =
@@ -1064,11 +1083,13 @@ let () =
   in
   (* Exit-code contract: 0 success; 1 runtime failure (a machine trap, an
      injected fault, a failed experiment); 2 usage error (bad flags,
-     unknown workload or experiment — cmdliner's cli_error remapped); 125
-     internal error. A machine trap (say, an exhausted --fuel budget) is a
-     user-level outcome, not an internal error — report it cleanly; the
-     driver re-raises worker exceptions on this domain, so this also
-     covers -j runs. *)
+     unknown workload or experiment — cmdliner's cli_error remapped); 3
+     resource budget exceeded (--deadline / --max-heap without --degrade);
+     125 internal error. A machine trap (say, an exhausted --fuel budget)
+     is a user-level outcome, not an internal error — report it cleanly;
+     the driver re-raises worker exceptions on this domain, so this also
+     covers -j runs. Budget trips propagate through with_obs, so the
+     trace/metrics sinks are complete when we land here. *)
   (try Fault.load_env () with Invalid_argument msg ->
     Printf.eprintf "vprof: %s\n" msg;
     exit 2);
@@ -1082,6 +1103,18 @@ let () =
      | exception Fault.Injected site ->
        Printf.eprintf "vprof: injected fault at site %S\n" site;
        1
+     | exception Budget.Deadline_exceeded s ->
+       Printf.eprintf "vprof: deadline exceeded (budget %gs)\n" s;
+       3
+     | exception Budget.Mem_pressure w ->
+       Printf.eprintf
+         "vprof: memory watermark exceeded (%d heap words); rerun with \
+          --degrade to shed precision instead\n"
+         w;
+       3
+     | exception Budget.Disk_over_budget b ->
+       Printf.eprintf "vprof: checkpoint disk budget exceeded (%d bytes)\n" b;
+       3
      | exception e ->
        Printf.eprintf "vprof: internal error: %s\n" (Printexc.to_string e);
        125)

@@ -34,10 +34,22 @@ type 'a t = {
   counters : Counters.t list;  (** per member, in item order *)
   machine_steps : int;  (** dynamic instructions of the ONE execution *)
   wall_seconds : float;  (** the shared attach-to-collect wall clock *)
+  degrade_level : int;
+      (** {!Budget} degradation level at collect time; [0] = exact. *)
+  shed : string list;
+      (** Members dropped by degradation steps (attach order). A shed
+          member still contributes a result — a profile from partial
+          observation, observed only up to its detach point. *)
 }
 
 (** Attach every member to the machine (in list order; observers at a
-    shared pc fire in that order). *)
+    shared pc fire in that order).
+
+    Under an armed {!Budget} with [degrade = true], the fused run also
+    subscribes to degradation steps: each step drops the most expensive
+    member still attached (by {!Counters.run_cost} of its counters so
+    far), detaching its machine hooks mid-run — but never the last
+    member. Shed members are listed in the result's [shed] field. *)
 val attach : Machine.t -> 'a item list -> 'a live
 
 val collect : 'a live -> 'a t

@@ -89,7 +89,13 @@ struct
 
   let collect live =
     let r = X.collect live in
-    Obs.publish_profiler_run ~name:X.name (X.stats r);
+    let c = X.stats r in
+    (* stamp the governance degradation level so callers can tell exact
+       from approximate profiles; 0 (the disarmed constant) when no
+       budget was ever armed *)
+    let lvl = Budget.degrade_level () in
+    if lvl > c.Counters.degrade_level then c.Counters.degrade_level <- lvl;
+    Obs.publish_profiler_run ~name:X.name c;
     r
 
   let run ?(config = X.default_config) ?fuel prog =

@@ -26,6 +26,9 @@ type state = {
   mutable converged : bool;
   mutable events : int;
   mutable profiled : int;
+  (* Budget degradation level already folded into [skip]; the (cold)
+     burst boundary applies each new level exactly once. *)
+  mutable degrade_applied : int;
 }
 
 let make_state cfg vconfig =
@@ -39,7 +42,8 @@ let make_state cfg vconfig =
     streak = 0;
     converged = false;
     events = 0;
-    profiled = 0 }
+    profiled = 0;
+    degrade_applied = 0 }
 
 (* Did this burst leave the profile where the last one did? *)
 let burst_is_quiet st inv top =
@@ -53,8 +57,27 @@ let burst_is_quiet st inv top =
 let m_bursts = Obs.Metrics.counter "sampler.bursts"
 let m_backoffs = Obs.Metrics.counter "sampler.backoffs"
 let m_deconverged = Obs.Metrics.counter "sampler.deconverged"
+let m_degrade_widen = Obs.Metrics.counter "degrade.sampler_widened"
+
+(* Under memory pressure the sampler sheds precision by widening the
+   inter-burst gap: double [skip] per Budget degradation level not yet
+   applied, clamped to [max_skip]. Cold — runs at burst boundaries only,
+   and is a no-op at level 0. *)
+let apply_degrade st =
+  let lvl = Budget.degrade_level () in
+  if lvl > st.degrade_applied then begin
+    let steps = min (lvl - st.degrade_applied) 30 in
+    st.degrade_applied <- lvl;
+    let widened = min st.cfg.max_skip (max 1 st.skip * (1 lsl steps)) in
+    if widened > st.skip then begin
+      st.skip <- widened;
+      Obs.Metrics.incr m_degrade_widen;
+      Obs.Trace.instant ~cat:"sampler" "degrade.sampler_widened"
+    end
+  end
 
 let end_of_burst st =
+  apply_degrade st;
   let inv = Vstate.inv_top st.vs in
   let top = Vstate.top_value st.vs in
   Obs.Metrics.incr m_bursts;

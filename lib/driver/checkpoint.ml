@@ -148,6 +148,9 @@ let parse_entry t line =
      | _ -> raise Torn)
 
 let load t =
+  (* chaos campaigns kill the loader here to prove a failed resume never
+     corrupts the store: the next resume must still salvage *)
+  Fault.point ~site:"checkpoint.load";
   match read_file (manifest_path t) with
   | exception Sys_error _ -> ()
   | text ->
@@ -199,6 +202,9 @@ let record t ~name ~payload =
     (fun () ->
       Obs.Metrics.incr m_commits;
       Obs.Trace.with_span ~cat:"driver" "checkpoint.commit" @@ fun () ->
+      (* the disk guard charges the payload before writing it, so a
+         governed run stops committing the moment the budget is blown *)
+      Budget.charge_disk ~bytes:(String.length payload);
       (* payload first, manifest second: a crash in between leaves an
          unreferenced payload file, which merely reruns the job *)
       write_atomic ~dir:t.c_dir

@@ -44,7 +44,13 @@ let resolve_jobs = function
 type cancellation = bool Atomic.t
 
 let cancellation () = Atomic.make false
-let cancel c = Atomic.set c true
+
+let cancel c =
+  (* chaos site: a fault here simulates the canceller itself dying
+     before the flag lands, so the grid keeps draining *)
+  Fault.point ~site:"pool.cancel";
+  Atomic.set c true
+
 let cancelled c = Atomic.get c
 
 let m_jobs = Obs.Metrics.counter "pool.jobs"

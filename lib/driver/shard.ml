@@ -71,6 +71,9 @@ let profile_plan ?config ?selection ?fuel ?jobs plan =
       (List.map (fun w -> `Slice (prog, w)) windows, prog)
   in
   let shards = Pool.map ?jobs run_one tasks in
+  (* chaos site: dying here proves a crash between the shard runs and
+     the merge loses the run but never commits a partial profile *)
+  Fault.point ~site:"shard.merge";
   Profile.merge_shards label_prog shards
 
 let profile ?config ?selection ?fuel ?jobs ?(shards = 1) workload input =

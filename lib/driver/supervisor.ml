@@ -5,6 +5,8 @@ type job_error =
   | Injected of string
   | Cancelled
   | Crash of string
+  | Deadline of float
+  | Mem_pressure of int
 
 let string_of_error = function
   | Trap t -> Printf.sprintf "trap: %s" (Machine.string_of_trap t)
@@ -13,21 +15,32 @@ let string_of_error = function
   | Injected site -> Printf.sprintf "injected fault at site %S" site
   | Cancelled -> "cancelled before it started"
   | Crash msg -> Printf.sprintf "crash: %s" msg
+  | Deadline s -> Printf.sprintf "deadline exceeded (budget %gs)" s
+  | Mem_pressure words ->
+    Printf.sprintf "memory watermark exceeded (%d heap words)" words
 
 let classify = function
   | Machine.Trap (Machine.Fuel_exhausted f) -> Timeout f
   | Machine.Trap t -> Trap t
   | Fault.Injected site -> Injected site
+  | Budget.Deadline_exceeded s -> Deadline s
+  | Budget.Mem_pressure words -> Mem_pressure words
+  | Budget.Disk_over_budget bytes ->
+    Io (Printf.sprintf "checkpoint disk budget exceeded (%d bytes)" bytes)
   | Sys_error msg -> Io msg
   | e -> Crash (Printexc.to_string e)
 
 type policy = {
   retries : int;
   fuel_timeout : int option;
+  max_fuel : int option;
+  jitter : float;
   on_error : [ `Skip | `Abort ];
 }
 
-let default_policy = { retries = 1; fuel_timeout = None; on_error = `Skip }
+let default_policy =
+  { retries = 1; fuel_timeout = None; max_fuel = None; jitter = 0.;
+    on_error = `Skip }
 
 type 'a outcome = {
   o_name : string;
@@ -64,19 +77,40 @@ let report_of outcomes =
 
 (* Fuel budget for the 0-based attempt [k]: the job's own base (else the
    policy's), doubled per retry — backoff-in-fuel. Saturates instead of
-   overflowing. *)
-let attempt_fuel policy base k =
+   overflowing; [policy.max_fuel] caps the widening so a pathological
+   job's final attempt cannot consume arbitrary fuel. [policy.jitter > 0]
+   additionally widens retry budgets by a factor in [1, 1 + jitter)
+   drawn from an Rng seeded by the job name and attempt index — a herd
+   of identical retried units stops re-timing-out in lockstep on exactly
+   the same budget, yet the draw depends on nothing but (name, k), so
+   reports stay schedule-independent and reproducible. *)
+let attempt_fuel policy ~name base k =
   match (match base with Some _ -> base | None -> policy.fuel_timeout) with
   | None -> None
   | Some f ->
     let widened = f lsl k in
-    Some (if k >= 62 || widened < f then max_int else widened)
+    let widened = if k >= 62 || widened < f then max_int else widened in
+    let jittered =
+      if policy.jitter <= 0. || k = 0 || widened = max_int then widened
+      else begin
+        let rng = Rng.create (Int64.of_int (Hashtbl.hash (name, k))) in
+        let factor = 1. +. (policy.jitter *. Rng.float rng) in
+        let v = int_of_float (float_of_int widened *. factor) in
+        if v < widened then max_int else v
+      end
+    in
+    Some
+      (match policy.max_fuel with
+       | Some m -> min jittered m
+       | None -> jittered)
 
 let m_sup_jobs = Obs.Metrics.counter "supervisor.jobs"
 let m_sup_retries = Obs.Metrics.counter "supervisor.retries"
 let m_sup_timeouts = Obs.Metrics.counter "supervisor.timeouts"
 let m_sup_failures = Obs.Metrics.counter "supervisor.failures"
 let m_sup_cancelled = Obs.Metrics.counter "supervisor.cancelled"
+let m_sup_deadline = Obs.Metrics.counter "supervisor.deadline"
+let m_sup_mem = Obs.Metrics.counter "supervisor.mem_pressure"
 
 (* The supervised core: every item is a (name, base_fuel, run) triple;
    [run ~fuel] performs one attempt under the given budget. *)
@@ -97,24 +131,40 @@ let supervise ?(policy = default_policy) ?jobs items =
           let rec go k =
             match
               (Fault.point ~site:"supervisor.job";
-               run ~fuel:(attempt_fuel policy base k))
+               (* budgets are enforced between attempts too, so a job
+                  that never polls on its own still cannot start past
+                  the deadline *)
+               Budget.poll ();
+               run ~fuel:(attempt_fuel policy ~name base k))
             with
             | v -> { o_name = name; o_attempts = k + 1; o_result = Ok v }
             | exception e ->
               let err = classify e in
               (match err with
-               | Timeout _ -> Obs.Metrics.incr m_sup_timeouts
-               | Trap _ | Io _ | Injected _ | Cancelled | Crash _ -> ());
-              if k < policy.retries then begin
-                Obs.Metrics.incr m_sup_retries;
-                Obs.Trace.instant ~cat:"supervisor" "supervisor.retry";
-                go (k + 1)
-              end
-              else begin
-                Obs.Metrics.incr m_sup_failures;
-                if policy.on_error = `Abort then Pool.cancel flag;
-                { o_name = name; o_attempts = k + 1; o_result = Error err }
-              end
+               | Deadline _ ->
+                 (* the clock is global: retrying this job cannot
+                    succeed, and every job behind it is already past the
+                    budget — cancel the rest of the pool cooperatively *)
+                 Obs.Metrics.incr m_sup_deadline;
+                 Obs.Metrics.incr m_sup_failures;
+                 Pool.cancel flag;
+                 { o_name = name; o_attempts = k + 1; o_result = Error err }
+               | _ ->
+                 (match err with
+                  | Timeout _ -> Obs.Metrics.incr m_sup_timeouts
+                  | Mem_pressure _ -> Obs.Metrics.incr m_sup_mem
+                  | Trap _ | Io _ | Injected _ | Cancelled | Crash _
+                  | Deadline _ -> ());
+                 if k < policy.retries then begin
+                   Obs.Metrics.incr m_sup_retries;
+                   Obs.Trace.instant ~cat:"supervisor" "supervisor.retry";
+                   go (k + 1)
+                 end
+                 else begin
+                   Obs.Metrics.incr m_sup_failures;
+                   if policy.on_error = `Abort then Pool.cancel flag;
+                   { o_name = name; o_attempts = k + 1; o_result = Error err }
+                 end)
           in
           go 0)
     end
@@ -212,3 +262,7 @@ let run_strings ?policy ?jobs ?checkpoint named =
                 (* unreachable: every job is either cached or fresh *)
                 { o_name = name; o_attempts = 0; o_result = Error Cancelled }))
          named)
+
+module Testing = struct
+  let attempt_fuel policy ~name ~base k = attempt_fuel policy ~name base k
+end

@@ -31,6 +31,15 @@ type job_error =
   | Injected of string  (** {!Fault.Injected}; carries the site *)
   | Cancelled  (** never started: the grid was aborted first *)
   | Crash of string  (** any other exception, printed *)
+  | Deadline of float
+      (** {!Budget.Deadline_exceeded}: the governed wall-clock budget ran
+          out. Never retried — the clock is global — and the rest of the
+          grid is cancelled cooperatively through the pool's shared
+          cancellation flag. *)
+  | Mem_pressure of int
+      (** {!Budget.Mem_pressure}: heap watermark breached with
+          degradation off; carries the observed heap words. Retried like
+          any other failure (a retry may run degraded and fit). *)
 
 val string_of_error : job_error -> string
 
@@ -40,12 +49,23 @@ type policy = {
       (** per-attempt instruction budget for jobs that don't carry their
           own fuel; [None] leaves the machine default (no backoff
           possible) *)
+  max_fuel : int option;
+      (** hard cap on any attempt's fuel budget: retry doubling saturates
+          here instead of growing unboundedly ([None] = uncapped, the
+          pre-governance behaviour) *)
+  jitter : float;
+      (** [> 0.] widens each {e retry}'s fuel budget by a factor in
+          [1, 1 + jitter), drawn deterministically from the job name and
+          attempt index — desynchronizes a herd of identical retried
+          units without sacrificing reproducibility. [0.] (default)
+          keeps exact doubling. *)
   on_error : [ `Skip | `Abort ];
       (** after retries are exhausted: record and continue, or trip the
           shared cancellation flag and stop the grid *)
 }
 
-(** [{ retries = 1; fuel_timeout = None; on_error = `Skip }]. *)
+(** [{ retries = 1; fuel_timeout = None; max_fuel = None; jitter = 0.;
+      on_error = `Skip }]. *)
 val default_policy : policy
 
 (** One job's fate. *)
@@ -102,3 +122,12 @@ val run_strings :
   ?checkpoint:Checkpoint.t ->
   (string * (unit -> string)) list ->
   string report
+
+(** Test-only window into the backoff arithmetic, so cap and jitter can
+    be asserted directly instead of through whole grid runs. *)
+module Testing : sig
+  (** [attempt_fuel policy ~name ~base k] is the fuel budget the
+      supervisor would give the 0-based attempt [k] of job [name]. *)
+  val attempt_fuel :
+    policy -> name:string -> base:int option -> int -> int option
+end

@@ -42,7 +42,18 @@ type t = {
   hook_subs : hook list array;
   entry_subs : (t -> unit) list array;
   return_subs : (t -> int64 -> unit) list array;
+  (* Open recording frame: while [Some], every subscription is also
+     logged here so [with_attachment] can hand back a detachable record
+     of exactly what one profiler installed. *)
+  mutable recording : sub list option;
 }
+
+and sub =
+  | S_hook of int * hook
+  | S_entry of int * (t -> unit)
+  | S_return of int * (t -> int64 -> unit)
+
+type attachment = sub list
 
 let build_proc_of (prog : Asm.program) =
   let proc_of = Array.make (Array.length prog.code) (-1) in
@@ -78,7 +89,8 @@ let create prog =
       return_hooks = Array.make (Array.length prog.procs) None;
       hook_subs = Array.make (Array.length prog.code) [];
       entry_subs = Array.make (Array.length prog.procs) [];
-      return_subs = Array.make (Array.length prog.procs) [] }
+      return_subs = Array.make (Array.length prog.procs) [];
+      recording = None }
   in
   init_regs t.regs;
   load_data t;
@@ -118,9 +130,14 @@ let caller_pc t =
    loop over a flat array of the subscribers in attach order; the array
    is built here, at attach time, so firing never allocates. *)
 
-let add_hook t pc h =
-  t.hook_subs.(pc) <- t.hook_subs.(pc) @ [ h ];
+let record t sub =
+  match t.recording with
+  | None -> ()
+  | Some subs -> t.recording <- Some (sub :: subs)
+
+let rebuild_hook t pc =
   match t.hook_subs.(pc) with
+  | [] -> t.hooks.(pc) <- None
   | [ h ] -> t.hooks.(pc) <- Some h
   | hs ->
     let fs = Array.of_list hs in
@@ -130,6 +147,11 @@ let add_hook t pc h =
           for i = 0 to Array.length fs - 1 do
             (Array.unsafe_get fs i) v a
           done)
+
+let add_hook t pc h =
+  t.hook_subs.(pc) <- t.hook_subs.(pc) @ [ h ];
+  record t (S_hook (pc, h));
+  rebuild_hook t pc
 
 let clear_hook t pc =
   t.hooks.(pc) <- None;
@@ -141,9 +163,9 @@ let clear_all_hooks t =
 
 let hook_count t pc = List.length t.hook_subs.(pc)
 
-let add_proc_entry_hook t i h =
-  t.entry_subs.(i) <- t.entry_subs.(i) @ [ h ];
+let rebuild_entry t i =
   match t.entry_subs.(i) with
+  | [] -> t.entry_hooks.(i) <- None
   | [ h ] -> t.entry_hooks.(i) <- Some h
   | hs ->
     let fs = Array.of_list hs in
@@ -154,9 +176,14 @@ let add_proc_entry_hook t i h =
             (Array.unsafe_get fs k) m
           done)
 
-let add_proc_return_hook t i h =
-  t.return_subs.(i) <- t.return_subs.(i) @ [ h ];
+let add_proc_entry_hook t i h =
+  t.entry_subs.(i) <- t.entry_subs.(i) @ [ h ];
+  record t (S_entry (i, h));
+  rebuild_entry t i
+
+let rebuild_return t i =
   match t.return_subs.(i) with
+  | [] -> t.return_hooks.(i) <- None
   | [ h ] -> t.return_hooks.(i) <- Some h
   | hs ->
     let fs = Array.of_list hs in
@@ -166,6 +193,51 @@ let add_proc_return_hook t i h =
           for k = 0 to Array.length fs - 1 do
             (Array.unsafe_get fs k) m v
           done)
+
+let add_proc_return_hook t i h =
+  t.return_subs.(i) <- t.return_subs.(i) @ [ h ];
+  record t (S_return (i, h));
+  rebuild_return t i
+
+let with_attachment t f =
+  (match t.recording with
+   | Some _ -> invalid_arg "Machine.with_attachment: recording already open"
+   | None -> ());
+  t.recording <- Some [];
+  match f () with
+  | v ->
+    let subs = match t.recording with Some s -> s | None -> [] in
+    t.recording <- None;
+    (v, subs)
+  | exception e ->
+    t.recording <- None;
+    raise e
+
+(* Remove the first physically-equal closure: the same function may be
+   subscribed twice (two frames of the same profiler), and only the
+   recorded instance must go. *)
+let remove_first_phys x l =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | y :: rest ->
+      if y == x then List.rev_append acc rest else go (y :: acc) rest
+  in
+  go [] l
+
+let detach t subs =
+  List.iter
+    (fun sub ->
+      match sub with
+      | S_hook (pc, h) ->
+        t.hook_subs.(pc) <- remove_first_phys h t.hook_subs.(pc);
+        rebuild_hook t pc
+      | S_entry (i, h) ->
+        t.entry_subs.(i) <- remove_first_phys h t.entry_subs.(i);
+        rebuild_entry t i
+      | S_return (i, h) ->
+        t.return_subs.(i) <- remove_first_phys h t.return_subs.(i);
+        rebuild_return t i)
+    subs
 
 let eval_binop op pc a b =
   match op with
@@ -296,17 +368,26 @@ let run ?(fuel = 500_000_000) t =
      entirely outside the loop: a span around the whole run and two
      counter adds after it, never per step. *)
   let faults = Fault.enabled () in
+  (* Budget governance follows the same discipline as fault injection:
+     the armed flag is read once, so an ungoverned loop pays nothing.
+     Governed, the budget is polled on a periodic boundary (every 4096
+     steps, when the fuel counter's low bits are clear) — cheap enough
+     to be invisible, frequent enough that a deadline trips within
+     fractions of a millisecond of real work. *)
+  let governed = Budget.armed () in
   let start_icount = t.icount in
   let finish () =
     Obs.Metrics.incr m_runs;
     Obs.Metrics.add m_steps (t.icount - start_icount)
   in
   Obs.Trace.begin_span ~cat:"machine" "machine.run";
+  if governed then Budget.poll ();
   let rec loop remaining =
     if not t.halted then
       if remaining <= 0 then raise (Trap (Fuel_exhausted fuel))
       else begin
         if faults then Fault.point ~site:"machine.step";
+        if governed && remaining land 4095 = 0 then Budget.poll ();
         step t;
         loop (remaining - 1)
       end

@@ -95,6 +95,26 @@ val add_proc_entry_hook : t -> int -> (t -> unit) -> unit
     executes [Ret]. Additive, like {!add_hook}. *)
 val add_proc_return_hook : t -> int -> (t -> int64 -> unit) -> unit
 
+(** Everything one profiler subscribed during a {!with_attachment} frame,
+    detachable as a unit with {!detach}. *)
+type attachment
+
+(** [with_attachment t f] runs [f] with a recording frame open on [t]:
+    every hook subscribed inside (per-PC, entry, return) is logged, and
+    the log is returned alongside [f]'s result. Frames do not nest —
+    [Invalid_argument] if one is already open. This is how fused runs
+    remember which subscriptions belong to which member, so degradation
+    can shed exactly one member mid-run. *)
+val with_attachment : t -> (unit -> 'a) -> 'a * attachment
+
+(** [detach t a] unsubscribes every hook recorded in [a] (matching by
+    physical equality, so an identical closure subscribed by someone else
+    survives) and rebuilds the affected dispatchers. Other observers at
+    the same points keep firing; the detached profiler's accumulated
+    state is untouched and can still be collected — a profile from
+    partial observation. *)
+val detach : t -> attachment -> unit
+
 (** Execute one instruction. Raises {!Trap}; no-op once halted. *)
 val step : t -> unit
 
@@ -105,7 +125,13 @@ val step : t -> unit
 
     Carries the ["machine.step"] fault-injection site (see {!Fault}):
     when that site is armed, the armed step raises [Fault.Injected]
-    mid-run — how tests simulate a worker crashing inside a job. *)
+    mid-run — how tests simulate a worker crashing inside a job.
+
+    When a {!Budget} is armed, the loop additionally polls it on a
+    periodic boundary (every 4096 steps), so governed runs trip
+    deadlines, take degradation steps, or raise on memory pressure
+    cooperatively — between steps, with spans closed and telemetry
+    intact. Ungoverned runs pay one atomic load for the whole run. *)
 val run : ?fuel:int -> t -> int
 
 (** Convenience: [create], [run], and return the machine (for examples and

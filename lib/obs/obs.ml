@@ -577,4 +577,29 @@ let publish_profiler_run ~name (c : Counters.t) =
     c.Counters.tnv_replacements;
   Metrics.observe
     (Metrics.histogram (pfx ^ "wall_seconds"))
-    c.Counters.wall_seconds
+    c.Counters.wall_seconds;
+  if c.Counters.degrade_level > 0 then
+    Metrics.set_gauge
+      (Metrics.gauge (pfx ^ "degrade_level"))
+      (float_of_int c.Counters.degrade_level)
+
+(* Budget lives in [vp_util], below this library, so it cannot emit
+   telemetry itself; it reports degradation steps and budget trips
+   through a notifier installed here at program start. Linking [vp_obs]
+   (every binary does) is what arms the wiring. *)
+let m_degrade_steps = Metrics.counter "degrade.steps"
+let m_deadline_trips = Metrics.counter "budget.deadline_trips"
+let m_mem_trips = Metrics.counter "budget.mem_pressure_trips"
+
+let () =
+  Budget.set_notifier (function
+    | Budget.Degrade_step level ->
+      Metrics.incr m_degrade_steps;
+      Metrics.set_gauge (Metrics.gauge "degrade.level") (float_of_int level);
+      Trace.instant ~cat:"budget" "degrade.step"
+    | Budget.Deadline_trip _ ->
+      Metrics.incr m_deadline_trips;
+      Trace.instant ~cat:"budget" "budget.deadline"
+    | Budget.Mem_trip _ ->
+      Metrics.incr m_mem_trips;
+      Trace.instant ~cat:"budget" "budget.mem_pressure")

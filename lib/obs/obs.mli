@@ -160,7 +160,11 @@ end
 (** Publish one profiler run's cost counters into the registry, under
     ["profiler.<name>.*"]: counters [runs], [events_seen],
     [events_profiled], [tnv_clears], [tnv_evictions] plus a
-    [wall_seconds] histogram. The {!Profiler_intf.Make} functor calls
+    [wall_seconds] histogram, and a [degrade_level] gauge when the run
+    finished degraded. Loading this library also installs the
+    {!Budget.set_notifier} hook, which surfaces degradation steps and
+    budget trips as [degrade.*] / [budget.*] counters and trace
+    instants. The {!Profiler_intf.Make} functor calls
     this from [collect], which is what makes the registry the single
     aggregation substrate for all nine profilers. *)
 val publish_profiler_run : name:string -> Counters.t -> unit

@@ -25,6 +25,13 @@ type t = {
   mutable since_clear : int;
   mutable clears : int;
   mutable replacements : int;
+  (* Degradation: under memory pressure the table keeps its allocated
+     arrays but caps occupancy at [live_cap], halved per degradation
+     level at the next periodic clear. [degrade_applied] is the Budget
+     level already folded in, so the (cold) clear path applies each new
+     level exactly once. *)
+  mutable live_cap : int;
+  mutable degrade_applied : int;
 }
 
 let index_size capacity =
@@ -44,7 +51,8 @@ let create ?(policy = Lfu_clear) ?(clear_interval = 2000) ~capacity () =
     kept = Array.make capacity false;
     last_slot = -1;
     occupied = 0; total = 0; since_clear = 0;
-    clears = 0; replacements = 0 }
+    clears = 0; replacements = 0;
+    live_cap = capacity; degrade_applied = 0 }
 
 let policy t = t.pol
 let capacity t = t.cap
@@ -76,7 +84,26 @@ let rebuild_index t =
   done
 
 (* Number of top entries immune to the periodic clearing. *)
-let steady t = t.cap / 2
+let steady t = t.live_cap / 2
+
+let live_capacity t = t.live_cap
+
+let m_degrade_cap = Obs.Metrics.counter "degrade.tnv_capacity"
+
+(* Fold any new Budget degradation level in: halve the live capacity per
+   level (saturating at 1). Called from the periodic clear only — the
+   hot add path never reads the level. *)
+let apply_degrade t =
+  let lvl = Budget.degrade_level () in
+  if lvl > t.degrade_applied then begin
+    t.degrade_applied <- lvl;
+    let target = max 1 (t.cap asr lvl) in
+    if target < t.live_cap then begin
+      t.live_cap <- target;
+      Obs.Metrics.incr m_degrade_cap;
+      Obs.Trace.instant ~cat:"tnv" "degrade.tnv_capacity"
+    end
+  end
 
 (* Clear every slot that is not among the [steady] highest-counted ones —
    in place: [kept] is preallocated scratch, and the top-k selection is
@@ -86,6 +113,7 @@ let m_clears = Obs.Metrics.counter "tnv.clears"
 let m_evictions = Obs.Metrics.counter "tnv.evictions"
 
 let periodic_clear t =
+  apply_degrade t;
   t.clears <- t.clears + 1;
   Obs.Metrics.incr m_clears;
   Obs.Trace.instant ~cat:"tnv" "tnv.clear";
@@ -170,7 +198,7 @@ let[@inline] add_mem t v =
         t.last_slot <- s;
         true
       end
-      else if t.occupied < t.cap then begin
+      else if t.occupied < t.live_cap then begin
         let empty = find_empty t in
         t.values.(empty) <- v;
         t.counts.(empty) <- 1;
@@ -286,4 +314,6 @@ let reset t =
   t.total <- 0;
   t.since_clear <- 0;
   t.clears <- 0;
-  t.replacements <- 0
+  t.replacements <- 0;
+  t.live_cap <- t.cap;
+  t.degrade_applied <- 0

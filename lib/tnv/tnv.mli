@@ -38,6 +38,14 @@ val policy : t -> policy
 val capacity : t -> int
 val clear_interval : t -> int
 
+(** Occupancy cap currently in force. Equals {!capacity} until a
+    {!Budget} degradation step: under memory pressure a [Lfu_clear]
+    table halves its live capacity per degradation level at the next
+    periodic clear (saturating at 1), keeping its allocated arrays but
+    admitting fewer candidates — the paper's TNV, shrunk in place.
+    {!reset} restores the full capacity. *)
+val live_capacity : t -> int
+
 (** Record one occurrence of [v]. *)
 val add : t -> int64 -> unit
 

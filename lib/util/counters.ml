@@ -4,6 +4,7 @@ type t = {
   mutable tnv_clears : int;
   mutable tnv_replacements : int;
   mutable wall_seconds : float;
+  mutable degrade_level : int;
 }
 
 let create () =
@@ -11,7 +12,8 @@ let create () =
     events_profiled = 0;
     tnv_clears = 0;
     tnv_replacements = 0;
-    wall_seconds = 0. }
+    wall_seconds = 0.;
+    degrade_level = 0 }
 
 let now () = Unix.gettimeofday ()
 
@@ -20,7 +22,14 @@ let accumulate ~into c =
   into.events_profiled <- into.events_profiled + c.events_profiled;
   into.tnv_clears <- into.tnv_clears + c.tnv_clears;
   into.tnv_replacements <- into.tnv_replacements + c.tnv_replacements;
-  into.wall_seconds <- into.wall_seconds +. c.wall_seconds
+  into.wall_seconds <- into.wall_seconds +. c.wall_seconds;
+  into.degrade_level <- max into.degrade_level c.degrade_level
+
+(* Ranking for degradation-time shedding: recording an event (TNV work)
+   costs more than merely seeing one, and each periodic clear is a full
+   table scan. The absolute scale is irrelevant; only the ordering of
+   fused members matters. *)
+let run_cost c = c.events_seen + (2 * c.events_profiled) + (100 * c.tnv_clears)
 
 let events_per_sec c =
   if c.wall_seconds > 0. then float_of_int c.events_seen /. c.wall_seconds
@@ -38,6 +47,8 @@ let pp ppf c =
     c.events_seen c.events_profiled
     (100. *. profiled_fraction c)
     c.tnv_clears c.tnv_replacements c.wall_seconds
-    (events_per_sec c /. 1e6)
+    (events_per_sec c /. 1e6);
+  if c.degrade_level > 0 then
+    Format.fprintf ppf ", degraded L%d" c.degrade_level
 
 let to_string c = Format.asprintf "%a" pp c

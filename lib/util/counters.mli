@@ -16,6 +16,10 @@ type t = {
   mutable tnv_clears : int;  (** periodic clears across all TNV tables *)
   mutable tnv_replacements : int;  (** LFU/LRU evictions across all tables *)
   mutable wall_seconds : float;  (** attach-to-collect wall clock *)
+  mutable degrade_level : int;
+      (** {!Budget} degradation level the run finished at: [0] means an
+          exact profile; [> 0] means precision was shed under memory
+          pressure and the result is approximate. *)
 }
 
 (** All-zero counters. *)
@@ -25,8 +29,15 @@ val create : unit -> t
 val now : unit -> float
 
 (** [accumulate ~into c] adds every field of [c] onto [into] (wall time
-    included), for summing costs across fused profilers or runs. *)
+    included; [degrade_level] takes the max — an aggregate is as
+    approximate as its most degraded part), for summing costs across
+    fused profilers or runs. *)
 val accumulate : into:t -> t -> unit
+
+(** Relative cost of the run these counters describe, for ranking fused
+    members when degradation must shed one: profiled events weigh double,
+    TNV clears weigh 100 (each is a full table scan). *)
+val run_cost : t -> int
 
 (** [events_seen] per wall second; 0 when no time elapsed. *)
 val events_per_sec : t -> float

@@ -1,22 +1,29 @@
-(** Deterministic fault injection.
+(** Deterministic fault injection, from single shots to seeded campaigns.
 
     Robustness claims are only testable if faults can be produced on
     demand, at an exact, reproducible spot. This module plants named
     {e injection sites} on the paths that matter — machine stepping
     ([Fault.point ~site:"machine.step"] in {!Machine.run}'s loop), profile
     writing ([Fault.cut ~site:"profile_io.write"]), pool workers
-    (["pool.worker"]) and supervised job attempts (["supervisor.job"]) —
-    and lets a test (or the [VPROF_FAULT] environment variable, for CLI
-    smoke runs) arm exactly one firing of any of them: "the 1000th step
-    traps", "the third job dies", "the profile write tears at byte 512".
+    (["pool.worker"]), supervised job attempts (["supervisor.job"]),
+    checkpoint loading (["checkpoint.load"]), shard merging
+    (["shard.merge"]) and pool cancellation (["pool.cancel"]) — and lets
+    a test (or the [VPROF_FAULT] environment variable, for CLI smoke runs
+    and the chaos harness) arm any number of them concurrently.
+
+    Three firing modes per site:
+    - {b one-shot} — fire exactly once, on the [at]-th hit (the original
+      mode: "the 1000th step traps", "the third job dies");
+    - {b N-shot} — fire on hits [at .. at+count-1], then stay quiet
+      (exhausts a retry budget deterministically);
+    - {b probabilistic} — each hit fires with probability [p], drawn from
+      a per-site SplitMix64 generator seeded from the campaign seed
+      ({!set_seed} / [VPROF_FAULT_SEED]) and the site name, so a chaos
+      campaign replays bit-for-bit given the same seed and hit order.
 
     Disarmed — the default — a site costs one atomic load; the machine's
     inner loop additionally hoists that load out of the loop via
     {!enabled}, so fault-free runs pay nothing measurable.
-
-    Each armed site fires {e exactly once}, on its [at]-th hit, then stays
-    quiet: the natural shape for crash tests ("kill job k, assert the run
-    survives and the retry/resume completes").
 
     This module lives in [vp_util] (not the driver) because the machine
     sits below the driver in the library stack; the supervisor and pool
@@ -29,6 +36,12 @@ type action =
       (** {!cut} returns [Some bytes] — the writer must tear its output
           there and die, emulating a crash mid-write. *)
 
+(** When an armed site fires. *)
+type firing =
+  | Shots of { at : int; count : int }
+      (** Fire on hits [at .. at+count-1] (1-based), exactly once each. *)
+  | Prob of float  (** Each hit fires with probability [p] in [(0, 1]]. *)
+
 (** Raised by a firing {!point}; carries the site name. *)
 exception Injected of string
 
@@ -36,17 +49,37 @@ exception Injected of string
     {!point} entirely when it is [false]. *)
 val enabled : unit -> bool
 
-(** [arm ~site ~at ()] arms [site] to fire on its [at]-th hit (1-based;
-    [at <= 1] means the next hit). Re-arming a site replaces its previous
-    arming. Raises [Invalid_argument] on an empty site name. *)
-val arm : ?action:action -> site:string -> at:int -> unit -> unit
+(** Seed for probabilistic sites (default {!default_seed}). Each {!Prob}
+    site armed afterwards draws from a generator derived from this seed
+    and its site name. Set it before arming. *)
+val set_seed : int64 -> unit
 
-(** Disarm every site and reset all hit counters. *)
+(** The fixed golden-ratio constant seeding probabilistic sites until
+    {!set_seed} (or [VPROF_FAULT_SEED]) overrides it — exposed so tests
+    can restore the default after a seeded run. *)
+val default_seed : int64
+
+(** [arm ~site ~at ()] arms [site] to fire on its [at]-th hit (1-based;
+    [at <= 1] means the next hit); [?count] (default 1) extends this to
+    an N-shot burst over hits [at .. at+count-1]. Re-arming a site
+    replaces its previous arming; distinct sites stay armed concurrently.
+    Raises [Invalid_argument] on an empty site name. *)
+val arm : ?action:action -> ?count:int -> site:string -> at:int -> unit -> unit
+
+(** [arm_prob ~site ~p ()] arms [site] to fire each hit with probability
+    [p]. Raises [Invalid_argument] unless [0 < p <= 1]. *)
+val arm_prob : ?action:action -> site:string -> p:float -> unit -> unit
+
+(** [arm_firing ~site firing] is the general form of {!arm}/{!arm_prob}. *)
+val arm_firing : ?action:action -> site:string -> firing -> unit
+
+(** Disarm every site and reset all hit counters (the campaign seed is
+    kept). *)
 val disarm : unit -> unit
 
 (** An injection site for crash-style faults: counts a hit and raises
-    [Injected site] if this hit is the armed one. Cheap no-op when nothing
-    is armed. *)
+    [Injected site] if this hit fires. Cheap no-op when nothing is
+    armed. *)
 val point : site:string -> unit
 
 (** An injection site for torn-write faults: counts a hit and returns
@@ -61,15 +94,24 @@ val hits : site:string -> int
 (** The environment variable {!load_env} reads: ["VPROF_FAULT"]. *)
 val env_var : string
 
-(** Spec grammar, comma-separated entries:
-    ["SITE@AT"] arms a {!Raise} on the [AT]-th hit;
-    ["SITE@AT@BYTES"] arms [Truncate BYTES] on the [AT]-th hit.
-    E.g. ["supervisor.job@3,profile_io.write@1@512"].
+(** The campaign-seed environment variable: ["VPROF_FAULT_SEED"]. *)
+val seed_env_var : string
+
+(** Spec grammar, comma-separated entries armed concurrently:
+    ["SITE@AT"] arms a one-shot {!Raise} on the [AT]-th hit;
+    ["SITE@AT#N"] arms an N-shot burst over hits [AT .. AT+N-1];
+    ["SITE@~P"] arms probabilistic firing with probability [P];
+    each form takes an optional trailing ["@BYTES"] turning the action
+    into [Truncate BYTES].
+    E.g. ["supervisor.job@3,machine.step@~0.001,profile_io.write@1@512"].
     Raises [Invalid_argument] with the offending entry on a malformed
-    spec. *)
+    spec — including empty entries, which are rejected rather than
+    silently ignored. *)
 val arm_spec : string -> unit
 
-(** Arm from [$VPROF_FAULT] if set and non-empty (the CLI calls this once
-    at startup; nothing else does, so test processes stay unaffected by a
-    stray variable). Raises [Invalid_argument] on a malformed spec. *)
+(** Arm from [$VPROF_FAULT] if set and non-empty, seeding probabilistic
+    sites from [$VPROF_FAULT_SEED] first when present (the CLI calls this
+    once at startup; nothing else does, so test processes stay unaffected
+    by a stray variable). Raises [Invalid_argument] on a malformed spec
+    or seed. *)
 val load_env : unit -> unit

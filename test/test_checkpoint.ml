@@ -117,6 +117,81 @@ let test_truncated_payload_not_trusted () =
       Alcotest.(check (option string)) "size check rejects the payload" None
         (Checkpoint.find ck' "job"))
 
+(* Satellite property: a committed store whose manifest is cut at EVERY
+   byte offset either loads a salvaged prefix or fails cleanly — each
+   surviving entry byte-equal to what was committed, never a corrupt
+   payload slipping past its checksum, and salvage is prefix-shaped (an
+   entry only survives if every earlier one does). *)
+let committed = [ ("alpha", "payload one\n"); ("beta two", "p2\x00bin") ]
+
+let check_salvage ~ctx ck' =
+  let n = Checkpoint.completed ck' in
+  Alcotest.(check bool) (ctx ^ ": no more entries than committed") true
+    (n <= List.length committed);
+  let found =
+    List.map (fun (name, payload) ->
+        match Checkpoint.find ck' name with
+        | None -> false
+        | Some got ->
+          Alcotest.(check string) (ctx ^ ": " ^ name ^ " byte-equal") payload
+            got;
+          true)
+      committed
+  in
+  Alcotest.(check int) (ctx ^ ": completed counts the survivors") n
+    (List.length (List.filter Fun.id found));
+  (* prefix-shaped: true, true, ..., false, false, ... *)
+  let rec is_prefix = function
+    | [] -> true
+    | true :: rest -> is_prefix rest
+    | false :: rest -> not (List.exists Fun.id rest)
+  in
+  Alcotest.(check bool) (ctx ^ ": salvage is a prefix") true (is_prefix found)
+
+let test_manifest_cut_at_every_offset () =
+  with_store (fun dir ->
+      let ck = Checkpoint.create ~resume:false dir in
+      List.iter
+        (fun (name, payload) -> Checkpoint.record ck ~name ~payload)
+        committed;
+      let text = read_text (manifest dir) in
+      for cut = 0 to String.length text do
+        write_text (manifest dir) (String.sub text 0 cut);
+        let ck' = Checkpoint.create ~resume:true dir in
+        check_salvage ~ctx:(Printf.sprintf "cut at %d" cut) ck'
+      done;
+      (* the intact manifest still loads everything *)
+      write_text (manifest dir) text;
+      Alcotest.(check int) "intact manifest loads all" (List.length committed)
+        (Checkpoint.completed (Checkpoint.create ~resume:true dir)))
+
+(* The same property, under random payloads (arbitrary bytes, newlines
+   included) and a random cut offset. *)
+let prop_truncated_manifest_salvages_cleanly =
+  QCheck.Test.make
+    ~name:"truncated manifest: salvaged prefix or clean failure" ~count:40
+    QCheck.(pair (small_list string) small_nat)
+    (fun (payloads, cutpick) ->
+      with_store (fun dir ->
+          let ck = Checkpoint.create ~resume:false dir in
+          let named =
+            List.mapi (fun i p -> (Printf.sprintf "job-%d" i, p)) payloads
+          in
+          List.iter
+            (fun (name, payload) -> Checkpoint.record ck ~name ~payload)
+            named;
+          let text = read_text (manifest dir) in
+          let cut = cutpick mod (String.length text + 1) in
+          write_text (manifest dir) (String.sub text 0 cut);
+          let ck' = Checkpoint.create ~resume:true dir in
+          Checkpoint.completed ck' <= List.length named
+          && List.for_all
+               (fun (name, payload) ->
+                 match Checkpoint.find ck' name with
+                 | None -> true
+                 | Some got -> String.equal got payload)
+               named))
+
 let test_rejects_file_as_dir () =
   let path = Filename.temp_file "vprof_ckpt" "" in
   Fun.protect
@@ -284,6 +359,9 @@ let suite =
       test_corrupt_payload_not_trusted;
     Alcotest.test_case "truncated payload not trusted" `Quick
       test_truncated_payload_not_trusted;
+    Alcotest.test_case "manifest cut at every byte offset" `Quick
+      test_manifest_cut_at_every_offset;
+    QCheck_alcotest.to_alcotest prop_truncated_manifest_salvages_cleanly;
     Alcotest.test_case "rejects a file where a dir is needed" `Quick
       test_rejects_file_as_dir;
     Alcotest.test_case "kill and resume is byte-identical" `Quick

@@ -171,6 +171,86 @@ let test_checkpoint_completes_and_resume_skips () =
       Alcotest.(check string) "served from the store, same bytes" first
         second)
 
+(* ---- resource governance through the binary -----------------------
+
+   The exit-code contract grows exit 3 (resource budget exceeded), and a
+   budget trip must still write its telemetry dump on the way out. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let with_temp_files suffixes f =
+  let files = List.map (fun s -> Filename.temp_file "vprof_cli" s) suffixes in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) files)
+    (fun () -> f files)
+
+let test_deadline_exits_3_with_full_dump () =
+  with_temp_files [ ".trace.json"; ".metrics" ] @@ function
+  | [ trace; metrics ] ->
+    let code, out =
+      run_cli
+        (Printf.sprintf "profile -w go --deadline 0.001 --trace %s --metrics %s"
+           (Filename.quote trace) (Filename.quote metrics))
+    in
+    Alcotest.(check int) "budget trips exit 3" 3 code;
+    Alcotest.(check bool) "message names the deadline" true
+      (Astring_contains.contains out "deadline exceeded");
+    (* the dump is complete despite the early death *)
+    Alcotest.(check bool) "trace records the trip" true
+      (Astring_contains.contains (read_file trace) "budget.deadline");
+    Alcotest.(check bool) "metrics record the trip" true
+      (Astring_contains.contains (read_file metrics) "budget.deadline_trips")
+  | _ -> assert false
+
+let test_mem_pressure_exits_3_without_degrade () =
+  let code, out = run_cli "profile -w li --max-heap 0" in
+  Alcotest.(check int) "watermark trips exit 3" 3 code;
+  Alcotest.(check bool) "message suggests --degrade" true
+    (Astring_contains.contains out "--degrade")
+
+let test_mem_pressure_degrades_and_completes () =
+  with_temp_files [ ".metrics" ] @@ function
+  | [ metrics ] ->
+    let code, out =
+      run_cli
+        (Printf.sprintf
+           "profile -w li -s loads -t 3 --max-heap 0 --degrade --metrics %s"
+           (Filename.quote metrics))
+    in
+    Alcotest.(check int) "degraded run completes" 0 code;
+    Alcotest.(check bool) "still prints the table" true
+      (Astring_contains.contains out "Inv-Top");
+    let m = read_file metrics in
+    Alcotest.(check bool) "degradation steps counted" true
+      (Astring_contains.contains m "degrade.steps");
+    Alcotest.(check bool) "final ladder level exported" true
+      (Astring_contains.contains m "degrade.level")
+  | _ -> assert false
+
+let test_experiments_deadline_fails_jobs_not_process () =
+  (* under supervision a budget trip is a per-job failure: the suite
+     reports it and exits 1, not 3 *)
+  let code, out = run_cli "experiments e01 --deadline 0.0001 --retries 0" in
+  Alcotest.(check int) "supervised budget trips exit 1" 1 code;
+  Alcotest.(check bool) "failure names the deadline" true
+    (Astring_contains.contains out "deadline exceeded");
+  Alcotest.(check bool) "experiment recorded as failed" true
+    (Astring_contains.contains out "FAILED")
+
+let test_multi_site_fault_spec_malformed_entry () =
+  (* a campaign spec dies on its malformed entry, naming it *)
+  let code, out =
+    run_cli ~env:"VPROF_FAULT=supervisor.job@1,machine.step@~2" "list"
+  in
+  Alcotest.(check int) "bad entry in a campaign exits 2" 2 code;
+  Alcotest.(check bool) "names the offending entry" true
+    (Astring_contains.contains out "machine.step@~2")
+
 let suite =
   [ Alcotest.test_case "binary present" `Quick test_binary_present;
     Alcotest.test_case "list" `Slow test_list;
@@ -190,6 +270,16 @@ let suite =
     Alcotest.test_case "bad flag" `Quick test_bad_flag_usage_error;
     Alcotest.test_case "malformed VPROF_FAULT" `Quick
       test_malformed_fault_spec_usage_error;
+    Alcotest.test_case "malformed entry in a multi-site campaign" `Quick
+      test_multi_site_fault_spec_malformed_entry;
+    Alcotest.test_case "deadline exits 3 with a full dump" `Quick
+      test_deadline_exits_3_with_full_dump;
+    Alcotest.test_case "memory watermark exits 3 without --degrade" `Slow
+      test_mem_pressure_exits_3_without_degrade;
+    Alcotest.test_case "memory pressure degrades and completes" `Slow
+      test_mem_pressure_degrades_and_completes;
+    Alcotest.test_case "supervised deadline fails jobs, not the process"
+      `Slow test_experiments_deadline_fails_jobs_not_process;
     Alcotest.test_case "checkpoint kill/resume byte-identical" `Slow
       test_checkpoint_resume_byte_identical;
     Alcotest.test_case "resume skips completed work" `Slow

@@ -54,6 +54,68 @@ let test_arm_rejects_empty_site () =
   | () -> Alcotest.fail "expected Invalid_argument"
   | exception Invalid_argument _ -> ()
 
+let test_n_shot_window () =
+  with_faults (fun () ->
+      (* count = 3 starting at hit 2: hits 2, 3, 4 fire; 1 and 5+ pass *)
+      Fault.arm ~site:"s" ~at:2 ~count:3 ();
+      Fault.point ~site:"s";
+      for _ = 1 to 3 do
+        match Fault.point ~site:"s" with
+        | () -> Alcotest.fail "hits 2..4 must all fire"
+        | exception Fault.Injected _ -> ()
+      done;
+      Fault.point ~site:"s";
+      Alcotest.(check int) "window exhausted after at+count-1" 5
+        (Fault.hits ~site:"s"))
+
+let test_prob_deterministic () =
+  (* the same seed gives the same firing pattern; Truncate keeps the
+     firing observable without unwinding, so the whole stream compares *)
+  let pattern seed =
+    Fault.disarm ();
+    Fault.set_seed seed;
+    Fault.arm_prob ~action:(Fault.Truncate 1) ~site:"p" ~p:0.3 ();
+    let fired = List.init 200 (fun _ -> Fault.cut ~site:"p" <> None) in
+    Fault.disarm ();
+    fired
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.disarm ();
+      Fault.set_seed Fault.default_seed)
+    (fun () ->
+      let a = pattern 42L and b = pattern 42L and c = pattern 43L in
+      Alcotest.(check (list bool)) "same seed, same pattern" a b;
+      Alcotest.(check bool) "some hits fire, some pass" true
+        (List.mem true a && List.mem false a);
+      Alcotest.(check bool) "different seed, different pattern" true (a <> c))
+
+let test_prob_rejects_bad_p () =
+  let rejects p =
+    match Fault.arm_prob ~site:"p" ~p () with
+    | () -> Alcotest.failf "p = %g must be rejected" p
+    | exception Invalid_argument _ -> Fault.disarm ()
+  in
+  rejects 0.;
+  rejects (-0.5);
+  rejects 1.5
+
+let test_concurrent_sites () =
+  with_faults (fun () ->
+      Fault.arm ~site:"a" ~at:1 ();
+      Fault.arm ~site:"b" ~at:2 ();
+      Fault.arm ~action:(Fault.Truncate 9) ~site:"c" ~at:1 ();
+      (match Fault.point ~site:"a" with
+       | () -> Alcotest.fail "a fires on hit 1"
+       | exception Fault.Injected site ->
+         Alcotest.(check string) "a" "a" site);
+      Fault.point ~site:"b";
+      Alcotest.(check (option int)) "c cuts independently" (Some 9)
+        (Fault.cut ~site:"c");
+      match Fault.point ~site:"b" with
+      | () -> Alcotest.fail "b fires on hit 2"
+      | exception Fault.Injected site -> Alcotest.(check string) "b" "b" site)
+
 let test_arm_spec () =
   with_faults (fun () ->
       Fault.arm_spec "a@2, b@1@77";
@@ -63,6 +125,27 @@ let test_arm_spec () =
        | exception Fault.Injected _ -> ());
       Alcotest.(check (option int)) "b is a truncate arming" (Some 77)
         (Fault.cut ~site:"b"))
+
+let test_arm_spec_campaign_grammar () =
+  with_faults (fun () ->
+      Fault.arm_spec "burst@1#2, maybe@~0.5, torn@~1@33";
+      (* burst: N-shot over hits 1..2 *)
+      (match Fault.point ~site:"burst" with
+       | () -> Alcotest.fail "burst hit 1 must fire"
+       | exception Fault.Injected _ -> ());
+      (match Fault.point ~site:"burst" with
+       | () -> Alcotest.fail "burst hit 2 must fire"
+       | exception Fault.Injected _ -> ());
+      Fault.point ~site:"burst";
+      (* torn: probabilistic truncate with p = 1 fires every hit *)
+      Alcotest.(check (option int)) "p=1 truncate always cuts" (Some 33)
+        (Fault.cut ~site:"torn");
+      Alcotest.(check (option int)) "and keeps cutting" (Some 33)
+        (Fault.cut ~site:"torn");
+      (* maybe: armed (counts hits) whatever the draw *)
+      (try Fault.point ~site:"maybe" with Fault.Injected _ -> ());
+      Alcotest.(check bool) "prob site counts hits" true
+        (Fault.hits ~site:"maybe" = 1))
 
 let test_arm_spec_malformed () =
   let rejects spec =
@@ -74,7 +157,17 @@ let test_arm_spec_malformed () =
   rejects "x@";
   rejects "@3";
   rejects "x@1@-2";
-  rejects "x@1@2@3"
+  rejects "x@1@2@3";
+  (* campaign grammar *)
+  rejects "x@1#0";
+  rejects "x@1#";
+  rejects "x@~0";
+  rejects "x@~2";
+  rejects "x@~nan";
+  (* empty entries are an error, not silently ignored *)
+  rejects "a@1,,b@1";
+  rejects ",a@1";
+  rejects "a@1,"
 
 let test_load_env () =
   with_faults (fun () ->
@@ -89,6 +182,33 @@ let test_load_env () =
   (* an empty variable arms nothing *)
   Fault.load_env ();
   Alcotest.(check bool) "empty env leaves faults off" false (Fault.enabled ())
+
+let test_load_env_seed () =
+  let clear () =
+    Unix.putenv Fault.env_var "";
+    Unix.putenv Fault.seed_env_var "";
+    Fault.disarm ();
+    Fault.set_seed Fault.default_seed
+  in
+  Fun.protect ~finally:clear (fun () ->
+      (* a malformed seed is a usage error, reported before arming *)
+      Unix.putenv Fault.env_var "s@1";
+      Unix.putenv Fault.seed_env_var "notanumber";
+      (match Fault.load_env () with
+       | () -> Alcotest.fail "malformed seed must be rejected"
+       | exception Invalid_argument _ -> ());
+      Alcotest.(check bool) "nothing armed after the rejection" false
+        (Fault.enabled ());
+      (* a good seed makes the env-armed probabilistic site reproducible *)
+      let pattern () =
+        Fault.disarm ();
+        Unix.putenv Fault.env_var "p@~0.4@1";
+        Unix.putenv Fault.seed_env_var "7";
+        Fault.load_env ();
+        List.init 100 (fun _ -> Fault.cut ~site:"p" <> None)
+      in
+      let a = pattern () and b = pattern () in
+      Alcotest.(check (list bool)) "seeded campaigns replay" a b)
 
 let program n =
   let b = Asm.create () in
@@ -124,7 +244,16 @@ let suite =
     Alcotest.test_case "re-arm replaces" `Quick test_rearm_replaces;
     Alcotest.test_case "truncate budget via cut" `Quick test_truncate_cut;
     Alcotest.test_case "empty site rejected" `Quick test_arm_rejects_empty_site;
+    Alcotest.test_case "N-shot window" `Quick test_n_shot_window;
+    Alcotest.test_case "probabilistic firing is seeded" `Quick
+      test_prob_deterministic;
+    Alcotest.test_case "bad probabilities rejected" `Quick
+      test_prob_rejects_bad_p;
+    Alcotest.test_case "concurrent sites" `Quick test_concurrent_sites;
     Alcotest.test_case "spec grammar" `Quick test_arm_spec;
+    Alcotest.test_case "campaign spec grammar" `Quick
+      test_arm_spec_campaign_grammar;
     Alcotest.test_case "malformed specs rejected" `Quick test_arm_spec_malformed;
     Alcotest.test_case "load_env" `Quick test_load_env;
+    Alcotest.test_case "load_env campaign seed" `Quick test_load_env_seed;
     Alcotest.test_case "machine.step site" `Quick test_machine_step_site ]

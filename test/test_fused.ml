@@ -333,6 +333,60 @@ let test_all_nine_fused_match_solo () =
     (Machine.icount (Machine.execute prog))
     f.Fused.machine_steps
 
+(* ---- graceful degradation: shedding the costliest member ---------- *)
+
+(* Under an armed degrading budget, a ladder step drops the member with
+   the highest run cost so far — here the full profiler, attached after
+   the cheap trivial-op counter so the ranking (not attach order) must
+   pick it. The shed member still reports, from partial observation; the
+   survivor's result stays byte-identical to its solo run. *)
+let test_degrade_sheds_costliest_member () =
+  Fun.protect ~finally:Budget.Testing.reset @@ fun () ->
+  Budget.govern { Budget.no_limits with Budget.degrade = true } @@ fun () ->
+  let prog = tiny_program 200 42 in
+  let trivial = List.find (fun e -> e.pname = "trivial") roster in
+  let profile = List.find (fun e -> e.pname = "profile") roster in
+  let machine = Machine.create prog in
+  let live = Fused.attach machine [ trivial.item; profile.item ] in
+  (* run partway so the members' costs diverge, then force a ladder step *)
+  (try ignore (Machine.run ~fuel:64 machine)
+   with Machine.Trap (Machine.Fuel_exhausted _) -> ());
+  Budget.Testing.force_step ();
+  ignore (Machine.run machine);
+  let f = Fused.collect live in
+  Alcotest.(check (list string)) "profile (costliest) was shed" [ "profile" ]
+    f.Fused.shed;
+  Alcotest.(check int) "shed member still reports" 2
+    (List.length f.Fused.results);
+  Alcotest.(check bool) "degradation level recorded" true
+    (f.Fused.degrade_level >= 1);
+  (match f.Fused.results with
+   | [ triv; prof ] ->
+     Alcotest.(check string) "survivor identical to solo" (trivial.solo prog)
+       triv;
+     Alcotest.(check bool) "shed member reports partial observation" true
+       (not (String.equal (profile.solo prog) prof))
+   | _ -> Alcotest.fail "expected two results")
+
+(* a degradation step never sheds the last member: a fused run always
+   yields at least one profile *)
+let test_degrade_keeps_last_member () =
+  Fun.protect ~finally:Budget.Testing.reset @@ fun () ->
+  Budget.govern { Budget.no_limits with Budget.degrade = true } @@ fun () ->
+  let prog = tiny_program 20 7 in
+  let profile = List.find (fun e -> e.pname = "profile") roster in
+  let machine = Machine.create prog in
+  let live = Fused.attach machine [ profile.item ] in
+  Budget.Testing.force_step ();
+  ignore (Machine.run machine);
+  let f = Fused.collect live in
+  Alcotest.(check (list string)) "nothing shed" [] f.Fused.shed;
+  (match f.Fused.results with
+   | [ prof ] ->
+     Alcotest.(check string) "sole member identical to solo"
+       (profile.solo prog) prof
+   | _ -> Alcotest.fail "expected one result")
+
 let suite =
   [ Alcotest.test_case "co-attached profilers see every event" `Quick
       test_coattached_profilers_see_every_event;
@@ -341,4 +395,8 @@ let suite =
     Alcotest.test_case "item names" `Quick test_item_names;
     Alcotest.test_case "all nine fused match solo" `Quick
       test_all_nine_fused_match_solo;
+    Alcotest.test_case "degradation sheds the costliest member" `Quick
+      test_degrade_sheds_costliest_member;
+    Alcotest.test_case "degradation never sheds the last member" `Quick
+      test_degrade_keeps_last_member;
     QCheck_alcotest.to_alcotest prop_fused_matches_solo ]

@@ -406,6 +406,64 @@ let test_hook_fan_out_order () =
     [ ("first", 7L); ("second", 7L); ("third", 7L) ]
     (List.rev !log)
 
+let test_attachment_detaches_as_unit () =
+  let prog =
+    build (fun b ->
+        Asm.ldi b t0 7L;
+        Asm.ldi b t1 8L;
+        Asm.halt b)
+  in
+  let m = Machine.create prog in
+  let outer = ref 0 and inner = ref 0 in
+  Machine.add_hook m 0 (fun _ _ -> incr outer);
+  let (), att =
+    Machine.with_attachment m (fun () ->
+        Machine.add_hook m 0 (fun _ _ -> incr inner);
+        Machine.add_hook m 1 (fun _ _ -> incr inner))
+  in
+  Alcotest.(check int) "frame logged both subscriptions" 2
+    (Machine.hook_count m 0 + Machine.hook_count m 1 - 1);
+  Machine.detach m att;
+  Alcotest.(check int) "outer observer survives" 1 (Machine.hook_count m 0);
+  Alcotest.(check int) "frame's pc 1 hook gone" 0 (Machine.hook_count m 1);
+  ignore (Machine.run m);
+  Alcotest.(check int) "survivor still fires" 1 !outer;
+  Alcotest.(check int) "detached hooks never fire" 0 !inner
+
+let test_attachment_detach_is_physical () =
+  (* an identical closure subscribed outside the frame survives: detach
+     removes the recorded instances only *)
+  let prog =
+    build (fun b ->
+        Asm.ldi b t0 1L;
+        Asm.halt b)
+  in
+  let m = Machine.create prog in
+  let hits = ref 0 in
+  let f _ _ = incr hits in
+  Machine.add_hook m 0 f;
+  let (), att = Machine.with_attachment m (fun () -> Machine.add_hook m 0 f) in
+  Machine.detach m att;
+  Alcotest.(check int) "the outside instance survives" 1
+    (Machine.hook_count m 0);
+  ignore (Machine.run m);
+  Alcotest.(check int) "and fires once" 1 !hits
+
+let test_attachment_frames_do_not_nest () =
+  let prog =
+    build (fun b ->
+        Asm.ldi b t0 1L;
+        Asm.halt b)
+  in
+  let m = Machine.create prog in
+  let (), _ =
+    Machine.with_attachment m (fun () ->
+        match Machine.with_attachment m (fun () -> ()) with
+        | _ -> Alcotest.fail "nested frame must be rejected"
+        | exception Invalid_argument _ -> ())
+  in
+  ()
+
 let test_clear_hook_removes_all_subscribers () =
   let prog =
     build (fun b ->
@@ -493,6 +551,12 @@ let suite =
     Alcotest.test_case "hook fan-out order" `Quick test_hook_fan_out_order;
     Alcotest.test_case "clear hook removes all" `Quick
       test_clear_hook_removes_all_subscribers;
+    Alcotest.test_case "attachment detaches as a unit" `Quick
+      test_attachment_detaches_as_unit;
+    Alcotest.test_case "detach matches physically" `Quick
+      test_attachment_detach_is_physical;
+    Alcotest.test_case "attachment frames do not nest" `Quick
+      test_attachment_frames_do_not_nest;
     Alcotest.test_case "proc hook fan-out" `Quick test_proc_hook_fan_out;
     Alcotest.test_case "step after halt" `Quick test_step_after_halt_is_noop;
     Alcotest.test_case "initial sp" `Quick test_sp_initial ]

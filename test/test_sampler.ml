@@ -177,6 +177,25 @@ let test_backoff_resets_on_noisy_burst () =
   Alcotest.(check bool) "no longer converged" false (is_converged st);
   Alcotest.(check int) "skip reset to initial" 10 (current_skip st)
 
+let test_degrade_widens_skip () =
+  Fun.protect ~finally:Budget.Testing.reset @@ fun () ->
+  let open Sampler.Testing in
+  let st = make_state backoff_config in
+  Budget.Testing.set_level 1;
+  (* the ladder folds in at the burst boundary: one level doubles the
+     inter-burst gap before any convergence widening applies *)
+  run_cycle st 7L;
+  Alcotest.(check int) "level 1 doubles the gap" 20 (current_skip st);
+  (* an already-applied level folds in exactly once: the next quiet burst
+     widens by the convergence backoff (x2) alone, not by degrade again *)
+  run_cycle st 7L;
+  Alcotest.(check int) "applied level does not re-widen" 40 (current_skip st);
+  (* a saturated ladder on a fresh point clamps at max_skip *)
+  Budget.Testing.set_level Budget.max_degrade_level;
+  let st = make_state { backoff_config with Sampler.max_skip = 50 } in
+  run_cycle st 7L;
+  Alcotest.(check int) "widening clamps at max_skip" 50 (current_skip st)
+
 let test_invariance_error_no_shared_points () =
   (* disjoint selections share no live point: the error is 0. by
      definition — and in particular a number, never NaN *)
@@ -226,4 +245,6 @@ let suite =
     Alcotest.test_case "back-off keeps widening while quiet" `Quick
       test_backoff_keeps_widening;
     Alcotest.test_case "back-off resets on a noisy burst" `Quick
-      test_backoff_resets_on_noisy_burst ]
+      test_backoff_resets_on_noisy_burst;
+    Alcotest.test_case "degradation widens the gap" `Quick
+      test_degrade_widens_skip ]

@@ -34,6 +34,8 @@ let error_label = function
   | Supervisor.Injected _ -> "injected"
   | Supervisor.Cancelled -> "cancelled"
   | Supervisor.Crash _ -> "crash"
+  | Supervisor.Deadline _ -> "deadline"
+  | Supervisor.Mem_pressure _ -> "mem_pressure"
 
 let result_label (o : _ Supervisor.outcome) =
   match o.Supervisor.o_result with
@@ -331,6 +333,105 @@ let test_fused_results_equal_unfused () =
     (List.map (fun (o : _ Supervisor.outcome) -> o.Supervisor.o_name)
        fused.Supervisor.outcomes)
 
+(* ---- resource governance under supervision ------------------------ *)
+
+let test_max_fuel_caps_backoff () =
+  let policy =
+    { Supervisor.default_policy with
+      fuel_timeout = Some 64; max_fuel = Some 200 }
+  in
+  let fuel k = Supervisor.Testing.attempt_fuel policy ~name:"j" ~base:None k in
+  Alcotest.(check (option int)) "attempt 0 uses the base" (Some 64) (fuel 0);
+  Alcotest.(check (option int)) "attempt 1 doubles" (Some 128) (fuel 1);
+  Alcotest.(check (option int)) "attempt 2 hits the cap" (Some 200) (fuel 2);
+  Alcotest.(check (option int)) "later attempts stay capped" (Some 200)
+    (fuel 5);
+  (* an explicit per-job base obeys the same cap *)
+  Alcotest.(check (option int)) "per-job base capped" (Some 200)
+    (Supervisor.Testing.attempt_fuel policy ~name:"j" ~base:(Some 150) 1)
+
+let test_backoff_jitter_deterministic () =
+  let policy =
+    { Supervisor.default_policy with
+      fuel_timeout = Some 1000; jitter = 0.5 }
+  in
+  let fuel ~name k = Supervisor.Testing.attempt_fuel policy ~name ~base:None k in
+  (* attempt 0 is never jittered: the first budget is exactly what the
+     caller asked for *)
+  Alcotest.(check (option int)) "attempt 0 exact" (Some 1000)
+    (fuel ~name:"a" 0);
+  (match fuel ~name:"a" 1 with
+   | Some f ->
+     Alcotest.(check bool) "jitter widens within [1, 1.5)" true
+       (f >= 2000 && f < 3000)
+   | None -> Alcotest.fail "expected a budget");
+  Alcotest.(check (option int)) "same (name, k), same draw" (fuel ~name:"a" 3)
+    (fuel ~name:"a" 3);
+  (* zero jitter (the default) keeps the legacy exact doubling *)
+  let exact =
+    Supervisor.Testing.attempt_fuel
+      { policy with Supervisor.jitter = 0. }
+      ~name:"a" ~base:None 3
+  in
+  Alcotest.(check (option int)) "jitter off is exact doubling" (Some 8000)
+    exact
+
+let governed f = Fun.protect ~finally:Budget.Testing.reset f
+
+let test_deadline_fails_job_and_cancels_rest () =
+  (* the wall clock is global: once one job trips the deadline, retrying
+     it (or starting the jobs behind it) cannot help — the supervisor
+     records the trip and cancels the rest of the pool *)
+  governed (fun () ->
+      let rep =
+        Budget.govern
+          { Budget.no_limits with deadline = Some 0.001 }
+          (fun () ->
+            Unix.sleepf 0.005;
+            Supervisor.map ~jobs:1 ~name:string_of_int
+              (fun x -> x)
+              [ 1; 2; 3 ])
+      in
+      Alcotest.(check (list string)) "trip, then cooperative cancellation"
+        [ "deadline"; "cancelled"; "cancelled" ]
+        (List.map result_label rep.Supervisor.outcomes);
+      match rep.Supervisor.outcomes with
+      | { Supervisor.o_attempts = 1; _ } :: _ ->
+        (* default policy retries once; a deadline must not be retried *)
+        ()
+      | _ -> Alcotest.fail "deadline outcomes are never retried")
+
+let test_mem_pressure_classified_and_retried () =
+  (* memory pressure is transient (the failed attempt's garbage is
+     collectable), so unlike a deadline it stays retryable *)
+  let calls = Atomic.make 0 in
+  let rep =
+    Supervisor.map ~jobs:1 ~name:string_of_int
+      (fun x ->
+        if Atomic.fetch_and_add calls 1 = 0 then
+          raise (Budget.Mem_pressure 4096);
+        x * 10)
+      [ 5 ]
+  in
+  (match rep.Supervisor.outcomes with
+   | [ { Supervisor.o_attempts = 2; o_result = Ok 50; _ } ] -> ()
+   | [ o ] ->
+     Alcotest.failf "expected retry success, got %s after %d attempts"
+       (result_label o) o.Supervisor.o_attempts
+   | _ -> Alcotest.fail "expected one outcome");
+  (* with retries exhausted the trip lands as a typed outcome *)
+  let rep =
+    Supervisor.map
+      ~policy:{ Supervisor.default_policy with retries = 0 }
+      ~jobs:1 ~name:string_of_int
+      (fun _ -> raise (Budget.Mem_pressure 4096))
+      [ 5 ]
+  in
+  match rep.Supervisor.outcomes with
+  | [ { Supervisor.o_result = Error (Supervisor.Mem_pressure 4096); _ } ] -> ()
+  | [ o ] -> Alcotest.failf "expected Mem_pressure, got %s" (result_label o)
+  | _ -> Alcotest.fail "expected one outcome"
+
 let test_attempt_counts_in_string_of_error () =
   Alcotest.(check bool) "timeout names the budget" true
     (Astring_contains.contains
@@ -369,5 +470,13 @@ let suite =
       test_fused_retry_reruns_whole_unit;
     Alcotest.test_case "fused results equal unfused" `Quick
       test_fused_results_equal_unfused;
+    Alcotest.test_case "max_fuel caps backoff" `Quick
+      test_max_fuel_caps_backoff;
+    Alcotest.test_case "backoff jitter is deterministic" `Quick
+      test_backoff_jitter_deterministic;
+    Alcotest.test_case "deadline fails job, cancels rest" `Quick
+      test_deadline_fails_job_and_cancels_rest;
+    Alcotest.test_case "mem pressure classified and retried" `Quick
+      test_mem_pressure_classified_and_retried;
     Alcotest.test_case "error messages carry detail" `Quick
       test_attempt_counts_in_string_of_error ]

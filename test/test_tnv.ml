@@ -78,6 +78,25 @@ let test_reset () =
   Alcotest.(check int) "total" 0 (Tnv.total t);
   Alcotest.(check int) "entries" 0 (Array.length (Tnv.entries t))
 
+let test_degrade_shrinks_live_capacity () =
+  Fun.protect ~finally:Budget.Testing.reset @@ fun () ->
+  (* the ladder folds in at the next periodic clear, not mid-stream *)
+  let t = Tnv.create ~clear_interval:4 ~capacity:8 () in
+  Budget.Testing.set_level 1;
+  List.iter (Tnv.add t) [ 1L; 2L; 3L ];
+  Alcotest.(check int) "untouched before the clear" 8 (Tnv.live_capacity t);
+  Tnv.add t 1L;
+  Alcotest.(check int) "level 1 halves at the clear" 4 (Tnv.live_capacity t);
+  (* a saturated ladder clamps at one live candidate, never zero *)
+  Budget.Testing.set_level Budget.max_degrade_level;
+  List.iter (Tnv.add t) [ 1L; 2L; 3L; 4L ];
+  Alcotest.(check int) "saturated level keeps one slot" 1
+    (Tnv.live_capacity t);
+  (* the shrunken table still admits (and counts) its top value *)
+  Alcotest.(check bool) "still counting" true (Tnv.total t > 0);
+  Tnv.reset t;
+  Alcotest.(check int) "reset restores full capacity" 8 (Tnv.live_capacity t)
+
 let test_create_invalid () =
   Alcotest.check_raises "capacity"
     (Invalid_argument "Tnv.create: capacity must be positive") (fun () ->
@@ -311,6 +330,8 @@ let suite =
     Alcotest.test_case "lfu replaces minimum" `Quick test_lfu_replaces_minimum;
     Alcotest.test_case "lru replaces oldest" `Quick test_lru_replaces_oldest;
     Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "degradation shrinks live capacity" `Quick
+      test_degrade_shrinks_live_capacity;
     Alcotest.test_case "invalid create" `Quick test_create_invalid;
     Alcotest.test_case "accessors" `Quick test_accessors;
     Alcotest.test_case "clear keeps the top half" `Quick
