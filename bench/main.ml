@@ -191,6 +191,14 @@ let tnv_hot_values n =
   let rng = Rng.create 99L in
   Array.init n (fun _ -> Int64.of_int (Rng.skewed rng ~n:64 ~s:2.0))
 
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
 (* The headline of the observer layer: 3 profilers over ONE machine
    execution vs 3 solo passes. Events are total machine steps, so the
    fused entry shows ~3x fewer for the same per-profiler output. Kept at
@@ -331,6 +339,53 @@ let bench_json () =
           (timed_events ~iters reps (sharded pl)))
       shard_counts
   in
+  (* Persistence throughput: both profile codecs over the same in-memory
+     profile (events = bytes produced/consumed, so events_per_sec is
+     bytes/sec), plus the warm path of a store-backed experiments grid —
+     every unit served from the on-disk store, zero machine executions
+     (events = summed payload bytes per warm pass). *)
+  let io_p = Profile.run ~selection:`All bench_program in
+  let v3_bytes = Profile_io.to_binary io_p in
+  let io_iters = 50 in
+  let v2_write () = String.length (Profile_io.to_string io_p) in
+  let v3_write () = String.length (Profile_io.to_binary io_p) in
+  let v3_read () =
+    ignore (Profile_io.of_string ~program:bench_program v3_bytes);
+    String.length v3_bytes
+  in
+  let store_warm_grid =
+    let dir = "bench_store_tmp" in
+    rm_rf dir;
+    let specs =
+      List.filter
+        (fun (s : Experiments.spec) ->
+          List.mem s.id [ "e01"; "e02"; "e03"; "e04" ])
+        Experiments.all
+    in
+    let with_store s =
+      { Experiments.default_run_config with rc_store = Some s }
+    in
+    (* cold fill outside the clock: the timed body is pure store service *)
+    ignore
+      (Experiments.run_strings ~config:(with_store (Store.open_dir dir)) specs);
+    let warm () =
+      Harness.clear_cache ();
+      let rep =
+        Experiments.run_strings ~config:(with_store (Store.open_dir dir)) specs
+      in
+      List.fold_left
+        (fun acc (o : string Supervisor.outcome) ->
+          match o.Supervisor.o_result with
+          | Ok payload -> acc + String.length payload
+          | Error _ -> acc)
+        0 rep.Supervisor.outcomes
+    in
+    let e = entry "store_warm_grid" (timed_events reps warm) in
+    Harness.set_store None;
+    Harness.clear_cache ();
+    rm_rf dir;
+    e
+  in
   (* The driver entry records the domain count that actually resolves
      (never more workers than jobs); on a 1-core machine the N-domain
      entry would duplicate driver_1_domain under a misleading name, so it
@@ -357,6 +412,10 @@ let bench_json () =
        []
      end)
   @ sharded_entries
+  @ [ entry "profile_io_v2_write" (timed_events ~iters:io_iters reps v2_write);
+      entry "profile_io_v3_write" (timed_events ~iters:io_iters reps v3_write);
+      entry "profile_io_v3_read" (timed_events ~iters:io_iters reps v3_read);
+      store_warm_grid ]
 
 (* Publish one entry into the registry and hand back the handles; the
    JSON below is then read from the registry, not from the raw record, so

@@ -106,6 +106,25 @@ let shards_arg =
 
 let effective_shards k = if k <= 0 then Driver.default_jobs () else k
 
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Profile store directory for cross-invocation reuse: results \
+           whose fingerprint (workload, input, fuel, profiler, shards, \
+           config) is already committed are served without executing \
+           anything, and fresh results are committed for the next run. \
+           Inspect with $(b,vprof store).")
+
+(* Opening for a profiling run bumps the generation once, so [store gc
+   --keep N] has invocation-granular history to collect against. *)
+let open_store dir =
+  let s = Store.open_dir dir in
+  ignore (Store.new_generation s);
+  s
+
 let stats_arg =
   Arg.(
     value & flag

@@ -103,14 +103,14 @@ let save_arg =
 
 let profile_cmd =
   let run (w : Workload.t) input selection top tnv_size clear_interval save
-      fuel jobs shards stats trace metrics gov =
+      fuel jobs shards store stats trace metrics gov =
     with_obs ~trace ~metrics @@ fun () ->
     with_governance gov @@ fun () ->
     let vconfig =
       { Vstate.default_config with
         tnv_capacity = tnv_size; clear_interval }
     in
-    let profile =
+    let compute () =
       if shards <> 1 then
         (* sharded collection: K slices of ONE execution, each on its own
            domain, merged in shard order (deterministic output) *)
@@ -127,6 +127,45 @@ let profile_cmd =
         with
         | [ p ] -> p
         | _ -> assert false
+    in
+    let profile =
+      match store with
+      | None -> compute ()
+      | Some dir ->
+        let s = open_store dir in
+        let prog = w.wbuild input in
+        let sel_name =
+          match selection with
+          | `All -> "all"
+          | `Loads -> "loads"
+          | `Alu -> "alu"
+          | `Stores -> "stores"
+          | `Pcs _ -> "pcs"
+        in
+        (* the program text rides in the fingerprint so two distinct
+           .vasm files sharing a basename can never alias an entry *)
+        let config =
+          Printf.sprintf "%s prog=%s"
+            (Store.Fingerprint.profile_config vconfig ~selection:sel_name)
+            (Crc32.to_hex (Crc32.string (Parser.emit prog)))
+        in
+        let key =
+          Store.Fingerprint.(
+            key
+              (make ?fuel
+                 ~shards:(if shards = 1 then 1 else effective_shards shards)
+                 ~config ~profiler:"profile" ~workload:w.wname
+                 ~input:(Workload.string_of_input input) ()))
+        in
+        (match Store.get_profile s ~program:prog ~key with
+         | Some p ->
+           Printf.eprintf "store: hit %s\n" key;
+           p
+         | None ->
+           let p = compute () in
+           Store.put_profile s ~key p;
+           Printf.eprintf "store: miss %s (committed)\n" key;
+           p)
     in
     (match save with
      | Some path ->
@@ -178,7 +217,8 @@ let profile_cmd =
     Term.(
       const run $ workload_arg $ input_arg $ selection_arg $ top_arg
       $ tnv_size_arg $ clear_interval_arg $ save_arg $ fuel_arg $ jobs_arg
-      $ shards_arg $ stats_arg $ trace_arg $ metrics_arg $ governance_arg)
+      $ shards_arg $ store_arg $ stats_arg $ trace_arg $ metrics_arg
+      $ governance_arg)
 
 (* memory *)
 
@@ -765,8 +805,8 @@ let write_failure_report dir (rep : string Supervisor.report) =
                 o.Supervisor.o_attempts)
           failures)
 
-let run_experiments id csv jobs shards checkpoint resume retries fail_fast
-    fuel trace metrics gov =
+let run_experiments id csv jobs shards checkpoint resume store retries
+    fail_fast fuel trace metrics gov =
   let specs =
     if id = "all" then Experiments.all
     else
@@ -795,25 +835,33 @@ let run_experiments id csv jobs shards checkpoint resume retries fail_fast
      Mem_pressure trips per job, so a budgeted suite records failures
      (exit 1) rather than dying with exit 3 *)
   with_governance gov @@ fun () ->
-  match checkpoint with
-  | None ->
+  match (checkpoint, store) with
+  | None, None ->
     let rep = Experiments.run ~config specs in
     List.iter (fun r -> print_spec_tables csv r) rep.Experiments.results;
     if rep.Experiments.failures <> [] then begin
       report_failures rep.Experiments.failures;
       exit 1
     end
-  | Some dir ->
+  | ck_dir, store_dir ->
+    (* both --checkpoint and --store route through the rendered-payload
+       path: each experiment's bytes are committed as they land and
+       cached units are served without running (byte-identical output
+       either way, since [Experiments.render] is the payload) *)
     if csv <> None then begin
       prerr_endline
-        "vprof: --csv needs the experiments' tables, which --checkpoint \
-         runs do not retain; use one or the other";
+        "vprof: --csv needs the experiments' tables, which \
+         --checkpoint/--store runs do not retain; use one or the other";
       exit 2
     end;
-    let ck = Checkpoint.create ~resume dir in
+    let ck = Option.map (Checkpoint.create ~resume) ck_dir in
+    let st = Option.map open_store store_dir in
     let rep =
       Experiments.run_strings
-        ~config:{ config with Experiments.rc_checkpoint = Some ck }
+        ~config:
+          { config with
+            Experiments.rc_checkpoint = ck;
+            Experiments.rc_store = st }
         specs
     in
     List.iter
@@ -822,7 +870,19 @@ let run_experiments id csv jobs shards checkpoint resume retries fail_fast
         | Ok payload -> print_string payload
         | Error _ -> ())
       rep.Supervisor.outcomes;
-    write_failure_report dir rep;
+    (if st <> None then
+       (* visible hit accounting on stderr, so stdout stays byte-identical
+          between cold and warm runs *)
+       let served =
+         List.length
+           (List.filter
+              (fun (o : string Supervisor.outcome) ->
+                o.Supervisor.o_attempts = 0 && Result.is_ok o.Supervisor.o_result)
+              rep.Supervisor.outcomes)
+       in
+       Printf.eprintf "store: %d of %d experiments served from cache\n" served
+         (List.length rep.Supervisor.outcomes));
+    Option.iter (fun dir -> write_failure_report dir rep) ck_dir;
     (match Supervisor.failures rep with
      | [] -> ()
      | failures ->
@@ -835,12 +895,17 @@ let run_experiments id csv jobs shards checkpoint resume retries fail_fast
                o.Supervisor.o_name o.Supervisor.o_attempts
                (Supervisor.string_of_error e))
          failures;
-       Printf.eprintf
-         "%d of %d experiments failed; completed work is committed under \
-          %s — rerun with --resume to retry only the failures\n"
-         (List.length failures)
-         (List.length rep.Supervisor.outcomes)
-         dir;
+       (match ck_dir with
+        | Some dir ->
+          Printf.eprintf
+            "%d of %d experiments failed; completed work is committed under \
+             %s — rerun with --resume to retry only the failures\n"
+            (List.length failures)
+            (List.length rep.Supervisor.outcomes)
+            dir
+        | None ->
+          Printf.eprintf "%d of %d experiments failed\n" (List.length failures)
+            (List.length rep.Supervisor.outcomes));
        exit 1)
 
 (* fused *)
@@ -1020,8 +1085,8 @@ let experiment_cmd =
        ~doc:"Regenerate the paper's tables and figures (see DESIGN.md).")
     Term.(
       const run_experiments $ id_arg $ csv_arg $ jobs_arg $ shards_arg
-      $ checkpoint_arg $ resume_arg $ retries_arg $ fail_fast_arg $ fuel_arg
-      $ trace_arg $ metrics_arg $ governance_arg)
+      $ checkpoint_arg $ resume_arg $ store_arg $ retries_arg $ fail_fast_arg
+      $ fuel_arg $ trace_arg $ metrics_arg $ governance_arg)
 
 let experiments_cmd =
   let all_arg =
@@ -1046,15 +1111,15 @@ let experiments_cmd =
              it with $(b,--trace)/$(b,--metrics) to validate the \
              telemetry pipeline cheaply.")
   in
-  let run all id smoke csv jobs shards checkpoint resume retries fail_fast
-      fuel trace metrics gov =
+  let run all id smoke csv jobs shards checkpoint resume store retries
+      fail_fast fuel trace metrics gov =
     let id =
       if smoke then "e01"
       else if all then "all"
       else Option.value id ~default:"all"
     in
-    run_experiments id csv jobs shards checkpoint resume retries fail_fast fuel
-      trace metrics gov
+    run_experiments id csv jobs shards checkpoint resume store retries
+      fail_fast fuel trace metrics gov
   in
   Cmd.v
     (Cmd.info "experiments"
@@ -1066,8 +1131,180 @@ let experiments_cmd =
           the run crash-safe and $(b,--resume) continues one.")
     Term.(
       const run $ all_arg $ id_arg $ smoke_arg $ csv_arg $ jobs_arg
-      $ shards_arg $ checkpoint_arg $ resume_arg $ retries_arg $ fail_fast_arg
-      $ fuel_arg $ trace_arg $ metrics_arg $ governance_arg)
+      $ shards_arg $ checkpoint_arg $ resume_arg $ store_arg $ retries_arg
+      $ fail_fast_arg $ fuel_arg $ trace_arg $ metrics_arg $ governance_arg)
+
+(* store *)
+
+let store_dir_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR" ~doc:"Profile store directory.")
+
+let store_ls_cmd =
+  let run dir =
+    let s = Store.open_dir dir in
+    let table =
+      Table.create
+        ~title:
+          (Printf.sprintf "Profile store %s (generation %d)" dir
+             (Store.generation s))
+        [ "key"; "gen"; "bytes" ]
+    in
+    List.iter
+      (fun (e : Store.info) ->
+        Table.add_row table
+          [ e.i_key; string_of_int e.i_gen; Table.count e.i_bytes ])
+      (Store.entries s);
+    Table.print table
+  in
+  Cmd.v
+    (Cmd.info "ls" ~doc:"List the store's entries (key, generation, size).")
+    Term.(const run $ store_dir_arg)
+
+let store_get_cmd =
+  let key_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"KEY" ~doc:"Store key (as printed by $(b,store ls)).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the payload to FILE instead of stdout.")
+  in
+  let workload_opt_arg =
+    Arg.(
+      value
+      & opt (some workload_conv) None
+      & info [ "w"; "workload" ] ~docv:"NAME"
+          ~doc:
+            "Decode the entry as a profile of this workload and emit the \
+             text (v2) rendering instead of the raw stored bytes.")
+  in
+  let run dir key out w input =
+    let s = Store.open_dir dir in
+    match Store.find s key with
+    | None ->
+      Printf.eprintf "vprof: no store entry %s\n" key;
+      exit 1
+    | Some payload ->
+      let bytes =
+        match w with
+        | None -> payload
+        | Some (wl : Workload.t) ->
+          (match Profile_io.of_string ~program:(wl.wbuild input) payload with
+           | p -> Profile_io.to_string p
+           | exception Failure msg ->
+             Printf.eprintf "vprof: %s\n" msg;
+             exit 1)
+      in
+      (match out with
+       | None -> print_string bytes
+       | Some path ->
+         let oc = open_out_bin path in
+         Fun.protect
+           ~finally:(fun () -> close_out oc)
+           (fun () -> output_string oc bytes);
+         Printf.printf "wrote %s (%d bytes)\n" path (String.length bytes))
+  in
+  Cmd.v
+    (Cmd.info "get"
+       ~doc:
+         "Print one entry's payload — raw bytes by default, or decoded to \
+          profile text with $(b,-w).")
+    Term.(const run $ store_dir_arg $ key_arg $ out_arg $ workload_opt_arg
+          $ input_arg)
+
+let store_merge_cmd =
+  let into_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "into" ] ~docv:"KEY"
+          ~doc:"Destination key (merged with its current entry, if any).")
+  in
+  let keys_arg =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"KEY" ~doc:"Source profile entries to merge.")
+  in
+  let run dir (w : Workload.t) input into keys =
+    let s = open_store dir in
+    let prog = w.wbuild input in
+    let load k =
+      match Store.get_profile s ~program:prog ~key:k with
+      | Some p -> p
+      | None ->
+        Printf.eprintf
+          "vprof: store entry %s is missing or not a decodable profile of %s\n"
+          k w.wname;
+        exit 1
+    in
+    let merged = Profile.merge (List.map load keys) in
+    Store.merge_into s ~program:prog ~key:into merged;
+    Printf.printf "merged %d profile%s into %s (%s profiled events)\n"
+      (List.length keys)
+      (if List.length keys = 1 then "" else "s")
+      into
+      (Table.count merged.Profile.profiled_events)
+  in
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:
+         "Merge stored profile entries (Profile.merge semantics: totals \
+          add, TNV tables fuse) into a destination entry.")
+    Term.(const run $ store_dir_arg $ workload_arg $ input_arg $ into_arg
+          $ keys_arg)
+
+let store_gc_cmd =
+  let keep_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "keep" ] ~docv:"N"
+          ~doc:
+            "Keep entries written within the last N generations (each \
+             profiling invocation against the store opens one generation).")
+  in
+  let run dir keep =
+    let s = Store.open_dir dir in
+    let removed = Store.gc s ~keep in
+    Printf.printf "removed %d entr%s (generation %d, keeping %d)\n" removed
+      (if removed = 1 then "y" else "ies")
+      (Store.generation s) keep
+  in
+  Cmd.v
+    (Cmd.info "gc" ~doc:"Collect entries older than the last N generations.")
+    Term.(const run $ store_dir_arg $ keep_arg)
+
+let store_stats_cmd =
+  let run dir =
+    let s = Store.open_dir dir in
+    let st = Store.stats s in
+    let table =
+      Table.create ~title:(Printf.sprintf "Profile store %s" dir)
+        [ "metric"; "value" ]
+    in
+    Table.add_row table [ "entries"; string_of_int st.Store.st_entries ];
+    Table.add_row table [ "bytes"; Table.count st.Store.st_bytes ];
+    Table.add_row table [ "generation"; string_of_int st.Store.st_generation ];
+    Table.print table
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Entry count, total bytes and current generation.")
+    Term.(const run $ store_dir_arg)
+
+let store_cmd =
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:
+         "Inspect and manage a profile store directory (the $(b,--store) \
+          cache): ls, get, merge, gc, stats.")
+    [ store_ls_cmd; store_get_cmd; store_merge_cmd; store_gc_cmd;
+      store_stats_cmd ]
 
 let () =
   let info =
@@ -1079,7 +1316,7 @@ let () =
       [ list_cmd; run_cmd; disasm_cmd; emit_cmd; profile_cmd; memory_cmd;
         procs_cmd; registers_cmd; contexts_cmd; phases_cmd; trivial_cmd;
         speculate_cmd; sample_cmd; fused_cmd; specialize_cmd; memoize_cmd;
-        diff_cmd; experiment_cmd; experiments_cmd ]
+        diff_cmd; experiment_cmd; experiments_cmd; store_cmd ]
   in
   (* Exit-code contract: 0 success; 1 runtime failure (a machine trap, an
      injected fault, a failed experiment); 2 usage error (bad flags,

@@ -1,215 +1,26 @@
-let manifest_header = "vprof-checkpoint 1"
+(* Since the profile store unification, a checkpoint is a thin veneer over
+   a directory-backed {!Store.t}: the store owns the manifest format, the
+   checksums, the atomic payload-then-manifest commit order, and the
+   salvage-shaped load (including the "checkpoint.load" fault site). This
+   module keeps the checkpoint-flavored API and telemetry. *)
 
-type t = {
-  c_dir : string;
-  c_mu : Mutex.t;
-  c_table : (string, string) Hashtbl.t; (* name -> payload *)
-  mutable c_order : string list; (* completion order, reversed *)
-}
+type t = Store.t
 
-(* --- small helpers --- *)
+let create ~resume dir = Store.open_dir ~reset:(not resume) dir
 
-let write_atomic ~dir path content =
-  let tmp, oc =
-    Filename.open_temp_file ~temp_dir:dir ~mode:[ Open_binary ]
-      (Filename.basename path) ".tmp"
-  in
-  (try
-     Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content);
-     Sys.rename tmp path
-   with e ->
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise e)
+let dir t =
+  match Store.dir t with
+  | Some d -> d
+  | None -> invalid_arg "Checkpoint.dir: not a directory store"
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-(* Names travel on one manifest line each: escape the two characters that
-   would break the line/field structure. *)
-let escape name =
-  if String.exists (fun c -> c = ' ' || c = '%' || c = '\n') name then begin
-    let buf = Buffer.create (String.length name + 8) in
-    String.iter
-      (fun c ->
-        match c with
-        | ' ' -> Buffer.add_string buf "%20"
-        | '%' -> Buffer.add_string buf "%25"
-        | '\n' -> Buffer.add_string buf "%0a"
-        | c -> Buffer.add_char buf c)
-      name;
-    Buffer.contents buf
-  end
-  else name
-
-let unescape s =
-  if not (String.contains s '%') then s
-  else begin
-    let buf = Buffer.create (String.length s) in
-    let i = ref 0 in
-    let n = String.length s in
-    while !i < n do
-      (if s.[!i] = '%' && !i + 2 < n then begin
-         (match String.sub s (!i + 1) 2 with
-          | "20" -> Buffer.add_char buf ' '
-          | "25" -> Buffer.add_char buf '%'
-          | "0a" -> Buffer.add_char buf '\n'
-          | other -> Buffer.add_string buf ("%" ^ other));
-         i := !i + 3
-       end
-       else begin
-         Buffer.add_char buf s.[!i];
-         incr i
-       end)
-    done;
-    Buffer.contents buf
-  end
-
-(* Payload file name: a readable sanitized stem plus the crc of the raw
-   name, so distinct names can never collide after sanitization. *)
-let payload_file name =
-  let stem =
-    String.map
-      (fun c ->
-        match c with
-        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> c
-        | _ -> '_')
-      name
-  in
-  Printf.sprintf "%s-%s.out" stem (Crc32.to_hex (Crc32.string name))
-
-let manifest_path t = Filename.concat t.c_dir "manifest"
-
-let entry_line name payload =
-  let body =
-    Printf.sprintf "done %s bytes=%d payload=%s" (escape name)
-      (String.length payload)
-      (Crc32.to_hex (Crc32.string payload))
-  in
-  Printf.sprintf "%s line=%s" body (Crc32.to_hex (Crc32.string body))
-
-let manifest_text t =
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf manifest_header;
-  Buffer.add_char buf '\n';
-  List.iter
-    (fun name ->
-      Buffer.add_string buf (entry_line name (Hashtbl.find t.c_table name));
-      Buffer.add_char buf '\n')
-    (List.rev t.c_order);
-  Buffer.contents buf
-
-(* --- loading (salvage-shaped: stop at the first damaged line) --- *)
-
-exception Torn
-
-let parse_entry t line =
-  match String.rindex_opt line ' ' with
-  | None -> raise Torn
-  | Some sp ->
-    let body = String.sub line 0 sp in
-    let tail = String.sub line (sp + 1) (String.length line - sp - 1) in
-    (match String.split_on_char '=' tail with
-     | [ "line"; hex ] ->
-       (match Crc32.of_hex hex with
-        | Some crc when Crc32.string body = crc -> ()
-        | _ -> raise Torn)
-     | _ -> raise Torn);
-    (match String.split_on_char ' ' body with
-     | [ "done"; name; bytes; payload_crc ] ->
-       let name = unescape name in
-       let bytes =
-         match String.split_on_char '=' bytes with
-         | [ "bytes"; n ] -> int_of_string_opt n
-         | _ -> None
-       in
-       let pcrc =
-         match String.split_on_char '=' payload_crc with
-         | [ "payload"; hex ] -> Crc32.of_hex hex
-         | _ -> None
-       in
-       (match (bytes, pcrc) with
-        | Some bytes, Some pcrc ->
-          (* the manifest line is sound; the payload file must still agree
-             with it, else the entry is treated as never completed *)
-          (match read_file (Filename.concat t.c_dir (payload_file name)) with
-           | exception Sys_error _ -> ()
-           | payload ->
-             if String.length payload = bytes
-                && Crc32.string payload = pcrc
-                && not (Hashtbl.mem t.c_table name)
-             then begin
-               Hashtbl.replace t.c_table name payload;
-               t.c_order <- name :: t.c_order
-             end)
-        | _ -> raise Torn)
-     | _ -> raise Torn)
-
-let load t =
-  (* chaos campaigns kill the loader here to prove a failed resume never
-     corrupts the store: the next resume must still salvage *)
-  Fault.point ~site:"checkpoint.load";
-  match read_file (manifest_path t) with
-  | exception Sys_error _ -> ()
-  | text ->
-    (match String.split_on_char '\n' text with
-     | header :: lines when header = manifest_header ->
-       (try
-          List.iter
-            (fun line -> if line <> "" then parse_entry t line)
-            lines
-        with Torn -> ())
-     | _ -> ())
-
-let create ~resume dir =
-  if Sys.file_exists dir then begin
-    if not (Sys.is_directory dir) then
-      raise (Sys_error (dir ^ ": not a directory"))
-  end
-  else Sys.mkdir dir 0o755;
-  let t =
-    { c_dir = dir; c_mu = Mutex.create (); c_table = Hashtbl.create 64;
-      c_order = [] }
-  in
-  if resume then load t
-  else write_atomic ~dir (manifest_path t) (manifest_header ^ "\n");
-  t
-
-let dir t = t.c_dir
-
-let find t name =
-  Mutex.lock t.c_mu;
-  let r = Hashtbl.find_opt t.c_table name in
-  Mutex.unlock t.c_mu;
-  r
-
-let completed t =
-  Mutex.lock t.c_mu;
-  let n = Hashtbl.length t.c_table in
-  Mutex.unlock t.c_mu;
-  n
+let find = Store.find
+let completed t = (Store.stats t).Store.st_entries
 
 let m_commits = Obs.Metrics.counter "checkpoint.commits"
 
 let record t ~name ~payload =
   if String.contains name '\n' then
     invalid_arg "Checkpoint.record: job names may not contain newlines";
-  Mutex.lock t.c_mu;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.c_mu)
-    (fun () ->
-      Obs.Metrics.incr m_commits;
-      Obs.Trace.with_span ~cat:"driver" "checkpoint.commit" @@ fun () ->
-      (* the disk guard charges the payload before writing it, so a
-         governed run stops committing the moment the budget is blown *)
-      Budget.charge_disk ~bytes:(String.length payload);
-      (* payload first, manifest second: a crash in between leaves an
-         unreferenced payload file, which merely reruns the job *)
-      write_atomic ~dir:t.c_dir
-        (Filename.concat t.c_dir (payload_file name))
-        payload;
-      if not (Hashtbl.mem t.c_table name) then t.c_order <- name :: t.c_order;
-      Hashtbl.replace t.c_table name payload;
-      write_atomic ~dir:t.c_dir (manifest_path t) (manifest_text t))
+  Obs.Metrics.incr m_commits;
+  Obs.Trace.with_span ~cat:"driver" "checkpoint.commit" @@ fun () ->
+  Store.put t ~key:name ~payload

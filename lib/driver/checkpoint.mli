@@ -1,15 +1,12 @@
 (** Crash-safe checkpoint store for long experiment grids.
 
     A grid of profiling runs can take hours; a crash (or an injected
-    fault) must not cost the completed jobs. The store keeps, under one
-    directory:
-
-    - [manifest] — one checksummed line per completed job
-      ([done <name> bytes=<n> payload=<crc> line=<crc>]), rewritten via
-      temp-file + [rename] on every record, so the manifest on disk is
-      always a complete, committed state;
-    - [<name>-<crc>.out] — each job's rendered payload, also written
-      atomically.
+    fault) must not cost the completed jobs. Since the persistence
+    unification this is a thin veneer over a directory-backed {!Store.t},
+    which owns the on-disk contract: a [manifest] with one checksummed
+    line per completed job ([done <name> gen=<g> bytes=<n> payload=<crc>
+    line=<crc>]) rewritten via temp-file + [rename] on every record, plus
+    one atomically-written [<name>-<crc>.out] payload file per job.
 
     Loading is salvage-shaped: a torn or corrupt manifest line (and
     everything after it) is dropped, and an entry whose payload file

@@ -104,6 +104,7 @@ type run_config = {
   rc_trace : string option;
   rc_metrics : string option;
   rc_shards : int;
+  rc_store : Store.t option;
 }
 
 let default_run_config =
@@ -116,7 +117,8 @@ let default_run_config =
     rc_checkpoint = None;
     rc_trace = None;
     rc_metrics = None;
-    rc_shards = 1 }
+    rc_shards = 1;
+    rc_store = None }
 
 let policy_of_config c =
   { Supervisor.retries = c.rc_retries;
@@ -164,9 +166,19 @@ let with_sinks cfg f =
 let run_spec_traced spec =
   Obs.Trace.with_span ~cat:"experiments" ("experiment:" ^ spec.id) spec.run
 
+(* The store key of a rendered experiment: the unit of cross-invocation
+   reuse is the whole rendered payload, fingerprinted by everything that
+   could change its bytes (the spec plus the fuel and shard knobs). *)
+let spec_key (c : run_config) (spec : spec) =
+  Store.Fingerprint.(
+    key
+      (make ?fuel:c.rc_fuel ~shards:c.rc_shards ~profiler:"experiment"
+         ~workload:spec.id ~input:"suite" ()))
+
 let run ?(config = default_run_config) specs =
   with_sinks config @@ fun () ->
   Harness.set_shards config.rc_shards;
+  Harness.set_store config.rc_store;
   let rep =
     Supervisor.map ~policy:(policy_of_config config) ?jobs:config.rc_jobs
       ~name:(fun s -> s.id)
@@ -188,11 +200,62 @@ let run ?(config = default_run_config) specs =
 let run_strings ?(config = default_run_config) specs =
   with_sinks config @@ fun () ->
   Harness.set_shards config.rc_shards;
-  Supervisor.run_strings ~policy:(policy_of_config config)
-    ?jobs:config.rc_jobs ?checkpoint:config.rc_checkpoint
-    (List.map
-       (fun spec -> (spec.id, fun () -> render spec (run_spec_traced spec)))
-       specs)
+  Harness.set_store config.rc_store;
+  let supervise jobs =
+    Supervisor.run_strings ~policy:(policy_of_config config)
+      ?jobs:config.rc_jobs ?checkpoint:config.rc_checkpoint jobs
+  in
+  match config.rc_store with
+  | None ->
+    supervise
+      (List.map
+         (fun spec -> (spec.id, fun () -> render spec (run_spec_traced spec)))
+         specs)
+  | Some store ->
+    (* The driver consults the store before scheduling a unit: a hit is
+       served without executing anything (reported with [o_attempts = 0],
+       like a checkpoint-cached job), a miss runs and commits its payload
+       as it lands, so a killed run still keeps its finished units. *)
+    let keyed = List.map (fun spec -> (spec, spec_key config spec)) specs in
+    let served =
+      List.map (fun (spec, key) -> (spec, key, Store.get store key)) keyed
+    in
+    let rep =
+      supervise
+        (List.filter_map
+           (fun (spec, key, cached) ->
+             match cached with
+             | Some _ -> None
+             | None ->
+               Some
+                 ( spec.id,
+                   fun () ->
+                     let payload = render spec (run_spec_traced spec) in
+                     Store.put store ~key ~payload;
+                     payload ))
+           served)
+    in
+    (* stitch hits back in, in submission order *)
+    let misses = ref rep.Supervisor.outcomes in
+    let outcomes =
+      List.map
+        (fun (spec, _, cached) ->
+          match cached with
+          | Some payload ->
+            { Supervisor.o_name = spec.id; o_attempts = 0; o_result = Ok payload }
+          | None -> (
+            match !misses with
+            | o :: rest ->
+              misses := rest;
+              o
+            | [] -> assert false))
+        served
+    in
+    let hits = List.length specs - List.length rep.Supervisor.outcomes in
+    { Supervisor.outcomes;
+      completed = rep.Supervisor.completed + hits;
+      failed = rep.Supervisor.failed;
+      cancelled = rep.Supervisor.cancelled }
 
 (* --- deprecated wrappers (one release): callers should build a
    [run_config] and use {!run} / {!run_strings} --- *)

@@ -57,6 +57,11 @@ type run_config = {
   rc_shards : int;
       (** shard count for the harness's full value profiles (see
           {!Harness.set_shards}); 1 = serial collection *)
+  rc_store : Store.t option;
+      (** profile store for cross-invocation reuse: {!run_strings}
+          serves whole cached experiments without scheduling them, and
+          the harness serves cached value profiles without executing
+          machines (see {!Harness.set_store}) *)
 }
 
 (** Serial, one retry, no fuel limit, no checkpoint, no sinks. *)
@@ -75,7 +80,13 @@ val run : ?config:run_config -> spec list -> report
 (** Supervised run yielding each experiment's {!render}ed bytes, with
     crash-safe checkpoint/resume when [rc_checkpoint] is set (see
     {!Checkpoint}): committed experiments are served from the store
-    without rerunning; fresh ones are committed as they finish. *)
+    without rerunning; fresh ones are committed as they finish.
+
+    With [rc_store] set, each experiment is additionally fingerprinted
+    ({!Store.Fingerprint}) and looked up before scheduling: a hit is
+    served with [o_attempts = 0] and zero machine executions, a miss
+    runs and commits its rendered bytes to the store — so a repeated
+    grid is near-instant and byte-identical. *)
 val run_strings : ?config:run_config -> spec list -> string Supervisor.report
 
 (** @deprecated Build a {!run_config} and call {!run}. *)

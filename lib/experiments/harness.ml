@@ -32,6 +32,38 @@ let entry (w : Workload.t) input =
         e_profile = Profile.collect profile_live;
         e_procprof = Procprof.collect proc_live })
 
+(* Cross-invocation profile reuse: with a store attached, a memo miss
+   consults the store before executing the machine, and a computed
+   profile is committed for the next invocation. Memo first, store
+   second: in-process repeats never pay the decode. *)
+
+let store_ref : Store.t option Atomic.t = Atomic.make None
+
+let set_store s = Atomic.set store_ref s
+
+let store () = Atomic.get store_ref
+
+let profile_key (w : Workload.t) input ~shards =
+  Store.Fingerprint.(
+    key
+      (make ~shards
+         ~config:
+           (profile_config Vstate.default_config ~selection:"all")
+         ~profiler:"full" ~workload:w.wname
+         ~input:(Workload.string_of_input input) ()))
+
+let stored_profile (w : Workload.t) input ~shards compute =
+  match store () with
+  | None -> compute ()
+  | Some s ->
+    let key = profile_key w input ~shards in
+    (match Store.get_profile s ~program:(w.wbuild input) ~key with
+     | Some p -> p
+     | None ->
+       let p = compute () in
+       Store.put_profile s ~key p;
+       p)
+
 (* Sharded full profiles are memoized separately, keyed by the shard
    count, so flipping --shards mid-process never aliases a serial result
    and vice versa. The plain machine state and the procedure profile stay
@@ -43,7 +75,7 @@ let sharded_cache : (string * Workload.input * int, Profile.t) Memo_cache.t =
 let sharded_profile ?jobs (w : Workload.t) input ~shards =
   let shards = max 1 shards in
   Memo_cache.find_or_compute sharded_cache (w.wname, input, shards) (fun () ->
-      Shard.profile ?jobs ~shards w input)
+      stored_profile w input ~shards (fun () -> Shard.profile ?jobs ~shards w input))
 
 let shard_count = Atomic.make 1
 
@@ -51,10 +83,18 @@ let set_shards k = Atomic.set shard_count (max 1 k)
 
 let shards () = Atomic.get shard_count
 
+(* Store-served full profiles get their own memo table: the fused [cache]
+   entry only exists once a machine has actually run. *)
+let stored_full_cache : (string * Workload.input, Profile.t) Memo_cache.t =
+  Memo_cache.create ~size:32 ()
+
 let full_profile w input =
-  match shards () with
-  | 1 -> (entry w input).e_profile
-  | k -> sharded_profile w input ~shards:k
+  match (shards (), store ()) with
+  | 1, None -> (entry w input).e_profile
+  | 1, Some _ ->
+    Memo_cache.find_or_compute stored_full_cache (w.wname, input) (fun () ->
+        stored_profile w input ~shards:1 (fun () -> (entry w input).e_profile))
+  | k, _ -> sharded_profile w input ~shards:k
 
 let plain_run w input = (entry w input).e_machine
 
@@ -66,7 +106,8 @@ let machine_runs () = Memo_cache.computations cache
 
 let clear_cache () =
   Memo_cache.clear cache;
-  Memo_cache.clear sharded_cache
+  Memo_cache.clear sharded_cache;
+  Memo_cache.clear stored_full_cache
 
 let load_points p = Profile.points_by_category p Isa.Load
 

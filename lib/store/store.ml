@@ -1,0 +1,409 @@
+let manifest_header = "vprof-store 1"
+
+let m_hits = Obs.Metrics.counter "store.hits"
+let m_misses = Obs.Metrics.counter "store.misses"
+let m_bytes_written = Obs.Metrics.counter "store.bytes_written"
+let m_decode_failures = Obs.Metrics.counter "store.decode_failures"
+
+module Fingerprint = struct
+  type t = {
+    fp_profiler : string;
+    fp_workload : string;
+    fp_input : string;
+    fp_fuel : int option;
+    fp_shards : int;
+    fp_config : string;
+  }
+
+  let make ?fuel ?(shards = 1) ?(config = "") ~profiler ~workload ~input () =
+    { fp_profiler = profiler; fp_workload = workload; fp_input = input;
+      fp_fuel = fuel; fp_shards = shards; fp_config = config }
+
+  let canonical fp =
+    Printf.sprintf "profiler=%s workload=%s input=%s fuel=%s shards=%d config=%s"
+      fp.fp_profiler fp.fp_workload fp.fp_input
+      (match fp.fp_fuel with None -> "none" | Some f -> string_of_int f)
+      fp.fp_shards fp.fp_config
+
+  let sanitize s =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> c
+        | _ -> '_')
+      s
+
+  let key fp =
+    let stem =
+      Printf.sprintf "%s.%s.%s"
+        (sanitize fp.fp_profiler) (sanitize fp.fp_workload)
+        (sanitize fp.fp_input)
+    in
+    let stem =
+      match fp.fp_fuel with
+      | None -> stem
+      | Some f -> Printf.sprintf "%s.fuel%d" stem f
+    in
+    let stem =
+      if fp.fp_shards = 1 then stem
+      else Printf.sprintf "%s.x%d" stem fp.fp_shards
+    in
+    Printf.sprintf "%s-%s" stem (Crc32.to_hex (Crc32.string (canonical fp)))
+
+  let profile_config (c : Vstate.config) ~selection =
+    Printf.sprintf "tnv=%d policy=%s clear=%d distinct=%d sel=%s"
+      c.Vstate.tnv_capacity
+      (match c.Vstate.tnv_policy with
+       | Tnv.Lfu_clear -> "lfu_clear"
+       | Tnv.Lfu -> "lfu"
+       | Tnv.Lru -> "lru")
+      c.Vstate.clear_interval c.Vstate.distinct_cap selection
+end
+
+type backend = Memory | Dir of string
+
+type entry = { mutable e_payload : string; mutable e_gen : int }
+
+type t = {
+  s_backend : backend;
+  s_mu : Mutex.t;
+  s_table : (string, entry) Hashtbl.t;
+  mutable s_order : string list; (* first-commit order, reversed *)
+  mutable s_gen : int;
+}
+
+type info = { i_key : string; i_gen : int; i_bytes : int }
+type stats = { st_entries : int; st_bytes : int; st_generation : int }
+
+(* --- small helpers --- *)
+
+let write_atomic ~dir path content =
+  let tmp, oc =
+    Filename.open_temp_file ~temp_dir:dir ~mode:[ Open_binary ]
+      (Filename.basename path) ".tmp"
+  in
+  (try
+     Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content);
+     Sys.rename tmp path
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Keys travel on one manifest line each: escape the two characters that
+   would break the line/field structure. *)
+let escape name =
+  if String.exists (fun c -> c = ' ' || c = '%' || c = '\n') name then begin
+    let buf = Buffer.create (String.length name + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | ' ' -> Buffer.add_string buf "%20"
+        | '%' -> Buffer.add_string buf "%25"
+        | '\n' -> Buffer.add_string buf "%0a"
+        | c -> Buffer.add_char buf c)
+      name;
+    Buffer.contents buf
+  end
+  else name
+
+let unescape s =
+  if not (String.contains s '%') then s
+  else begin
+    let buf = Buffer.create (String.length s) in
+    let i = ref 0 in
+    let n = String.length s in
+    while !i < n do
+      (if s.[!i] = '%' && !i + 2 < n then begin
+         (match String.sub s (!i + 1) 2 with
+          | "20" -> Buffer.add_char buf ' '
+          | "25" -> Buffer.add_char buf '%'
+          | "0a" -> Buffer.add_char buf '\n'
+          | other -> Buffer.add_string buf ("%" ^ other));
+         i := !i + 3
+       end
+       else begin
+         Buffer.add_char buf s.[!i];
+         incr i
+       end)
+    done;
+    Buffer.contents buf
+  end
+
+(* Payload file name: a readable sanitized stem plus the crc of the raw
+   key, so distinct keys can never collide after sanitization. *)
+let payload_file name =
+  let stem =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> c
+        | _ -> '_')
+      name
+  in
+  Printf.sprintf "%s-%s.out" stem (Crc32.to_hex (Crc32.string name))
+
+let store_dir t =
+  match t.s_backend with Memory -> invalid_arg "Store: no directory" | Dir d -> d
+
+let manifest_path t = Filename.concat (store_dir t) "manifest"
+
+let checked_line body = Printf.sprintf "%s line=%s" body (Crc32.to_hex (Crc32.string body))
+
+let entry_line key (e : entry) =
+  checked_line
+    (Printf.sprintf "done %s gen=%d bytes=%d payload=%s" (escape key) e.e_gen
+       (String.length e.e_payload)
+       (Crc32.to_hex (Crc32.string e.e_payload)))
+
+let gen_line g = checked_line (Printf.sprintf "gen %d" g)
+
+let manifest_text t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf manifest_header;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (gen_line t.s_gen);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun key ->
+      Buffer.add_string buf (entry_line key (Hashtbl.find t.s_table key));
+      Buffer.add_char buf '\n')
+    (List.rev t.s_order);
+  Buffer.contents buf
+
+(* Callers hold [s_mu]. *)
+let persist t =
+  match t.s_backend with
+  | Memory -> ()
+  | Dir dir -> write_atomic ~dir (manifest_path t) (manifest_text t)
+
+(* --- loading (salvage-shaped: stop at the first damaged line) --- *)
+
+exception Torn
+
+(* Splits off and verifies the trailing [line=<crc>] field. *)
+let checked_body line =
+  match String.rindex_opt line ' ' with
+  | None -> raise Torn
+  | Some sp ->
+    let body = String.sub line 0 sp in
+    let tail = String.sub line (sp + 1) (String.length line - sp - 1) in
+    (match String.split_on_char '=' tail with
+     | [ "line"; hex ] ->
+       (match Crc32.of_hex hex with
+        | Some crc when Crc32.string body = crc -> body
+        | _ -> raise Torn)
+     | _ -> raise Torn)
+
+let parse_entry t line =
+  let body = checked_body line in
+  match String.split_on_char ' ' body with
+  | [ "gen"; g ] ->
+    (match int_of_string_opt g with
+     | Some g when g >= 0 -> t.s_gen <- max t.s_gen g
+     | _ -> raise Torn)
+  | [ "done"; key; gen; bytes; payload_crc ] ->
+    let key = unescape key in
+    let gen =
+      match String.split_on_char '=' gen with
+      | [ "gen"; n ] -> int_of_string_opt n
+      | _ -> None
+    in
+    let bytes =
+      match String.split_on_char '=' bytes with
+      | [ "bytes"; n ] -> int_of_string_opt n
+      | _ -> None
+    in
+    let pcrc =
+      match String.split_on_char '=' payload_crc with
+      | [ "payload"; hex ] -> Crc32.of_hex hex
+      | _ -> None
+    in
+    (match (gen, bytes, pcrc) with
+     | Some gen, Some bytes, Some pcrc ->
+       (* the manifest line is sound; the payload file must still agree
+          with it, else the entry is treated as never committed *)
+       (match read_file (Filename.concat (store_dir t) (payload_file key)) with
+        | exception Sys_error _ -> ()
+        | payload ->
+          if String.length payload = bytes
+             && Crc32.string payload = pcrc
+             && not (Hashtbl.mem t.s_table key)
+          then begin
+            Hashtbl.replace t.s_table key { e_payload = payload; e_gen = gen };
+            t.s_order <- key :: t.s_order
+          end)
+     | _ -> raise Torn)
+  | _ -> raise Torn
+
+let load t =
+  (* chaos campaigns kill the loader here to prove a failed resume never
+     corrupts the store: the next resume must still salvage (the site
+     keeps its historical name from the checkpoint-only days) *)
+  Fault.point ~site:"checkpoint.load";
+  match read_file (manifest_path t) with
+  | exception Sys_error _ -> ()
+  | text ->
+    (match String.split_on_char '\n' text with
+     | header :: lines when header = manifest_header ->
+       (try
+          List.iter
+            (fun line -> if line <> "" then parse_entry t line)
+            lines
+        with Torn -> ())
+     | _ -> ())
+
+(* --- opening --- *)
+
+let create_mem () =
+  { s_backend = Memory; s_mu = Mutex.create (); s_table = Hashtbl.create 64;
+    s_order = []; s_gen = 0 }
+
+let open_dir ?(reset = false) dir =
+  if Sys.file_exists dir then begin
+    if not (Sys.is_directory dir) then
+      raise (Sys_error (dir ^ ": not a directory"))
+  end
+  else Sys.mkdir dir 0o755;
+  let t =
+    { s_backend = Dir dir; s_mu = Mutex.create (); s_table = Hashtbl.create 64;
+      s_order = []; s_gen = 0 }
+  in
+  if reset then persist t else load t;
+  t
+
+let dir t = match t.s_backend with Memory -> None | Dir d -> Some d
+
+let generation t =
+  Mutex.lock t.s_mu;
+  let g = t.s_gen in
+  Mutex.unlock t.s_mu;
+  g
+
+let new_generation t =
+  Mutex.lock t.s_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.s_mu)
+    (fun () ->
+      t.s_gen <- t.s_gen + 1;
+      persist t;
+      t.s_gen)
+
+(* --- lookups --- *)
+
+let find t name =
+  Mutex.lock t.s_mu;
+  let r = Hashtbl.find_opt t.s_table name in
+  Mutex.unlock t.s_mu;
+  Option.map (fun e -> e.e_payload) r
+
+let get t name =
+  Obs.Trace.with_span ~cat:"store" "store.get" @@ fun () ->
+  match find t name with
+  | Some payload ->
+    Obs.Metrics.incr m_hits;
+    Some payload
+  | None ->
+    Obs.Metrics.incr m_misses;
+    None
+
+(* --- commits --- *)
+
+let put t ~key ~payload =
+  if String.contains key '\n' then
+    invalid_arg "Store.put: keys may not contain newlines";
+  Mutex.lock t.s_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.s_mu)
+    (fun () ->
+      Obs.Trace.with_span ~cat:"store" "store.commit" @@ fun () ->
+      Fault.point ~site:"store.commit";
+      Obs.Metrics.add m_bytes_written (String.length payload);
+      (match t.s_backend with
+       | Memory -> ()
+       | Dir dir ->
+         (* the disk guard charges the payload before writing it, so a
+            governed run stops committing the moment the budget is blown *)
+         Budget.charge_disk ~bytes:(String.length payload);
+         (* payload first, manifest second: a crash in between leaves an
+            unreferenced payload file, which merely reruns the job *)
+         write_atomic ~dir (Filename.concat dir (payload_file key)) payload);
+      if not (Hashtbl.mem t.s_table key) then t.s_order <- key :: t.s_order;
+      Hashtbl.replace t.s_table key { e_payload = payload; e_gen = t.s_gen };
+      persist t)
+
+(* --- inspection and gc --- *)
+
+let entries t =
+  Mutex.lock t.s_mu;
+  let es =
+    Hashtbl.fold
+      (fun k (e : entry) acc ->
+        { i_key = k; i_gen = e.e_gen; i_bytes = String.length e.e_payload }
+        :: acc)
+      t.s_table []
+  in
+  Mutex.unlock t.s_mu;
+  List.sort (fun a b -> compare a.i_key b.i_key) es
+
+let stats t =
+  Mutex.lock t.s_mu;
+  let bytes =
+    Hashtbl.fold (fun _ e acc -> acc + String.length e.e_payload) t.s_table 0
+  in
+  let r =
+    { st_entries = Hashtbl.length t.s_table; st_bytes = bytes;
+      st_generation = t.s_gen }
+  in
+  Mutex.unlock t.s_mu;
+  r
+
+let gc t ~keep =
+  Mutex.lock t.s_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.s_mu)
+    (fun () ->
+      let cutoff = t.s_gen - keep in
+      let dead =
+        Hashtbl.fold
+          (fun k (e : entry) acc -> if e.e_gen <= cutoff then k :: acc else acc)
+          t.s_table []
+      in
+      List.iter
+        (fun k ->
+          Hashtbl.remove t.s_table k;
+          match t.s_backend with
+          | Memory -> ()
+          | Dir dir ->
+            (try Sys.remove (Filename.concat dir (payload_file k))
+             with Sys_error _ -> ()))
+        dead;
+      t.s_order <- List.filter (Hashtbl.mem t.s_table) t.s_order;
+      if dead <> [] then persist t;
+      List.length dead)
+
+(* --- profile entries --- *)
+
+let put_profile t ~key p = put t ~key ~payload:(Profile_io.to_binary p)
+
+let get_profile t ~program ~key =
+  match get t key with
+  | None -> None
+  | Some payload ->
+    (match Profile_io.of_string ~program payload with
+     | p -> Some p
+     | exception Failure _ ->
+       (* a corrupt or mismatched entry is a miss: the caller recomputes
+          and the next put overwrites it *)
+       Obs.Metrics.incr m_decode_failures;
+       None)
+
+let merge_into t ~program ~key p =
+  match get_profile t ~program ~key with
+  | None -> put_profile t ~key p
+  | Some old -> put_profile t ~key (Profile.merge [ old; p ])

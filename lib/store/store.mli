@@ -1,0 +1,131 @@
+(** Keyed profile repository — the one persistence code path.
+
+    Every durable artifact the toolchain produces (checkpointed
+    experiment payloads, cached profiles, rendered grids) is a byte
+    string addressed by a key; this module owns fingerprinting the key,
+    checksumming the bytes, and committing them atomically. Two backends
+    share one contract:
+
+    - {e in-memory} ({!create_mem}) — a hash table, for tests and
+      single-process reuse;
+    - {e directory} ({!open_dir}) — a [manifest] file with one
+      checksummed line per entry
+      ([done <key> gen=<g> bytes=<n> payload=<crc> line=<crc>]) plus one
+      atomically-written payload file per entry ([<stem>-<crc>.out]).
+
+    The backend contract: {!put} is atomic (temp-file + [rename], payload
+    before manifest, so a crash between the two merely loses the entry);
+    loading is salvage-shaped (a torn manifest line and everything after
+    it is dropped; a payload failing its size or checksum is treated as
+    never committed); nothing is trusted without its checksum.
+
+    {b Generations.} The manifest carries a generation counter. A writing
+    invocation calls {!new_generation} once; entries committed after that
+    are stamped with the new generation, and {!gc} [~keep:n] drops every
+    entry last {e written} more than [n] generations ago. Reads do not
+    refresh an entry's generation.
+
+    {b Telemetry.} [store.hits]/[store.misses]/[store.bytes_written]
+    counters and [store.get]/[store.commit] spans in {!Obs}; a decode
+    failure in {!get_profile} counts [store.decode_failures] and reports
+    a miss. Directory commits are charged to the {!Budget} disk guard.
+    {!put} carries the ["store.commit"] fault-injection site, loading the
+    ["checkpoint.load"] site (the name chaos campaigns arm).
+
+    The store is domain-safe: {!put} is called from pool workers. *)
+
+(** A cache key names the exact provenance of a profile: same workload,
+    input, fuel, profiler kind, shard count, and profiler configuration
+    — change any one and the bytes are not reusable. *)
+module Fingerprint : sig
+  type t = {
+    fp_profiler : string;  (** e.g. ["full"], ["experiment"], ["profile"] *)
+    fp_workload : string;
+    fp_input : string;
+    fp_fuel : int option;  (** [None] = unlimited *)
+    fp_shards : int;
+    fp_config : string;  (** rendered profiler configuration *)
+  }
+
+  val make :
+    ?fuel:int ->
+    ?shards:int ->
+    ?config:string ->
+    profiler:string ->
+    workload:string ->
+    input:string ->
+    unit ->
+    t
+
+  (** The canonical one-line rendering the key hash is computed over. *)
+  val canonical : t -> string
+
+  (** Filesystem-safe store key: a readable sanitized stem plus the
+      CRC-32 of {!canonical}, so distinct fingerprints cannot collide
+      after sanitization. *)
+  val key : t -> string
+
+  (** Renders a value-profiler configuration for [fp_config] (TNV
+      capacity/policy, clear interval, distinct cap, selection). *)
+  val profile_config : Vstate.config -> selection:string -> string
+end
+
+type t
+
+type info = { i_key : string; i_gen : int; i_bytes : int }
+type stats = { st_entries : int; st_bytes : int; st_generation : int }
+
+val create_mem : unit -> t
+
+(** [open_dir dir] opens (creating [dir] if needed) a directory store and
+    loads the surviving manifest entries. [~reset:true] starts empty,
+    committing a fresh manifest (stale payload files are simply
+    unreferenced). Raises [Sys_error] if [dir] exists but is not a
+    directory. *)
+val open_dir : ?reset:bool -> string -> t
+
+(** The backing directory; [None] for the in-memory backend. *)
+val dir : t -> string option
+
+val generation : t -> int
+
+(** Bumps and persists the generation counter; returns the new value.
+    Call once per writing invocation. *)
+val new_generation : t -> int
+
+(** Uncounted lookup (no hit/miss telemetry) — the checkpoint-resume
+    path, where the supervisor already reports cached-vs-run. *)
+val find : t -> string -> string option
+
+(** Counted lookup: increments [store.hits] or [store.misses] under a
+    [store.get] span. *)
+val get : t -> string -> string option
+
+(** Commits [payload] under [key] at the current generation, atomically.
+    [key] must not contain newlines; spaces are stored escaped. *)
+val put : t -> key:string -> payload:string -> unit
+
+(** All live entries, sorted by key. *)
+val entries : t -> info list
+
+val stats : t -> stats
+
+(** [gc t ~keep:n] removes every entry whose write generation is more
+    than [n] generations behind the current one (their payload files
+    included), rewrites the manifest once, and returns the number of
+    entries removed. *)
+val gc : t -> keep:int -> int
+
+(** {1 Profile entries} — the v3 binary serialization over {!get}/{!put}. *)
+
+val put_profile : t -> key:string -> Profile.t -> unit
+
+(** [None] on a miss; also [None] (counting [store.decode_failures]) when
+    the stored bytes do not decode against [program], so the caller
+    recomputes and overwrites the bad entry. *)
+val get_profile : t -> program:Asm.program -> key:string -> Profile.t option
+
+(** Merges [p] into the entry at [key] with {!Profile.merge} (the entry
+    is created if absent). Get-then-put, not transactional: concurrent
+    merges to one key can lose one side's increment. *)
+val merge_into : t -> program:Asm.program -> key:string -> Profile.t -> unit

@@ -171,11 +171,6 @@ let test_checkpoint_completes_and_resume_skips () =
       Alcotest.(check string) "served from the store, same bytes" first
         second)
 
-(* ---- resource governance through the binary -----------------------
-
-   The exit-code contract grows exit 3 (resource budget exceeded), and a
-   budget trip must still write its telemetry dump on the way out. *)
-
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
@@ -188,6 +183,138 @@ let with_temp_files suffixes f =
     ~finally:(fun () ->
       List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) files)
     (fun () -> f files)
+
+(* ---- the profile store through the binary --------------------------
+
+   run_cli merges stdout and stderr, so byte-identity of the rendered
+   tables is asserted by redirecting stdout alone; the stderr accounting
+   lines are checked by substring. *)
+
+let test_store_warm_run_served_from_cache () =
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      with_temp_files [ ".cold.out"; ".warm.out"; ".metrics" ] @@ function
+      | [ cold_out; warm_out; metrics ] ->
+        let cold_code =
+          Sys.command
+            (Printf.sprintf "%s experiments e01 --store %s > %s 2>/dev/null"
+               (Filename.quote vprof) (Filename.quote dir)
+               (Filename.quote cold_out))
+        in
+        Alcotest.(check int) "cold run" 0 cold_code;
+        let warm_code =
+          Sys.command
+            (Printf.sprintf
+               "%s experiments e01 --store %s --metrics %s > %s 2>/dev/null"
+               (Filename.quote vprof) (Filename.quote dir)
+               (Filename.quote metrics) (Filename.quote warm_out))
+        in
+        Alcotest.(check int) "warm run" 0 warm_code;
+        Alcotest.(check string) "stdout byte-identical" (read_file cold_out)
+          (read_file warm_out);
+        let m = read_file metrics in
+        Alcotest.(check bool) "warm run is all store hits" true
+          (Astring_contains.contains m
+             "{\"name\":\"store.hits\",\"type\":\"counter\",\"value\":1}");
+        Alcotest.(check bool) "warm run executes zero machines" true
+          (Astring_contains.contains m
+             "{\"name\":\"machine.runs\",\"type\":\"counter\",\"value\":0}");
+        (* the hit accounting goes to stderr, not the table stream *)
+        let _, combined =
+          run_cli
+            (Printf.sprintf "experiments e01 --store %s" (Filename.quote dir))
+        in
+        Alcotest.(check bool) "stderr reports the cache service" true
+          (Astring_contains.contains combined
+             "1 of 1 experiments served from cache")
+      | _ -> assert false)
+
+let test_store_profile_and_inspection_subcommands () =
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let code, out =
+        run_cli (Printf.sprintf "profile -w li -t 3 --store %s" (Filename.quote dir))
+      in
+      Alcotest.(check int) "profile with store" 0 code;
+      Alcotest.(check bool) "first run misses" true
+        (Astring_contains.contains out "store: miss");
+      let code, out =
+        run_cli (Printf.sprintf "profile -w li -t 3 --store %s" (Filename.quote dir))
+      in
+      Alcotest.(check int) "repeat profile" 0 code;
+      Alcotest.(check bool) "repeat run hits" true
+        (Astring_contains.contains out "store: hit");
+      let code, out =
+        run_cli (Printf.sprintf "store ls --store %s" (Filename.quote dir))
+      in
+      Alcotest.(check int) "store ls" 0 code;
+      Alcotest.(check bool) "lists the profile entry" true
+        (Astring_contains.contains out "profile.li.test");
+      let code, out =
+        run_cli (Printf.sprintf "store stats --store %s" (Filename.quote dir))
+      in
+      Alcotest.(check int) "store stats" 0 code;
+      Alcotest.(check bool) "reports the entry count" true
+        (Astring_contains.contains out "entries");
+      (* every profiling invocation bumped the generation, so a tight gc
+         removes the (old-generation) entry *)
+      let code, out =
+        run_cli (Printf.sprintf "store gc --store %s --keep 1" (Filename.quote dir))
+      in
+      Alcotest.(check int) "store gc" 0 code;
+      Alcotest.(check bool) "removed the stale entry" true
+        (Astring_contains.contains out "removed 1 entry");
+      let code, out =
+        run_cli (Printf.sprintf "store ls --store %s" (Filename.quote dir))
+      in
+      Alcotest.(check int) "store ls after gc" 0 code;
+      Alcotest.(check bool) "entry gone" true
+        (not (Astring_contains.contains out "profile.li.test")))
+
+let test_store_get_and_missing_key () =
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let code, _ =
+        run_cli (Printf.sprintf "profile -w li -t 3 --store %s" (Filename.quote dir))
+      in
+      Alcotest.(check int) "seed the store" 0 code;
+      let _, ls = run_cli (Printf.sprintf "store ls --store %s" (Filename.quote dir)) in
+      let key =
+        String.split_on_char '\n' ls
+        |> List.find_map (fun line ->
+               String.split_on_char ' ' line
+               |> List.find_opt (fun tok ->
+                      String.length tok > 11
+                      && String.sub tok 0 11 = "profile.li."))
+      in
+      match key with
+      | None -> Alcotest.fail "store ls should show the committed key"
+      | Some key ->
+        let code, out =
+          run_cli
+            (Printf.sprintf "store get --store %s -w li %s" (Filename.quote dir)
+               (Filename.quote key))
+        in
+        Alcotest.(check int) "store get decodes" 0 code;
+        Alcotest.(check bool) "prints the v2 text form" true
+          (Astring_contains.contains out "vprof-profile 2");
+        let code, out =
+          run_cli (Printf.sprintf "store get --store %s no-such-key" (Filename.quote dir))
+        in
+        Alcotest.(check int) "missing key exits 1" 1 code;
+        Alcotest.(check bool) "names the key" true
+          (Astring_contains.contains out "no-such-key"))
+
+(* ---- resource governance through the binary -----------------------
+
+   The exit-code contract grows exit 3 (resource budget exceeded), and a
+   budget trip must still write its telemetry dump on the way out. *)
 
 let test_deadline_exits_3_with_full_dump () =
   with_temp_files [ ".trace.json"; ".metrics" ] @@ function
@@ -283,4 +410,10 @@ let suite =
     Alcotest.test_case "checkpoint kill/resume byte-identical" `Slow
       test_checkpoint_resume_byte_identical;
     Alcotest.test_case "resume skips completed work" `Slow
-      test_checkpoint_completes_and_resume_skips ]
+      test_checkpoint_completes_and_resume_skips;
+    Alcotest.test_case "store warm run served from cache" `Slow
+      test_store_warm_run_served_from_cache;
+    Alcotest.test_case "store profile and inspection subcommands" `Slow
+      test_store_profile_and_inspection_subcommands;
+    Alcotest.test_case "store get and missing key" `Slow
+      test_store_get_and_missing_key ]

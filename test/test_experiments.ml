@@ -148,6 +148,66 @@ let test_harness_cache () =
   let p3 = Harness.full_profile w Workload.Test in
   Alcotest.(check bool) "cache cleared" true (p1 != p3)
 
+let counter_value name = Obs.Metrics.counter_value (Obs.Metrics.counter name)
+
+let test_store_serves_repeat_suite () =
+  let store = Store.create_mem () in
+  let config =
+    { Experiments.default_run_config with Experiments.rc_store = Some store }
+  in
+  let specs = [ Experiments.find "e01" ] in
+  Fun.protect
+    ~finally:(fun () ->
+      Harness.set_store None;
+      Harness.clear_cache ())
+    (fun () ->
+      Harness.clear_cache ();
+      let cold = Experiments.run_strings ~config specs in
+      let cold_payload =
+        match cold.Supervisor.outcomes with
+        | [ { Supervisor.o_attempts; o_result = Ok payload; _ } ] ->
+          Alcotest.(check int) "cold run executes" 1 o_attempts;
+          payload
+        | _ -> Alcotest.fail "expected one successful outcome"
+      in
+      (* drop every in-process cache: only the store can serve the rerun *)
+      Harness.clear_cache ();
+      let h0 = counter_value "store.hits" in
+      let m0 = counter_value "machine.runs" in
+      let warm = Experiments.run_strings ~config specs in
+      (match warm.Supervisor.outcomes with
+       | [ { Supervisor.o_attempts; o_result = Ok payload; _ } ] ->
+         Alcotest.(check int) "warm run never scheduled" 0 o_attempts;
+         Alcotest.(check string) "byte-identical payload" cold_payload payload
+       | _ -> Alcotest.fail "expected one successful outcome");
+      Alcotest.(check int) "served by one store hit" (h0 + 1)
+        (counter_value "store.hits");
+      Alcotest.(check int) "zero machine executions" m0
+        (counter_value "machine.runs");
+      Alcotest.(check int) "warm report counts it completed" 1
+        warm.Supervisor.completed)
+
+let test_harness_store_serves_profiles () =
+  let store = Store.create_mem () in
+  Fun.protect
+    ~finally:(fun () ->
+      Harness.set_store None;
+      Harness.clear_cache ())
+    (fun () ->
+      Harness.set_store (Some store);
+      Harness.clear_cache ();
+      let w = Workloads.find "go" in
+      let p1 = Harness.full_profile w Workload.Test in
+      (* memo gone, store still warm: the profile comes back without a
+         single machine execution *)
+      Harness.clear_cache ();
+      let m0 = counter_value "machine.runs" in
+      let p2 = Harness.full_profile w Workload.Test in
+      Alcotest.(check int) "no machine execution" m0
+        (counter_value "machine.runs");
+      Alcotest.(check string) "identical profile" (Profile_io.to_string p1)
+        (Profile_io.to_string p2))
+
 let suite =
   [ Alcotest.test_case "registry" `Quick test_registry_complete;
     Alcotest.test_case "bb coverage monotone" `Quick
@@ -164,4 +224,8 @@ let suite =
     Alcotest.test_case "alvinn weights invariant" `Slow
       test_weight_loads_invariant_in_alvinn;
     Alcotest.test_case "tables well formed" `Slow test_tables_well_formed;
-    Alcotest.test_case "harness cache" `Quick test_harness_cache ]
+    Alcotest.test_case "harness cache" `Quick test_harness_cache;
+    Alcotest.test_case "store serves repeat suite" `Quick
+      test_store_serves_repeat_suite;
+    Alcotest.test_case "harness store serves profiles" `Quick
+      test_harness_store_serves_profiles ]

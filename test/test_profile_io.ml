@@ -328,7 +328,9 @@ let test_truncated_v1_failure_cites_line () =
 let test_injected_torn_write_salvageable () =
   let prog = program () in
   let p = Profile.run prog in
-  let full = String.length (Profile_io.to_string p) in
+  (* write_file defaults to binary v3; the truncation offset must land
+     inside what is actually written *)
+  let full = String.length (Profile_io.to_binary p) in
   let path = Filename.temp_file "vprof" ".profile" in
   Fun.protect
     ~finally:(fun () ->
@@ -378,6 +380,155 @@ let test_loaded_profile_drives_predictor_filtering () =
   Alcotest.(check string) "same construction" (Predictor.name fresh)
     (Predictor.name loaded)
 
+(* --- the v3 binary format --- *)
+
+let test_v3_magic_and_sniff () =
+  let prog = program () in
+  let p = Profile.run prog in
+  let b = Profile_io.to_binary p in
+  Alcotest.(check string) "magic" "\x89VP3" (String.sub b 0 4);
+  (* of_string dispatches on the first byte: both formats load through
+     the same entry point *)
+  let from_bin = Profile_io.of_string ~program:prog b in
+  let from_text = Profile_io.of_string ~program:prog (Profile_io.to_string p) in
+  Alcotest.(check string) "same profile either way"
+    (Profile_io.to_string from_bin) (Profile_io.to_string from_text)
+
+let test_v3_roundtrip_exact () =
+  let prog = program () in
+  let p = Profile.run prog in
+  let p' = Profile_io.of_string ~program:prog (Profile_io.to_binary p) in
+  Alcotest.(check string) "text rendering identical" (Profile_io.to_string p)
+    (Profile_io.to_string p');
+  Alcotest.(check string) "binary re-encoding identical"
+    (Profile_io.to_binary p) (Profile_io.to_binary p')
+
+let test_v3_smaller_than_v2 () =
+  List.iter
+    (fun name ->
+      let w = Workloads.find name in
+      let prog = w.Workload.wbuild Workload.Test in
+      let p = Profile.run prog in
+      let v2 = String.length (Profile_io.to_string p) in
+      let v3 = String.length (Profile_io.to_binary p) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: v3 (%d) < v2 (%d)" name v3 v2)
+        true (v3 < v2))
+    [ "go"; "compress"; "li" ]
+
+(* A random-but-valid profile over the synthetic program: any subset of
+   its value-producing pcs, arbitrary metric values. Exercises encodings
+   the profiler itself never produces (negative strides, saturated
+   distinct counts, empty TNV tables, extreme totals). *)
+let random_profile =
+  let prog = program () in
+  let eligible =
+    List.filter
+      (fun pc -> Isa.dest_reg prog.Asm.code.(pc) <> None)
+      (List.init (Array.length prog.Asm.code) Fun.id)
+  in
+  let open QCheck.Gen in
+  let metrics =
+    let* total = int_bound 1_000_000 in
+    let* lvp = float_bound_inclusive 1. in
+    let* inv_top = float_bound_inclusive 1. in
+    let* inv_all = float_bound_inclusive 1. in
+    let* zero = float_bound_inclusive 1. in
+    let* distinct = int_bound 4096 in
+    let* distinct_saturated = bool in
+    let* stride_top = float_bound_inclusive 1. in
+    let* top_stride = opt (map Int64.of_int (int_range (-1000000) 1000000)) in
+    let* top_values =
+      list_size (int_bound 8)
+        (pair (map Int64.of_int int) (int_bound 1_000_000))
+    in
+    return
+      { Metrics.total; lvp; inv_top; inv_all; zero; distinct;
+        distinct_saturated; top_values = Array.of_list top_values;
+        stride_top; top_stride }
+  in
+  let profile =
+    let* mask = list_repeat (List.length eligible) bool in
+    let pcs =
+      List.filteri (fun i _ -> List.nth mask i) eligible
+    in
+    let* points =
+      flatten_l
+        (List.map
+           (fun pc ->
+             let* m = metrics in
+             return
+               { Profile.p_pc = pc;
+                 p_instr = prog.Asm.code.(pc);
+                 p_proc = (if pc mod 2 = 0 then "main" else "");
+                 p_metrics = m })
+           pcs)
+    in
+    let* instrumented = int_bound 1000 in
+    let* profiled_events = int_bound 1_000_000 in
+    let* dynamic_instructions = int_bound 10_000_000 in
+    return
+      { Profile.points = Array.of_list points; instrumented; profiled_events;
+        dynamic_instructions; stats = Counters.create () }
+  in
+  (prog, profile)
+
+let prop_v3_equals_v2_on_random_profiles =
+  let prog, gen = random_profile in
+  QCheck.Test.make ~name:"v3 and v2 agree on random profiles" ~count:100
+    (QCheck.make gen) (fun p ->
+      let via_v3 = Profile_io.of_string ~program:prog (Profile_io.to_binary p) in
+      let via_v2 = Profile_io.of_string ~program:prog (Profile_io.to_string p) in
+      Profile_io.to_string via_v3 = Profile_io.to_string via_v2
+      && Profile_io.to_string via_v3 = Profile_io.to_string p)
+
+let prop_v3_salvage_any_truncation =
+  let prog = program () in
+  let p = Profile.run prog in
+  let b = Profile_io.to_binary p in
+  let full = String.length b in
+  QCheck.Test.make
+    ~name:"v3 truncation: strict fails, salvage recovers a prefix or fails clean"
+    ~count:300
+    (QCheck.make QCheck.Gen.(int_bound (full - 1)))
+    (fun cut_at ->
+      let cut = String.sub b 0 cut_at in
+      let strict_fails =
+        match Profile_io.of_string ~program:prog cut with
+        | _ -> false
+        | exception Failure _ -> true
+      in
+      let salvage_ok =
+        match Profile_io.of_string ~salvage:true ~program:prog cut with
+        | r ->
+          (* whatever survives must be a pc-prefix of the original *)
+          Array.length r.Profile.points <= Array.length p.Profile.points
+          && Array.for_all
+               (fun i ->
+                 r.Profile.points.(i).Profile.p_pc
+                 = p.Profile.points.(i).Profile.p_pc)
+               (Array.init (Array.length r.Profile.points) Fun.id)
+        | exception Failure _ ->
+          (* acceptable only while the meta section itself is torn *)
+          true
+      in
+      strict_fails && salvage_ok)
+
+let test_v3_telemetry_counters () =
+  let prog = program () in
+  let p = Profile.run prog in
+  let value name = Obs.Metrics.counter_value (Obs.Metrics.counter name) in
+  let r0 = value "profile_io.reads" in
+  let w0 = value "profile_io.writes" in
+  let path = Filename.temp_file "vprof" ".profile" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Profile_io.write_file p path;
+      ignore (Profile_io.read_file ~program:prog path);
+      Alcotest.(check int) "one write" (w0 + 1) (value "profile_io.writes");
+      Alcotest.(check int) "one read" (r0 + 1) (value "profile_io.reads"))
+
 let suite =
   [ Alcotest.test_case "roundtrip" `Quick test_roundtrip;
     Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
@@ -413,4 +564,12 @@ let suite =
     Alcotest.test_case "atomic write leaves no temp files" `Quick
       test_write_leaves_no_temp_files;
     Alcotest.test_case "loaded profile usable" `Quick
-      test_loaded_profile_drives_predictor_filtering ]
+      test_loaded_profile_drives_predictor_filtering;
+    Alcotest.test_case "v3 magic and format sniff" `Quick
+      test_v3_magic_and_sniff;
+    Alcotest.test_case "v3 roundtrip exact" `Quick test_v3_roundtrip_exact;
+    Alcotest.test_case "v3 smaller than v2" `Quick test_v3_smaller_than_v2;
+    QCheck_alcotest.to_alcotest prop_v3_equals_v2_on_random_profiles;
+    QCheck_alcotest.to_alcotest prop_v3_salvage_any_truncation;
+    Alcotest.test_case "v3 telemetry counters" `Quick
+      test_v3_telemetry_counters ]

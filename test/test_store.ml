@@ -1,0 +1,247 @@
+(* The profile store: fingerprint keys, both backends' get/put/reload
+   behavior, checksum distrust, generations + gc, and the profile-entry
+   layer (v3 bytes under Profile.merge semantics). *)
+
+let temp_dir () =
+  let path = Filename.temp_file "vprof_store" "" in
+  Sys.remove path;
+  path
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let with_dir f =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let counter_value name = Obs.Metrics.counter_value (Obs.Metrics.counter name)
+
+let fp ?fuel ?(shards = 1) ?(config = "") ?(workload = "go") () =
+  Store.Fingerprint.make ?fuel ~shards ~config ~profiler:"full"
+    ~workload ~input:"test" ()
+
+let program () =
+  let w = Workloads.find "go" in
+  w.Workload.wbuild Workload.Test
+
+let test_fingerprint_key_stable_and_distinct () =
+  let base = Store.Fingerprint.key (fp ()) in
+  Alcotest.(check string) "same fields, same key" base
+    (Store.Fingerprint.key (fp ()));
+  let variants =
+    [ Store.Fingerprint.key (fp ~fuel:1000 ());
+      Store.Fingerprint.key (fp ~shards:4 ());
+      Store.Fingerprint.key (fp ~config:"tnv=16" ());
+      Store.Fingerprint.key (fp ~workload:"li" ());
+      Store.Fingerprint.key
+        (Store.Fingerprint.make ~profiler:"experiment" ~workload:"go"
+           ~input:"test" ()) ]
+  in
+  List.iter
+    (fun k -> Alcotest.(check bool) "field change changes key" true (k <> base))
+    variants;
+  Alcotest.(check int) "all variants distinct" (List.length variants)
+    (List.length (List.sort_uniq compare variants))
+
+let test_fingerprint_key_filesystem_safe () =
+  let t =
+    Store.Fingerprint.make ~config:"tnv=8 policy=lfu-clear"
+      ~profiler:"full" ~workload:"a workload/with bad:chars"
+      ~input:"test" ()
+  in
+  let k = Store.Fingerprint.key t in
+  String.iter
+    (fun c ->
+      let ok =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '_'
+      in
+      Alcotest.(check bool) (Printf.sprintf "safe char %C in %s" c k) true ok)
+    k
+
+let test_mem_get_put_and_counters () =
+  let s = Store.create_mem () in
+  let h0 = counter_value "store.hits" in
+  let m0 = counter_value "store.misses" in
+  let b0 = counter_value "store.bytes_written" in
+  Alcotest.(check (option string)) "miss" None (Store.get s "k");
+  Store.put s ~key:"k" ~payload:"bytes";
+  Alcotest.(check (option string)) "hit" (Some "bytes") (Store.get s "k");
+  Alcotest.(check int) "one hit" (h0 + 1) (counter_value "store.hits");
+  Alcotest.(check int) "one miss" (m0 + 1) (counter_value "store.misses");
+  Alcotest.(check int) "bytes counted" (b0 + 5)
+    (counter_value "store.bytes_written");
+  (* overwrite in place *)
+  Store.put s ~key:"k" ~payload:"other";
+  Alcotest.(check (option string)) "overwritten" (Some "other")
+    (Store.get s "k");
+  let st = Store.stats s in
+  Alcotest.(check int) "one entry" 1 st.Store.st_entries;
+  Alcotest.(check int) "stats bytes" 5 st.Store.st_bytes
+
+let test_put_rejects_newline_key () =
+  let s = Store.create_mem () in
+  match Store.put s ~key:"a\nb" ~payload:"x" with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_dir_persists_across_reopen () =
+  with_dir (fun dir ->
+      let s = Store.open_dir dir in
+      Store.put s ~key:"alpha key" ~payload:"payload one";
+      Store.put s ~key:"beta" ~payload:"";
+      let s' = Store.open_dir dir in
+      Alcotest.(check (option string)) "payload survives" (Some "payload one")
+        (Store.find s' "alpha key");
+      Alcotest.(check (option string)) "empty payload survives" (Some "")
+        (Store.find s' "beta");
+      Alcotest.(check (option string)) "unknown key" None (Store.find s' "x");
+      Alcotest.(check int) "entries" 2 (Store.stats s').Store.st_entries)
+
+let test_dir_reset_starts_empty () =
+  with_dir (fun dir ->
+      let s = Store.open_dir dir in
+      Store.put s ~key:"k" ~payload:"x";
+      let s' = Store.open_dir ~reset:true dir in
+      Alcotest.(check int) "reset is empty" 0 (Store.stats s').Store.st_entries)
+
+let test_corrupt_payload_not_trusted () =
+  with_dir (fun dir ->
+      let s = Store.open_dir dir in
+      Store.put s ~key:"good" ~payload:"intact";
+      Store.put s ~key:"bad" ~payload:"to be corrupted";
+      (* smash every payload file that belongs to [bad] *)
+      Array.iter
+        (fun f ->
+          if Filename.check_suffix f ".out" then begin
+            let path = Filename.concat dir f in
+            let ic = open_in_bin path in
+            let text =
+              Fun.protect
+                ~finally:(fun () -> close_in ic)
+                (fun () -> really_input_string ic (in_channel_length ic))
+            in
+            if text = "to be corrupted" then begin
+              let oc = open_out_bin path in
+              Fun.protect
+                ~finally:(fun () -> close_out oc)
+                (fun () -> output_string oc "to be CORRUPTED")
+            end
+          end)
+        (Sys.readdir dir);
+      let s' = Store.open_dir dir in
+      Alcotest.(check (option string)) "intact entry served" (Some "intact")
+        (Store.find s' "good");
+      Alcotest.(check (option string)) "corrupt entry treated as absent" None
+        (Store.find s' "bad"))
+
+let test_generations_and_gc () =
+  with_dir (fun dir ->
+      let s = Store.open_dir dir in
+      let g0 = Store.generation s in
+      ignore (Store.new_generation s);
+      Store.put s ~key:"old" ~payload:"old bytes";
+      ignore (Store.new_generation s);
+      Store.put s ~key:"mid" ~payload:"mid bytes";
+      ignore (Store.new_generation s);
+      Store.put s ~key:"new" ~payload:"new bytes";
+      Alcotest.(check int) "three bumps" (g0 + 3) (Store.generation s);
+      (* keep the last 2 generations: only [old] is past the cutoff *)
+      Alcotest.(check int) "one removed" 1 (Store.gc s ~keep:2);
+      Alcotest.(check (option string)) "old gone" None (Store.find s "old");
+      Alcotest.(check (option string)) "mid kept" (Some "mid bytes")
+        (Store.find s "mid");
+      (* the removal is durable and its payload file is gone *)
+      let s' = Store.open_dir dir in
+      Alcotest.(check (option string)) "gc durable" None (Store.find s' "old");
+      Alcotest.(check int) "payload files match entries" 2
+        (Array.to_list (Sys.readdir dir)
+        |> List.filter (fun f -> Filename.check_suffix f ".out")
+        |> List.length);
+      (* generation survives reopen *)
+      Alcotest.(check int) "generation persisted" (g0 + 3)
+        (Store.generation s'))
+
+let test_entries_sorted_with_generations () =
+  let s = Store.create_mem () in
+  ignore (Store.new_generation s);
+  Store.put s ~key:"zeta" ~payload:"zz";
+  ignore (Store.new_generation s);
+  Store.put s ~key:"alpha" ~payload:"a";
+  let infos = Store.entries s in
+  Alcotest.(check (list string)) "sorted by key" [ "alpha"; "zeta" ]
+    (List.map (fun (i : Store.info) -> i.Store.i_key) infos);
+  Alcotest.(check (list int)) "write generations" [ 2; 1 ]
+    (List.map (fun (i : Store.info) -> i.Store.i_gen) infos);
+  Alcotest.(check (list int)) "byte sizes" [ 1; 2 ]
+    (List.map (fun (i : Store.info) -> i.Store.i_bytes) infos)
+
+let test_profile_roundtrip_exact () =
+  with_dir (fun dir ->
+      let prog = program () in
+      let p = Profile.run prog in
+      let s = Store.open_dir dir in
+      Store.put_profile s ~key:"p" p;
+      let s' = Store.open_dir dir in
+      match Store.get_profile s' ~program:prog ~key:"p" with
+      | None -> Alcotest.fail "expected a stored profile"
+      | Some p' ->
+        Alcotest.(check string) "text rendering identical"
+          (Profile_io.to_string p) (Profile_io.to_string p'))
+
+let test_decode_failure_is_a_miss () =
+  let prog = program () in
+  let p = Profile.run prog in
+  let s = Store.create_mem () in
+  Store.put_profile s ~key:"p" p;
+  (* a program the stored pcs cannot validate against *)
+  let b = Asm.create () in
+  Asm.proc b "main" (fun b -> Asm.halt b);
+  let tiny = Asm.assemble b ~entry:"main" in
+  let d0 = counter_value "store.decode_failures" in
+  Alcotest.(check bool) "decode failure reads as a miss" true
+    (Store.get_profile s ~program:tiny ~key:"p" = None);
+  Alcotest.(check int) "counted" (d0 + 1)
+    (counter_value "store.decode_failures")
+
+let test_merge_into_matches_profile_merge () =
+  let prog = program () in
+  let p = Profile.run prog in
+  let s = Store.create_mem () in
+  Store.merge_into s ~program:prog ~key:"m" p;
+  Store.merge_into s ~program:prog ~key:"m" p;
+  match Store.get_profile s ~program:prog ~key:"m" with
+  | None -> Alcotest.fail "expected a merged profile"
+  | Some merged ->
+    Alcotest.(check string) "equals Profile.merge [p; p]"
+      (Profile_io.to_string (Profile.merge [ p; p ]))
+      (Profile_io.to_string merged)
+
+let suite =
+  [ Alcotest.test_case "fingerprint key stable and distinct" `Quick
+      test_fingerprint_key_stable_and_distinct;
+    Alcotest.test_case "fingerprint key filesystem-safe" `Quick
+      test_fingerprint_key_filesystem_safe;
+    Alcotest.test_case "mem get/put and counters" `Quick
+      test_mem_get_put_and_counters;
+    Alcotest.test_case "put rejects newline key" `Quick
+      test_put_rejects_newline_key;
+    Alcotest.test_case "dir persists across reopen" `Quick
+      test_dir_persists_across_reopen;
+    Alcotest.test_case "reset starts empty" `Quick test_dir_reset_starts_empty;
+    Alcotest.test_case "corrupt payload not trusted" `Quick
+      test_corrupt_payload_not_trusted;
+    Alcotest.test_case "generations and gc" `Quick test_generations_and_gc;
+    Alcotest.test_case "entries sorted with generations" `Quick
+      test_entries_sorted_with_generations;
+    Alcotest.test_case "profile roundtrip exact" `Quick
+      test_profile_roundtrip_exact;
+    Alcotest.test_case "decode failure is a miss" `Quick
+      test_decode_failure_is_a_miss;
+    Alcotest.test_case "merge_into matches Profile.merge" `Quick
+      test_merge_into_matches_profile_merge ]
