@@ -19,7 +19,8 @@
    --degrade, memory pressure sheds profiling precision instead.
 
    Exit codes: 0 success, 1 runtime failure (trap / failed experiment),
-   2 usage error, 3 resource budget exceeded, 125 internal error. *)
+   2 usage error, 3 resource budget exceeded, 4 store integrity failure,
+   125 internal error. *)
 
 open Cmdliner
 open Cli_common
@@ -103,7 +104,7 @@ let save_arg =
 
 let profile_cmd =
   let run (w : Workload.t) input selection top tnv_size clear_interval save
-      fuel jobs shards store stats trace metrics gov =
+      fuel jobs shards store replicas stats trace metrics gov =
     with_obs ~trace ~metrics @@ fun () ->
     with_governance gov @@ fun () ->
     let vconfig =
@@ -132,7 +133,7 @@ let profile_cmd =
       match store with
       | None -> compute ()
       | Some dir ->
-        let s = open_store dir in
+        let s = open_store ~replicas dir in
         let prog = w.wbuild input in
         let sel_name =
           match selection with
@@ -217,8 +218,8 @@ let profile_cmd =
     Term.(
       const run $ workload_arg $ input_arg $ selection_arg $ top_arg
       $ tnv_size_arg $ clear_interval_arg $ save_arg $ fuel_arg $ jobs_arg
-      $ shards_arg $ store_arg $ stats_arg $ trace_arg $ metrics_arg
-      $ governance_arg)
+      $ shards_arg $ store_arg $ replicas_arg $ stats_arg $ trace_arg
+      $ metrics_arg $ governance_arg)
 
 (* memory *)
 
@@ -805,8 +806,8 @@ let write_failure_report dir (rep : string Supervisor.report) =
                 o.Supervisor.o_attempts)
           failures)
 
-let run_experiments id csv jobs shards checkpoint resume store retries
-    fail_fast fuel trace metrics gov =
+let run_experiments id csv jobs shards checkpoint resume store replicas
+    retries fail_fast fuel trace metrics gov =
   let specs =
     if id = "all" then Experiments.all
     else
@@ -855,7 +856,7 @@ let run_experiments id csv jobs shards checkpoint resume store retries
       exit 2
     end;
     let ck = Option.map (Checkpoint.create ~resume) ck_dir in
-    let st = Option.map open_store store_dir in
+    let st = Option.map (open_store ~replicas) store_dir in
     let rep =
       Experiments.run_strings
         ~config:
@@ -1085,8 +1086,8 @@ let experiment_cmd =
        ~doc:"Regenerate the paper's tables and figures (see DESIGN.md).")
     Term.(
       const run_experiments $ id_arg $ csv_arg $ jobs_arg $ shards_arg
-      $ checkpoint_arg $ resume_arg $ store_arg $ retries_arg $ fail_fast_arg
-      $ fuel_arg $ trace_arg $ metrics_arg $ governance_arg)
+      $ checkpoint_arg $ resume_arg $ store_arg $ replicas_arg $ retries_arg
+      $ fail_fast_arg $ fuel_arg $ trace_arg $ metrics_arg $ governance_arg)
 
 let experiments_cmd =
   let all_arg =
@@ -1111,15 +1112,15 @@ let experiments_cmd =
              it with $(b,--trace)/$(b,--metrics) to validate the \
              telemetry pipeline cheaply.")
   in
-  let run all id smoke csv jobs shards checkpoint resume store retries
-      fail_fast fuel trace metrics gov =
+  let run all id smoke csv jobs shards checkpoint resume store replicas
+      retries fail_fast fuel trace metrics gov =
     let id =
       if smoke then "e01"
       else if all then "all"
       else Option.value id ~default:"all"
     in
-    run_experiments id csv jobs shards checkpoint resume store retries
-      fail_fast fuel trace metrics gov
+    run_experiments id csv jobs shards checkpoint resume store replicas
+      retries fail_fast fuel trace metrics gov
   in
   Cmd.v
     (Cmd.info "experiments"
@@ -1131,8 +1132,9 @@ let experiments_cmd =
           the run crash-safe and $(b,--resume) continues one.")
     Term.(
       const run $ all_arg $ id_arg $ smoke_arg $ csv_arg $ jobs_arg
-      $ shards_arg $ checkpoint_arg $ resume_arg $ store_arg $ retries_arg
-      $ fail_fast_arg $ fuel_arg $ trace_arg $ metrics_arg $ governance_arg)
+      $ shards_arg $ checkpoint_arg $ resume_arg $ store_arg $ replicas_arg
+      $ retries_arg $ fail_fast_arg $ fuel_arg $ trace_arg $ metrics_arg
+      $ governance_arg)
 
 (* store *)
 
@@ -1291,10 +1293,73 @@ let store_stats_cmd =
     Table.add_row table [ "entries"; string_of_int st.Store.st_entries ];
     Table.add_row table [ "bytes"; Table.count st.Store.st_bytes ];
     Table.add_row table [ "generation"; string_of_int st.Store.st_generation ];
+    Table.add_row table [ "replicas"; string_of_int st.Store.st_replicas ];
+    Table.add_row table [ "lost"; string_of_int st.Store.st_lost ];
     Table.print table
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Entry count, total bytes and current generation.")
+    Term.(const run $ store_dir_arg)
+
+(* verify / scrub / repair share one report rendering; verify is the CI
+   gate (exit 4 on any damage), repair exits 4 only when something was
+   beyond restoring (no valid copy in any tree). *)
+let print_check dir what (c : Store.check) =
+  let table =
+    Table.create ~title:(Printf.sprintf "Store %s %s" what dir)
+      [ "metric"; "value" ]
+  in
+  Table.add_row table [ "entries"; string_of_int c.Store.c_entries ];
+  Table.add_row table [ "copies ok"; string_of_int c.Store.c_copies_ok ];
+  Table.add_row table [ "copies bad"; string_of_int c.Store.c_copies_bad ];
+  Table.add_row table [ "quarantined"; string_of_int c.Store.c_quarantined ];
+  Table.add_row table [ "repaired"; string_of_int c.Store.c_repaired ];
+  Table.add_row table [ "lost"; string_of_int c.Store.c_lost ];
+  Table.print table
+
+let store_verify_cmd =
+  let run dir =
+    let s = Store.open_dir dir in
+    let c = Store.verify s in
+    print_check dir "verify" c;
+    if not (Store.check_clean c) then exit 4
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Read-only integrity survey: every copy of every entry is \
+          byte-compared against the checksummed manifest payload (v3 \
+          profiles additionally get their sections walked). Exits 4 if \
+          any copy is missing, corrupt, or beyond recovery.")
+    Term.(const run $ store_dir_arg)
+
+let store_scrub_cmd =
+  let run dir =
+    let s = Store.open_dir dir in
+    print_check dir "scrub" (Store.scrub s)
+  in
+  Cmd.v
+    (Cmd.info "scrub"
+       ~doc:
+         "Like $(b,verify), but every corrupt payload copy is moved aside \
+          to $(i,*.corrupt) — quarantined, never deleted — so poisoned \
+          bytes are not re-read. Follow with $(b,repair) to restore the \
+          quarantined copies from intact ones.")
+    Term.(const run $ store_dir_arg)
+
+let store_repair_cmd =
+  let run dir =
+    let s = Store.open_dir dir in
+    let c = Store.repair s in
+    print_check dir "repair" c;
+    if c.Store.c_lost > 0 then exit 4
+  in
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:
+         "Restore every damaged payload copy byte-identical from the \
+          healthiest surviving copy (primary or replica tree). Exits 4 \
+          if an entry has no valid copy left anywhere.")
     Term.(const run $ store_dir_arg)
 
 let store_cmd =
@@ -1302,9 +1367,9 @@ let store_cmd =
     (Cmd.info "store"
        ~doc:
          "Inspect and manage a profile store directory (the $(b,--store) \
-          cache): ls, get, merge, gc, stats.")
+          cache): ls, get, merge, gc, stats, verify, scrub, repair.")
     [ store_ls_cmd; store_get_cmd; store_merge_cmd; store_gc_cmd;
-      store_stats_cmd ]
+      store_stats_cmd; store_verify_cmd; store_scrub_cmd; store_repair_cmd ]
 
 let () =
   let info =
@@ -1318,11 +1383,14 @@ let () =
         speculate_cmd; sample_cmd; fused_cmd; specialize_cmd; memoize_cmd;
         diff_cmd; experiment_cmd; experiments_cmd; store_cmd ]
   in
-  (* Exit-code contract: 0 success; 1 runtime failure (a machine trap, an
-     injected fault, a failed experiment); 2 usage error (bad flags,
-     unknown workload or experiment — cmdliner's cli_error remapped); 3
-     resource budget exceeded (--deadline / --max-heap without --degrade);
-     125 internal error. A machine trap (say, an exhausted --fuel budget)
+  (* Exit-code contract (the README table mirrors this): 0 success; 1
+     runtime failure (a machine trap, an injected fault, a failed
+     experiment); 2 usage error (bad flags, unknown workload or
+     experiment — cmdliner's cli_error remapped); 3 resource budget
+     exceeded (--deadline / --max-heap without --degrade); 4 store
+     integrity failure (store verify found damage, or store repair could
+     not restore an entry); 125 internal error. A machine trap (say, an
+     exhausted --fuel budget)
      is a user-level outcome, not an internal error — report it cleanly;
      the driver re-raises worker exceptions on this domain, so this also
      covers -j runs. Budget trips propagate through with_obs, so the

@@ -54,6 +54,11 @@
     Telemetry: [profile_io.reads]/[writes]/[salvaged_lines] counters and
     [profile_io.read]/[write] spans in {!Obs}. *)
 
+(** The 4-byte v3 magic ["\x89VP3"] — exposed for integrity checkers
+    (the store's scrub/verify) that sniff the framing without decoding
+    a whole profile. *)
+val binary_magic : string
+
 (** The v2 text serialization. *)
 val to_string : Profile.t -> string
 

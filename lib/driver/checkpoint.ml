@@ -23,4 +23,7 @@ let record t ~name ~payload =
     invalid_arg "Checkpoint.record: job names may not contain newlines";
   Obs.Metrics.incr m_commits;
   Obs.Trace.with_span ~cat:"driver" "checkpoint.commit" @@ fun () ->
+  (* the kill-loop harness arms this to die between the supervisor
+     acknowledging a job and the store starting its commit sequence *)
+  Fault.point ~site:"checkpoint.commit";
   Store.put t ~key:name ~payload

@@ -1,0 +1,126 @@
+type op =
+  | Put of { key : string; gen : int; bytes : int; crc : int }
+  | Gc of string list
+  | Generation of int
+
+let m_appends = Obs.Metrics.counter "journal.appends"
+let m_torn_tails = Obs.Metrics.counter "journal.torn_tails"
+
+let path ~dir = Filename.concat dir "journal"
+
+(* --- records --- *)
+
+let encode op =
+  let payload = Buffer.create 64 in
+  let tag =
+    match op with
+    | Put { key; gen; bytes; crc } ->
+      Codec.put_string payload key;
+      Codec.put_uvarint payload gen;
+      Codec.put_uvarint payload bytes;
+      Codec.put_u32 payload crc;
+      'P'
+    | Gc keys ->
+      Codec.put_uvarint payload (List.length keys);
+      List.iter (Codec.put_string payload) keys;
+      'G'
+    | Generation g ->
+      Codec.put_uvarint payload g;
+      'N'
+  in
+  let buf = Buffer.create 80 in
+  Codec.put_section buf ~tag (Buffer.contents payload);
+  Buffer.contents buf
+
+let commit_record =
+  let buf = Buffer.create 8 in
+  Codec.put_section buf ~tag:'C' "";
+  Buffer.contents buf
+
+let decode_op tag payload =
+  let r = Codec.reader payload in
+  match tag with
+  | 'P' ->
+    let key = Codec.read_string r in
+    let gen = Codec.read_uvarint r in
+    let bytes = Codec.read_uvarint r in
+    let crc = Codec.read_u32 r in
+    Some (Put { key; gen; bytes; crc })
+  | 'G' ->
+    let n = Codec.read_uvarint r in
+    if n > String.length payload then
+      raise (Codec.Error (Codec.pos r, "gc key count exceeds record"));
+    Some (Gc (List.init n (fun _ -> Codec.read_string r)))
+  | 'N' -> Some (Generation (Codec.read_uvarint r))
+  | 'C' -> None
+  | t -> raise (Codec.Error (0, Printf.sprintf "unknown journal tag %C" t))
+
+(* --- appending --- *)
+
+(* The journal is the store's one append-in-place file, which makes it
+   the one place a torn write can land on disk — so the append carries
+   both crash-site flavors: a [point] for whole-record kills and a [cut]
+   for tearing the record at an exact byte offset before dying. *)
+let append ~dir record =
+  Fault.point ~site:"journal.append";
+  Obs.Metrics.incr m_appends;
+  let write bytes =
+    let oc =
+      open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 (path ~dir)
+    in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc bytes)
+  in
+  match Fault.cut ~site:"journal.append" with
+  | Some n ->
+    (* injected torn append: the record stops at byte [n] and the
+       process dies there — the shape a real crash mid-append leaves *)
+    write (String.sub record 0 (min n (String.length record)));
+    raise (Fault.Injected "journal.append")
+  | None -> write record
+
+let append_intent ~dir op = append ~dir (encode op)
+let append_commit ~dir = append ~dir commit_record
+
+(* --- replay --- *)
+
+let read_file p =
+  match open_in_bin p with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+
+let pending ~dir =
+  match read_file (path ~dir) with
+  | None -> []
+  | Some text ->
+    let r = Codec.reader text in
+    let pend = ref [] in
+    (* ops are strictly sequential under the store mutex, so a commit
+       always belongs to the oldest intent still uncommitted *)
+    let rec drop_oldest = function
+      | [] -> []
+      | [ _oldest ] -> []
+      | x :: rest -> x :: drop_oldest rest
+    in
+    (try
+       while not (Codec.at_end r) do
+         let tag, payload = Codec.read_section r in
+         match decode_op tag payload with
+         | Some op -> pend := op :: !pend
+         | None -> pend := drop_oldest !pend
+       done
+     with Codec.Error _ ->
+       (* torn or malformed tail: whatever record was being appended
+          never finished, so the mutation it describes never started *)
+       Obs.Metrics.incr m_torn_tails);
+    List.rev !pend
+
+let reset ~dir =
+  let oc =
+    open_out_gen [ Open_trunc; Open_creat; Open_binary ] 0o644 (path ~dir)
+  in
+  close_out oc

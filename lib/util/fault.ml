@@ -1,4 +1,4 @@
-type action = Raise | Truncate of int
+type action = Raise | Truncate of int | Kill
 
 type firing =
   | Shots of { at : int; count : int }
@@ -98,11 +98,22 @@ let fired st =
        Mutex.unlock st.s_mu;
        x < p)
 
+(* A firing [Kill] site dies the way kill -9 would: SIGKILL to self, so
+   no exception handler, [at_exit] hook or [Fun.protect] finalizer gets
+   to tidy up. The crash-survival harness depends on this being a real
+   crash, not a polite unwind. *)
+let kill_self () =
+  (try Unix.kill (Unix.getpid ()) Sys.sigkill with _ -> ());
+  (* unreachable: SIGKILL is delivered before [kill] returns to the
+     calling thread — but never fall through into the caller *)
+  Stdlib.exit 137
+
 let point ~site =
   if Atomic.get armed_flag then
     match find site with
     | Some ({ s_action = Raise; _ } as st) ->
       if fired st then raise (Injected site)
+    | Some ({ s_action = Kill; _ } as st) -> if fired st then kill_self ()
     | Some _ | None -> ()
 
 let cut ~site =
@@ -126,7 +137,7 @@ let parse_entry entry =
     invalid_arg
       (Printf.sprintf
          "Fault: malformed spec entry %S (want SITE@AT, SITE@AT#N, \
-          SITE@~P, each optionally @BYTES)"
+          SITE@~P, each optionally @BYTES or @kill)"
          entry)
   in
   let parse_firing f =
@@ -153,6 +164,7 @@ let parse_entry entry =
   in
   match String.split_on_char '@' entry with
   | [ site; f ] when site <> "" -> (site, parse_firing f, Raise)
+  | [ site; f; "kill" ] when site <> "" -> (site, parse_firing f, Kill)
   | [ site; f; bytes ] when site <> "" ->
     (match int_of_string_opt bytes with
      | Some b when b >= 0 -> (site, parse_firing f, Truncate b)

@@ -7,7 +7,10 @@
     writing ([Fault.cut ~site:"profile_io.write"]), pool workers
     (["pool.worker"]), supervised job attempts (["supervisor.job"]),
     checkpoint loading (["checkpoint.load"]), shard merging
-    (["shard.merge"]) and pool cancellation (["pool.cancel"]) — and lets
+    (["shard.merge"]), pool cancellation (["pool.cancel"]), store
+    commits (["store.commit"], ["store.payload.write"],
+    ["checkpoint.commit"]) and write-ahead-journal appends
+    (["journal.append"], a {!cut} site for torn appends) — and lets
     a test (or the [VPROF_FAULT] environment variable, for CLI smoke runs
     and the chaos harness) arm any number of them concurrently.
 
@@ -35,6 +38,13 @@ type action =
   | Truncate of int
       (** {!cut} returns [Some bytes] — the writer must tear its output
           there and die, emulating a crash mid-write. *)
+  | Kill
+      (** {!point} SIGKILLs the process — a real kill -9, no handler,
+          finalizer or [at_exit] hook runs. The crash-point survival
+          harness arms this on ["store.commit"], ["journal.append"] and
+          ["checkpoint.commit"] to prove recovery invariants against
+          genuine mid-mutation death. Never arm it in-process in a test
+          runner: the runner dies too — fire it only in subprocesses. *)
 
 (** When an armed site fires. *)
 type firing =
@@ -102,8 +112,10 @@ val seed_env_var : string
     ["SITE@AT#N"] arms an N-shot burst over hits [AT .. AT+N-1];
     ["SITE@~P"] arms probabilistic firing with probability [P];
     each form takes an optional trailing ["@BYTES"] turning the action
-    into [Truncate BYTES].
-    E.g. ["supervisor.job@3,machine.step@~0.001,profile_io.write@1@512"].
+    into [Truncate BYTES], or a trailing ["@kill"] turning it into
+    {!Kill} (SIGKILL the process at the firing hit).
+    E.g. ["supervisor.job@3,machine.step@~0.001,profile_io.write@1@512"]
+    or ["journal.append@2@kill"].
     Raises [Invalid_argument] with the offending entry on a malformed
     spec — including empty entries, which are rejected rather than
     silently ignored. *)

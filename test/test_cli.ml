@@ -378,6 +378,142 @@ let test_multi_site_fault_spec_malformed_entry () =
   Alcotest.(check bool) "names the offending entry" true
     (Astring_contains.contains out "machine.step@~2")
 
+(* ---- store durability through the binary ---------------------------
+
+   The crash-consistency contract end-to-end: verify exits 4 on damage,
+   repair restores byte-identical copies, scrub quarantines rather than
+   deletes, and a kill -9 at any commit site never loses an acknowledged
+   profile. *)
+
+let write_file path text =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc text)
+
+let payload_file dir =
+  Array.to_list (Sys.readdir dir)
+  |> List.filter (fun f -> Filename.check_suffix f ".out")
+  |> function
+  | [ f ] -> Filename.concat dir f
+  | fs -> Alcotest.failf "expected one payload file, found %d" (List.length fs)
+
+let flip_byte path =
+  let text = read_file path in
+  let b = Bytes.of_string text in
+  Bytes.set b (Bytes.length b / 2)
+    (Char.chr (Char.code (Bytes.get b (Bytes.length b / 2)) lxor 0xFF));
+  write_file path (Bytes.to_string b)
+
+let test_store_verify_repair_scrub_cycle () =
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let code, _ =
+        run_cli
+          (Printf.sprintf "profile -w li -t 3 --store %s --replicas 1"
+             (Filename.quote dir))
+      in
+      Alcotest.(check int) "seed with one replica" 0 code;
+      let primary = payload_file dir in
+      let pristine = read_file primary in
+      let code, out =
+        run_cli (Printf.sprintf "store verify --store %s" (Filename.quote dir))
+      in
+      Alcotest.(check int) "clean store verifies 0" 0 code;
+      Alcotest.(check bool) "reports the copies" true
+        (Astring_contains.contains out "copies ok");
+      (* one flipped byte in the primary *)
+      flip_byte primary;
+      let code, _ =
+        run_cli (Printf.sprintf "store verify --store %s" (Filename.quote dir))
+      in
+      Alcotest.(check int) "damage exits 4" 4 code;
+      let code, out =
+        run_cli (Printf.sprintf "store repair --store %s" (Filename.quote dir))
+      in
+      Alcotest.(check int) "repair succeeds" 0 code;
+      Alcotest.(check bool) "reports the restoration" true
+        (Astring_contains.contains out "repaired");
+      Alcotest.(check string) "primary restored byte-identical" pristine
+        (read_file primary);
+      let code, _ =
+        run_cli (Printf.sprintf "store verify --store %s" (Filename.quote dir))
+      in
+      Alcotest.(check int) "clean again" 0 code;
+      (* scrub path: the corrupt copy is moved aside, never deleted *)
+      flip_byte primary;
+      let mangled = read_file primary in
+      let code, _ =
+        run_cli (Printf.sprintf "store scrub --store %s" (Filename.quote dir))
+      in
+      Alcotest.(check int) "scrub exits 0" 0 code;
+      Alcotest.(check bool) "wreckage quarantined" true
+        (Sys.file_exists (primary ^ ".corrupt"));
+      Alcotest.(check string) "quarantined bytes preserved" mangled
+        (read_file (primary ^ ".corrupt"));
+      let code, _ =
+        run_cli (Printf.sprintf "store repair --store %s" (Filename.quote dir))
+      in
+      Alcotest.(check int) "repair refills the quarantined copy" 0 code;
+      Alcotest.(check string) "refilled byte-identical" pristine
+        (read_file primary);
+      let code, _ =
+        run_cli (Printf.sprintf "store verify --store %s" (Filename.quote dir))
+      in
+      Alcotest.(check int) "verify after scrub+repair" 0 code)
+
+let test_kill_mid_put_never_loses_acknowledged_profile () =
+  (* the acceptance scenario: a profile acknowledged by exit 0 must
+     survive a SIGKILL delivered inside any later commit, at every
+     journal/payload/commit site *)
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let code, _ =
+        run_cli
+          (Printf.sprintf "profile -w li -t 3 --store %s --replicas 1"
+             (Filename.quote dir))
+      in
+      Alcotest.(check int) "acknowledged seed" 0 code;
+      let specs =
+        [ "store.commit@1@kill";
+          "store.payload.write@1@kill";
+          "store.payload.write@2@kill";
+          "journal.append@1@kill";
+          "journal.append@2@kill";
+          "journal.append@3@kill";
+          "journal.append@4@kill" ]
+      in
+      List.iteri
+        (fun i spec ->
+          (* fuel rides the fingerprint, so each spec's victim put is a
+             fresh key — a crash rolled forward must not let later
+             victims hit the cache and skip the site under test *)
+          let code, _ =
+            run_cli ~env:("VPROF_FAULT=" ^ spec)
+              (Printf.sprintf "profile -w go -t 3 --fuel %d --store %s"
+                 (10_000_000 + i) (Filename.quote dir))
+          in
+          Alcotest.(check int) (spec ^ ": killed by SIGKILL") 137 code;
+          let code, _ =
+            run_cli
+              (Printf.sprintf "store verify --store %s" (Filename.quote dir))
+          in
+          Alcotest.(check int) (spec ^ ": store verifies clean after crash")
+            0 code;
+          let code, out =
+            run_cli
+              (Printf.sprintf "profile -w li -t 3 --store %s"
+                 (Filename.quote dir))
+          in
+          Alcotest.(check int) (spec ^ ": warm run succeeds") 0 code;
+          Alcotest.(check bool)
+            (spec ^ ": acknowledged profile still served") true
+            (Astring_contains.contains out "store: hit"))
+        specs)
+
 let suite =
   [ Alcotest.test_case "binary present" `Quick test_binary_present;
     Alcotest.test_case "list" `Slow test_list;
@@ -416,4 +552,8 @@ let suite =
     Alcotest.test_case "store profile and inspection subcommands" `Slow
       test_store_profile_and_inspection_subcommands;
     Alcotest.test_case "store get and missing key" `Slow
-      test_store_get_and_missing_key ]
+      test_store_get_and_missing_key;
+    Alcotest.test_case "store verify/repair/scrub cycle" `Slow
+      test_store_verify_repair_scrub_cycle;
+    Alcotest.test_case "kill -9 mid-put never loses an acknowledged profile"
+      `Slow test_kill_mid_put_never_loses_acknowledged_profile ]

@@ -147,6 +147,23 @@ let test_arm_spec_campaign_grammar () =
       Alcotest.(check bool) "prob site counts hits" true
         (Fault.hits ~site:"maybe" = 1))
 
+(* A firing Kill SIGKILLs the whole process, so the test runner must
+   never let one fire in-process: this only checks the grammar and the
+   not-yet-firing hits (the firing path is covered end-to-end by the CLI
+   kill tests and the chaos --kill-loop campaign, in subprocesses). *)
+let test_arm_spec_kill () =
+  with_faults (fun () ->
+      Fault.arm_spec "k@5@kill, torn@1@12";
+      (* a Kill arming is not a Truncate: cut never fires it *)
+      Alcotest.(check (option int)) "kill site does not cut" None
+        (Fault.cut ~site:"k");
+      (* hits below the arming threshold are safe and counted *)
+      Fault.point ~site:"k";
+      Fault.point ~site:"k";
+      Alcotest.(check int) "kill site counts hits" 2 (Fault.hits ~site:"k");
+      Alcotest.(check (option int)) "sibling truncate still cuts" (Some 12)
+        (Fault.cut ~site:"torn"))
+
 let test_arm_spec_malformed () =
   let rejects spec =
     match Fault.arm_spec spec with
@@ -253,6 +270,7 @@ let suite =
     Alcotest.test_case "spec grammar" `Quick test_arm_spec;
     Alcotest.test_case "campaign spec grammar" `Quick
       test_arm_spec_campaign_grammar;
+    Alcotest.test_case "kill spec grammar" `Quick test_arm_spec_kill;
     Alcotest.test_case "malformed specs rejected" `Quick test_arm_spec_malformed;
     Alcotest.test_case "load_env" `Quick test_load_env;
     Alcotest.test_case "load_env campaign seed" `Quick test_load_env_seed;

@@ -1,0 +1,268 @@
+(* The write-ahead journal: record round-trips, commit matching, torn-tail
+   salvage at every byte offset, and the recovery semantics the store
+   builds on it (roll-forward, roll-back, idempotence). *)
+
+let temp_dir () =
+  let path = Filename.temp_file "vprof_journal" "" in
+  Sys.remove path;
+  path
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let with_dir f =
+  let dir = temp_dir () in
+  Sys.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let op_eq (a : Journal.op) (b : Journal.op) = a = b
+
+let op_pp ppf (op : Journal.op) =
+  match op with
+  | Journal.Put { key; gen; bytes; crc } ->
+    Format.fprintf ppf "Put(%s,g%d,%db,%08x)" key gen bytes crc
+  | Journal.Gc keys -> Format.fprintf ppf "Gc(%s)" (String.concat "," keys)
+  | Journal.Generation g -> Format.fprintf ppf "Gen(%d)" g
+
+let op_t = Alcotest.testable op_pp op_eq
+
+let sample_ops =
+  [ Journal.Put
+      { key = "full.go.test-deadbeef"; gen = 3; bytes = 4096;
+        crc = 0xcafef00d };
+    Journal.Gc [ "a"; "b with space"; "c" ];
+    Journal.Generation 42;
+    Journal.Put { key = ""; gen = 0; bytes = 0; crc = 0 } ]
+
+let test_roundtrip () =
+  with_dir (fun dir ->
+      List.iter (fun op -> Journal.append_intent ~dir op) sample_ops;
+      Alcotest.(check (list op_t))
+        "all intents pending, oldest first" sample_ops (Journal.pending ~dir))
+
+let test_commit_matches_oldest () =
+  with_dir (fun dir ->
+      List.iter (fun op -> Journal.append_intent ~dir op) sample_ops;
+      Journal.append_commit ~dir;
+      Alcotest.(check (list op_t))
+        "commit retires the oldest intent" (List.tl sample_ops)
+        (Journal.pending ~dir);
+      Journal.append_commit ~dir;
+      Journal.append_commit ~dir;
+      Journal.append_commit ~dir;
+      Alcotest.(check (list op_t)) "fully committed" [] (Journal.pending ~dir);
+      (* a stray commit with nothing pending is harmless *)
+      Journal.append_commit ~dir;
+      Alcotest.(check (list op_t)) "stray commit" [] (Journal.pending ~dir))
+
+let test_reset_and_missing () =
+  with_dir (fun dir ->
+      Alcotest.(check (list op_t))
+        "missing journal = empty" [] (Journal.pending ~dir);
+      Journal.append_intent ~dir (Journal.Generation 7);
+      Journal.reset ~dir;
+      Alcotest.(check (list op_t)) "reset empties" [] (Journal.pending ~dir);
+      Alcotest.(check bool) "reset creates the file" true
+        (Sys.file_exists (Journal.path ~dir)))
+
+(* The journal's one robustness claim: a file cut at ANY byte offset
+   yields exactly the records whose bytes fully survived — the torn tail
+   is dropped, never misparsed, never an exception. *)
+let test_torn_tail_at_every_offset () =
+  with_dir (fun dir ->
+      List.iter (fun op -> Journal.append_intent ~dir op) sample_ops;
+      Journal.append_commit ~dir;
+      let path = Journal.path ~dir in
+      let full = In_channel.with_open_bin path In_channel.input_all in
+      (* record boundaries: each prefix of complete records is known *)
+      let lens =
+        List.map (fun op -> String.length (Journal.encode op)) sample_ops
+        @ [ String.length Journal.commit_record ]
+      in
+      let boundaries =
+        List.rev
+          (List.fold_left (fun acc l -> (List.hd acc + l) :: acc) [ 0 ] lens)
+      in
+      let expected_at cut =
+        (* the records wholly inside [0, cut), with one commit retiring
+           the oldest put once the final record survives *)
+        let complete =
+          List.length (List.filter (fun b -> b <= cut) boundaries) - 1
+        in
+        let intents =
+          List.filteri (fun i _ -> i < min complete (List.length sample_ops))
+            sample_ops
+        in
+        if complete > List.length sample_ops then List.tl intents else intents
+      in
+      for cut = 0 to String.length full do
+        let oc = open_out_bin path in
+        output_string oc (String.sub full 0 cut);
+        close_out oc;
+        let got = Journal.pending ~dir in
+        Alcotest.(check (list op_t))
+          (Printf.sprintf "cut at byte %d/%d" cut (String.length full))
+          (expected_at cut) got
+      done)
+
+(* Same property, qcheck-shaped: random op lists, random cut offsets,
+   pending must always be a prefix of the intents (minus commits) and
+   never raise. *)
+let prop_torn_journal_salvages_prefix =
+  QCheck.Test.make ~count:200
+    ~name:"journal salvages a record prefix at any cut"
+    QCheck.(pair (small_list (pair small_string small_nat)) small_nat)
+    (fun (entries, cut_seed) ->
+      let dir = temp_dir () in
+      Sys.mkdir dir 0o755;
+      Fun.protect
+        ~finally:(fun () -> rm_rf dir)
+        (fun () ->
+          let ops =
+            List.map
+              (fun (k, n) ->
+                Journal.Put
+                  { key = k; gen = n mod 7; bytes = n; crc = n * 2654435761 land 0xFFFFFFFF })
+              entries
+          in
+          Journal.reset ~dir;
+          List.iter (fun op -> Journal.append_intent ~dir op) ops;
+          let path = Journal.path ~dir in
+          let full = In_channel.with_open_bin path In_channel.input_all in
+          let cut =
+            if String.length full = 0 then 0
+            else cut_seed mod (String.length full + 1)
+          in
+          let oc = open_out_bin path in
+          output_string oc (String.sub full 0 cut);
+          close_out oc;
+          let got = Journal.pending ~dir in
+          (* pending is a prefix of the appended intents *)
+          let rec is_prefix xs ys =
+            match (xs, ys) with
+            | [], _ -> true
+            | x :: xs', y :: ys' -> op_eq x y && is_prefix xs' ys'
+            | _ :: _, [] -> false
+          in
+          is_prefix got ops))
+
+(* Recovery semantics through the store: a journal left by a crash is
+   replayed on open — forward when the payload bytes survived, backward
+   when they did not — and replay is idempotent. *)
+
+let write_payload dir key payload =
+  (* the store's payload naming, reproduced via a scratch store *)
+  let s = Store.open_dir dir in
+  Store.put s ~key ~payload
+
+let payload_file_of dir key =
+  (* find the payload file the store created for [key] *)
+  Array.to_list (Sys.readdir dir)
+  |> List.filter (fun f -> Filename.check_suffix f ".out")
+  |> List.map (fun f -> Filename.concat dir f)
+  |> function
+  | [ p ] -> p
+  | ps ->
+    Alcotest.failf "expected one payload for %s, found %d" key (List.length ps)
+
+let test_recovery_rolls_forward () =
+  with_dir (fun dir ->
+      write_payload dir "k" "hello-payload";
+      (* simulate a crash after the payload landed but before the journal
+         commit: pending put whose bytes exist on disk *)
+      Journal.append_intent ~dir
+        (Journal.Put
+           { key = "k"; gen = 9; bytes = String.length "hello-payload";
+             crc = Crc32.string "hello-payload" });
+      let s = Store.open_dir dir in
+      Alcotest.(check (option string))
+        "rolled forward" (Some "hello-payload") (Store.find s "k");
+      Alcotest.(check int) "journal consumed" 0
+        (List.length (Journal.pending ~dir));
+      (* the entry's generation is the intent's *)
+      let e = List.hd (Store.entries s) in
+      Alcotest.(check int) "intent generation" 9 e.Store.i_gen)
+
+let test_recovery_rolls_back () =
+  with_dir (fun dir ->
+      write_payload dir "k" "old";
+      (* a put whose bytes never landed anywhere: must roll back, the
+         old acknowledged entry untouched *)
+      Journal.append_intent ~dir
+        (Journal.Put
+           { key = "k"; gen = 5; bytes = 100; crc = 0x12345678 });
+      let s = Store.open_dir dir in
+      Alcotest.(check (option string))
+        "old entry survives" (Some "old") (Store.find s "k");
+      Alcotest.(check int) "journal consumed" 0
+        (List.length (Journal.pending ~dir)))
+
+let test_recovery_completes_gc () =
+  with_dir (fun dir ->
+      let s = Store.open_dir dir in
+      Store.put s ~key:"keep" ~payload:"kk";
+      Store.put s ~key:"drop" ~payload:"dd";
+      (* crash mid-gc: intent written, files partially removed *)
+      Journal.append_intent ~dir (Journal.Gc [ "drop" ]);
+      let s' = Store.open_dir dir in
+      Alcotest.(check (option string)) "kept" (Some "kk") (Store.find s' "keep");
+      Alcotest.(check (option string)) "dropped" None (Store.find s' "drop");
+      (* the dropped key's payload file is gone from disk too *)
+      let leftovers =
+        Array.to_list (Sys.readdir dir)
+        |> List.filter (fun f ->
+               Filename.check_suffix f ".out"
+               && Astring_contains.contains f "drop")
+      in
+      Alcotest.(check int) "payload removed" 0 (List.length leftovers))
+
+let test_recovery_is_idempotent () =
+  with_dir (fun dir ->
+      write_payload dir "k" "payload-bytes";
+      let intent =
+        Journal.Put
+          { key = "k"; gen = 4; bytes = String.length "payload-bytes";
+            crc = Crc32.string "payload-bytes" }
+      in
+      Journal.append_intent ~dir intent;
+      ignore (Store.open_dir dir);
+      (* crash mid-recovery: the same intent shows up again *)
+      Journal.append_intent ~dir intent;
+      let s = Store.open_dir dir in
+      Alcotest.(check (option string))
+        "still there" (Some "payload-bytes") (Store.find s "k");
+      Alcotest.(check int) "one entry, not two" 1
+        (List.length (Store.entries s));
+      ignore (payload_file_of dir "k"))
+
+let test_generation_intent_recovers () =
+  with_dir (fun dir ->
+      let s = Store.open_dir dir in
+      Store.put s ~key:"k" ~payload:"v";
+      Journal.append_intent ~dir (Journal.Generation 17);
+      let s' = Store.open_dir dir in
+      Alcotest.(check int) "generation rolled forward" 17
+        (Store.generation s'))
+
+let suite =
+  [ Alcotest.test_case "intent round-trip" `Quick test_roundtrip;
+    Alcotest.test_case "commit retires oldest" `Quick
+      test_commit_matches_oldest;
+    Alcotest.test_case "reset and missing file" `Quick test_reset_and_missing;
+    Alcotest.test_case "torn tail at every offset" `Quick
+      test_torn_tail_at_every_offset;
+    QCheck_alcotest.to_alcotest prop_torn_journal_salvages_prefix;
+    Alcotest.test_case "recovery rolls forward" `Quick
+      test_recovery_rolls_forward;
+    Alcotest.test_case "recovery rolls back" `Quick test_recovery_rolls_back;
+    Alcotest.test_case "recovery completes gc" `Quick
+      test_recovery_completes_gc;
+    Alcotest.test_case "recovery is idempotent" `Quick
+      test_recovery_is_idempotent;
+    Alcotest.test_case "generation intent recovers" `Quick
+      test_generation_intent_recovers ]

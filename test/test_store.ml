@@ -222,6 +222,144 @@ let test_merge_into_matches_profile_merge () =
       (Profile_io.to_string (Profile.merge [ p; p ]))
       (Profile_io.to_string merged)
 
+(* --- durability & self-healing ------------------------------------- *)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path text =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc text)
+
+let payload_files dir =
+  Array.to_list (Sys.readdir dir)
+  |> List.filter (fun f -> Filename.check_suffix f ".out")
+  |> List.sort compare
+
+let test_replicas_mirror_and_heal () =
+  with_dir (fun dir ->
+      let s = Store.open_dir ~replicas:2 dir in
+      Store.put s ~key:"k" ~payload:"replicated-bytes";
+      Alcotest.(check int) "stats replicas" 2
+        (Store.stats s).Store.st_replicas;
+      let name =
+        match payload_files dir with
+        | [ f ] -> f
+        | fs -> Alcotest.failf "expected one payload, found %d" (List.length fs)
+      in
+      let primary = Filename.concat dir name in
+      let mirror i =
+        Filename.concat
+          (Filename.concat dir (Printf.sprintf "replica%d" i))
+          name
+      in
+      List.iter
+        (fun p ->
+          Alcotest.(check string) ("copy at " ^ p) "replicated-bytes"
+            (read_file p))
+        [ primary; mirror 1; mirror 2 ];
+      (* smash the primary: same size, wrong bytes — only the checksum
+         can tell, and the replicas keep the entry alive *)
+      write_file primary "replicated-BYTES";
+      let s' = Store.open_dir dir in
+      Alcotest.(check (option string)) "served from replica"
+        (Some "replicated-bytes") (Store.find s' "k");
+      let r0 = counter_value "store.read_repairs" in
+      Alcotest.(check (option string)) "get read-repairs"
+        (Some "replicated-bytes") (Store.get s' "k");
+      Alcotest.(check int) "read repair counted" (r0 + 1)
+        (counter_value "store.read_repairs");
+      Alcotest.(check string) "primary healed byte-identical"
+        "replicated-bytes" (read_file primary))
+
+let test_scrub_quarantines_never_deletes () =
+  with_dir (fun dir ->
+      let s = Store.open_dir ~replicas:1 dir in
+      Store.put s ~key:"k" ~payload:"precious-bytes!!";
+      let name = List.hd (payload_files dir) in
+      let replica = Filename.concat (Filename.concat dir "replica1") name in
+      write_file replica "precious-BYTES!!";
+      let q0 = counter_value "store.quarantined" in
+      let c = Store.scrub s in
+      Alcotest.(check int) "one entry surveyed" 1 c.Store.c_entries;
+      Alcotest.(check int) "primary copy ok" 1 c.Store.c_copies_ok;
+      Alcotest.(check int) "one bad copy" 1 c.Store.c_copies_bad;
+      Alcotest.(check int) "quarantined" 1 c.Store.c_quarantined;
+      Alcotest.(check int) "quarantine counted" (q0 + 1)
+        (counter_value "store.quarantined");
+      Alcotest.(check bool) "moved aside, not deleted" true
+        (Sys.file_exists (replica ^ ".corrupt"));
+      Alcotest.(check string) "wreckage preserved byte-for-byte"
+        "precious-BYTES!!"
+        (read_file (replica ^ ".corrupt"));
+      Alcotest.(check bool) "original name gone" false
+        (Sys.file_exists replica))
+
+let test_repair_restores_byte_identical () =
+  with_dir (fun dir ->
+      let s = Store.open_dir ~replicas:1 dir in
+      Store.put s ~key:"k" ~payload:"golden-payload-bytes";
+      let name = List.hd (payload_files dir) in
+      let primary = Filename.concat dir name in
+      write_file primary "mangled";
+      let s' = Store.open_dir dir in
+      Alcotest.(check bool) "verify flags the damage" false
+        (Store.check_clean (Store.verify s'));
+      let r = Store.repair s' in
+      Alcotest.(check int) "one copy repaired" 1 r.Store.c_repaired;
+      Alcotest.(check int) "nothing lost" 0 r.Store.c_lost;
+      Alcotest.(check string) "byte-identical restoration"
+        "golden-payload-bytes" (read_file primary);
+      Alcotest.(check bool) "clean after repair" true
+        (Store.check_clean (Store.verify s')))
+
+let test_orphan_tmp_swept_on_open () =
+  with_dir (fun dir ->
+      let s = Store.open_dir ~replicas:1 dir in
+      Store.put s ~key:"k" ~payload:"v";
+      (* a crashed atomic commit leaves temp files behind, in the
+         primary and in replica trees alike *)
+      write_file (Filename.concat dir "stranded.tmp") "half-written";
+      write_file
+        (Filename.concat (Filename.concat dir "replica1") "also.tmp")
+        "x";
+      let o0 = counter_value "store.orphans_swept" in
+      let s' = Store.open_dir dir in
+      Alcotest.(check int) "both orphans counted" (o0 + 2)
+        (counter_value "store.orphans_swept");
+      Alcotest.(check bool) "primary orphan gone" false
+        (Sys.file_exists (Filename.concat dir "stranded.tmp"));
+      Alcotest.(check (option string)) "entries untouched" (Some "v")
+        (Store.find s' "k"))
+
+let test_decode_failure_quarantined_on_disk () =
+  with_dir (fun dir ->
+      let prog = program () in
+      let p = Profile.run prog in
+      let s = Store.open_dir dir in
+      Store.put_profile s ~key:"p" p;
+      let name = List.hd (payload_files dir) in
+      (* bytes that pass their CRC yet cannot decode against [tiny] *)
+      let b = Asm.create () in
+      Asm.proc b "main" (fun b -> Asm.halt b);
+      let tiny = Asm.assemble b ~entry:"main" in
+      let q0 = counter_value "store.quarantined" in
+      Alcotest.(check bool) "undecodable bytes dropped" true
+        (Store.get_profile s ~program:tiny ~key:"p" = None);
+      Alcotest.(check bool) "poisoned payload quarantined" true
+        (Sys.file_exists (Filename.concat dir (name ^ ".corrupt")));
+      Alcotest.(check int) "quarantine counted" (q0 + 1)
+        (counter_value "store.quarantined");
+      let m0 = counter_value "store.misses" in
+      Alcotest.(check bool) "second lookup is a plain miss" true
+        (Store.get_profile s ~program:tiny ~key:"p" = None);
+      Alcotest.(check int) "miss counted" (m0 + 1)
+        (counter_value "store.misses");
+      (* the quarantined entry stays gone across a reopen *)
+      let s' = Store.open_dir dir in
+      Alcotest.(check (option string)) "absent after reopen" None
+        (Store.find s' "p"))
+
 let suite =
   [ Alcotest.test_case "fingerprint key stable and distinct" `Quick
       test_fingerprint_key_stable_and_distinct;
@@ -244,4 +382,14 @@ let suite =
     Alcotest.test_case "decode failure is a miss" `Quick
       test_decode_failure_is_a_miss;
     Alcotest.test_case "merge_into matches Profile.merge" `Quick
-      test_merge_into_matches_profile_merge ]
+      test_merge_into_matches_profile_merge;
+    Alcotest.test_case "replicas mirror and heal" `Quick
+      test_replicas_mirror_and_heal;
+    Alcotest.test_case "scrub quarantines, never deletes" `Quick
+      test_scrub_quarantines_never_deletes;
+    Alcotest.test_case "repair restores byte-identical" `Quick
+      test_repair_restores_byte_identical;
+    Alcotest.test_case "orphan tmp swept on open" `Quick
+      test_orphan_tmp_swept_on_open;
+    Alcotest.test_case "decode failure quarantined on disk" `Quick
+      test_decode_failure_quarantined_on_disk ]

@@ -20,18 +20,31 @@
                     byte; --resume must salvage the intact prefix and
                     still reproduce the reference bytes exactly.
 
+   With --kill-loop the harness instead runs the crash-point survival
+   campaign: a store is seeded with an acknowledged profile, then the
+   real binary is SIGKILLed (Fault.Kill, a genuine kill -9) at every
+   commit-path site and torn (Fault.Truncate) at every byte offset of
+   every write-ahead-journal append; after each crash the store is
+   reopened and three invariants are asserted — `store verify` exits 0,
+   a warm run of the seeded workload is still served from cache (no
+   acknowledged profile lost), and the reopening run itself exits
+   cleanly (no partial mutation survives recovery). A checkpointed
+   suite killed at checkpoint.commit must resume to byte-identical
+   reference output, and a gc killed mid-journal-append must complete
+   its removals on reopen.
+
    Every subprocess runs under coreutils `timeout` (the hard deadline):
    exit 124 means the binary hung, which fails the campaign on its own.
 
    Usage: chaos [--vprof PATH] [--seeds N,N,...] [--report FILE]
-                [--timeout SECONDS]
+                [--timeout SECONDS] [--kill-loop] [--stride N]
    Exit codes: 0 all campaigns passed, 1 at least one assertion failed,
    2 usage error. *)
 
 let usage () =
   prerr_endline
     "usage: chaos [--vprof PATH] [--seeds N,N,...] [--report FILE] \
-     [--timeout SECONDS]";
+     [--timeout SECONDS] [--kill-loop] [--stride N]";
   exit 2
 
 type opts = {
@@ -39,6 +52,8 @@ type opts = {
   mutable seeds : int list;
   mutable report : string option;
   mutable timeout : int;
+  mutable kill_loop : bool;
+  mutable stride : int;
 }
 
 let parse_args () =
@@ -46,7 +61,9 @@ let parse_args () =
     { vprof = "_build/default/bin/vprof.exe";
       seeds = [ 101; 202; 303 ];
       report = None;
-      timeout = 120 }
+      timeout = 120;
+      kill_loop = false;
+      stride = 1 }
   in
   let rec go = function
     | [] -> o
@@ -69,6 +86,14 @@ let parse_args () =
     | "--timeout" :: v :: rest ->
       (match int_of_string_opt v with
        | Some t when t > 0 -> o.timeout <- t
+       | _ -> usage ());
+      go rest
+    | "--kill-loop" :: rest ->
+      o.kill_loop <- true;
+      go rest
+    | "--stride" :: v :: rest ->
+      (match int_of_string_opt v with
+       | Some s when s > 0 -> o.stride <- s
        | _ -> usage ());
       go rest
     | _ -> usage ()
@@ -144,7 +169,10 @@ let sites =
      ("supervisor.job", 1, 4);
      ("pool.worker", 1, 4);
      ("checkpoint.load", 1, 2);
-     ("shard.merge", 1, 2) |]
+     ("shard.merge", 1, 2);
+     ("store.commit", 1, 4);
+     ("checkpoint.commit", 1, 4);
+     ("journal.append", 1, 8) |]
 
 let random_schedule rng =
   let picks = 1 + Rng.int rng 3 in
@@ -297,6 +325,168 @@ let scenario_truncate opts rng ~seed ~dir ~ref_bytes =
             (if bytes = Some ref_bytes then "==" else "!=")))
   end
 
+(* --- the kill-loop campaign (--kill-loop) --- *)
+
+let write_text path text =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
+
+(* Two tiny assembly pseudo-workloads (the CLI accepts .vasm paths as
+   workloads): distinct basenames and bodies, so their store fingerprints
+   can never alias. Each executes in microseconds, which is what lets
+   the loop afford hundreds of crash-reopen-verify iterations. *)
+let seeded_program =
+  ".entry main\n.proc main\n  ldi t0, #3\n  add t1, t0, t0\n  add t2, t1, t0\n\
+  \  halt\n.end\n"
+
+let victim_program =
+  ".entry main\n.proc main\n  ldi t0, #5\n  add t1, t0, #2\n  add t2, t1, t1\n\
+  \  halt\n.end\n"
+
+let kill_campaign opts seed =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "vprof-chaos-kill-%d-%d" (Unix.getpid ()) seed)
+  in
+  rm_rf dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let seeded = Filename.concat dir "seeded.vasm" in
+      let victim = Filename.concat dir "victim.vasm" in
+      write_text seeded seeded_program;
+      write_text victim victim_program;
+      let st = Filename.concat dir "kill-store" in
+      let out = Filename.concat dir "kill.out"
+      and err = Filename.concat dir "kill.err" in
+      (* seed the store with one ACKNOWLEDGED profile (exit 0 is the
+         acknowledgment) — the entry every later crash must not lose *)
+      let code =
+        run_vprof opts ~out ~err
+          [ "profile"; "-w"; seeded; "--store"; st; "--replicas"; "1" ]
+      in
+      if code <> 0 then
+        record ~seed ~name:"kill-seed" false
+          (Printf.sprintf "seeding run -> exit %d (want 0)" code)
+      else begin
+        record ~seed ~name:"kill-seed" true "store seeded (exit 0)";
+        let iters = ref 0 and failures = ref [] in
+        (* one crash-reopen-verify iteration: the victim run dies under
+           [spec]; reopening must leave a store that verifies clean and
+           still serves the seeded profile from cache *)
+        let crash_and_check spec =
+          incr iters;
+          let ccode =
+            run_vprof opts ~fault:spec ~fault_seed:seed ~out ~err
+              [ "profile"; "-w"; victim; "--store"; st; "--replicas"; "1" ]
+          in
+          (* 137 = SIGKILLed at the site, 1 = injected torn write, 0 =
+             the spec's hit count exceeded what this run crosses *)
+          let ccode_ok = ccode = 0 || ccode = 1 || ccode = 137 in
+          let vcode =
+            run_vprof opts ~out ~err [ "store"; "verify"; "--store"; st ]
+          in
+          let warm_err = Filename.concat dir "warm.err" in
+          let wcode =
+            run_vprof opts ~out ~err:warm_err
+              [ "profile"; "-w"; seeded; "--store"; st ]
+          in
+          let warm_hit =
+            match read_file warm_err with
+            | Some e -> contains ~needle:"store: hit" e
+            | None -> false
+          in
+          if not (ccode_ok && vcode = 0 && wcode = 0 && warm_hit) then
+            failures :=
+              Printf.sprintf
+                "%s: crash exit %d, verify exit %d (want 0), warm exit %d \
+                 seeded entry %s"
+                spec ccode vcode wcode
+                (if warm_hit then "hit" else "LOST")
+              :: !failures
+        in
+        (* whole-process kills at every commit-path site: before the
+           journal intent, between the per-copy payload writes, and at
+           each of the run's journal appends (generation intent/commit,
+           put intent/commit) *)
+        List.iter crash_and_check
+          ([ "store.commit@1@kill" ]
+           @ List.init 2 (fun i ->
+                 Printf.sprintf "store.payload.write@%d@kill" (i + 1))
+           @ List.init 4 (fun i ->
+                 Printf.sprintf "journal.append@%d@kill" (i + 1)));
+        (* torn journal appends: the append stops at byte B and the
+           process dies. 96 comfortably exceeds the longest record this
+           run appends, so the walk covers every prefix of every record
+           plus the crash-after-complete-append case. *)
+        let max_cut = 96 in
+        for hit = 1 to 4 do
+          let b = ref 0 in
+          while !b <= max_cut do
+            crash_and_check (Printf.sprintf "journal.append@%d@%d" hit !b);
+            b := !b + opts.stride
+          done
+        done;
+        record ~seed ~name:"kill-loop" (!failures = [])
+          (match !failures with
+           | [] ->
+             Printf.sprintf
+               "%d crash points survived (verify 0, seeded entry served)"
+               !iters
+           | f :: rest ->
+             Printf.sprintf "%d of %d crash points failed; first: %s"
+               (List.length !failures + 0) !iters
+               (if rest = [] then f else f ^ " (+ more)"));
+        (* a gc killed mid-intent-append must complete its removals on
+           reopen (the seeded entry may legitimately be collected here,
+           so this runs last and only asserts integrity) *)
+        let gcode =
+          run_vprof opts ~fault:"journal.append@1@kill" ~fault_seed:seed ~out
+            ~err
+            [ "store"; "gc"; "--store"; st; "--keep"; "1" ]
+        in
+        let vcode =
+          run_vprof opts ~out ~err [ "store"; "verify"; "--store"; st ]
+        in
+        record ~seed ~name:"kill-gc"
+          ((gcode = 0 || gcode = 137) && vcode = 0)
+          (Printf.sprintf
+             "gc under journal kill -> exit %d (want 0|137), verify exit %d \
+              (want 0)"
+             gcode vcode)
+      end;
+      (* a supervised suite killed at checkpoint.commit: the checkpoint
+         rides the same journaled store, so a fault-free resume must
+         reproduce the fault-free reference bytes exactly *)
+      match reference opts ~dir with
+      | None ->
+        record ~seed ~name:"kill-ck" false
+          "fault-free reference run failed; skipping checkpoint kill"
+      | Some ref_bytes ->
+        let ck = Filename.concat dir "kill-ck" in
+        let out = Filename.concat dir "ck.out"
+        and err = Filename.concat dir "ck.err" in
+        let code =
+          run_vprof opts ~fault:"checkpoint.commit@1@kill" ~fault_seed:seed
+            ~out ~err
+            [ "experiments"; "--smoke"; "--checkpoint"; ck ]
+        in
+        let out2 = Filename.concat dir "ck-resume.out" in
+        let code2 =
+          run_vprof opts ~out:out2 ~err
+            [ "experiments"; "--smoke"; "--checkpoint"; ck; "--resume" ]
+        in
+        let bytes = read_file out2 in
+        record ~seed ~name:"kill-ck"
+          (code = 137 && code2 = 0 && bytes = Some ref_bytes)
+          (Printf.sprintf
+             "kill at checkpoint.commit -> exit %d (want 137), resume -> \
+              exit %d, bytes %s reference"
+             code code2
+             (if bytes = Some ref_bytes then "==" else "!=")))
+
 let campaign opts seed =
   let dir =
     Filename.concat
@@ -344,7 +534,8 @@ let () =
                     --vprof)\n" opts.vprof;
     exit 2
   end;
-  List.iter (campaign opts) opts.seeds;
+  List.iter (if opts.kill_loop then kill_campaign opts else campaign opts)
+    opts.seeds;
   let all = List.rev !checks in
   let failed = List.filter (fun c -> not c.c_ok) all in
   (match opts.report with Some path -> write_report path | None -> ());
